@@ -1,0 +1,324 @@
+//! Criterion microbenchmarks for the hot paths of the reproduction:
+//! wire-format parsing/serialization, range algebra, multipart framing,
+//! the LZSS codec, XML/Metalink parsing, xrd frame codecs, the session
+//! pool's checkout path and the TreeCache gather.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use httpwire::parse::{read_request_head, read_response_head, BodyLen, BodyReader, ChunkedWriter};
+use httpwire::range::{coalesce_fragments, format_range_header, parse_range_header};
+use httpwire::{ContentRange, Method, MultipartReader, MultipartWriter, RequestHead, ResponseHead, StatusCode};
+use std::io::{Cursor, Write};
+use std::sync::Arc;
+
+fn bench_http_parse(c: &mut Criterion) {
+    let mut req = RequestHead::new(Method::Get, "/dpm/data/run2014/events.root?metalink");
+    req.headers.set("Host", "dpm.cern.ch");
+    req.headers.set("User-Agent", "davix-rs/0.1");
+    req.headers.set("Range", "bytes=0-1023,4096-8191,100000-100063");
+    req.headers.set("Accept", "*/*");
+    let req_bytes = req.to_bytes();
+
+    let mut resp = ResponseHead::new(StatusCode::PARTIAL_CONTENT);
+    resp.headers.set("Content-Type", "multipart/byteranges; boundary=dpmrange_0001");
+    resp.headers.set("Content-Length", "123456");
+    resp.headers.set("Server", "dpm-sim/0.1");
+    resp.headers.set("Date", "Sun, 06 Nov 1994 08:49:37 GMT");
+    let resp_bytes = resp.to_bytes();
+
+    let mut g = c.benchmark_group("http_parse");
+    g.throughput(Throughput::Bytes(req_bytes.len() as u64));
+    g.bench_function("request_head", |b| {
+        b.iter(|| {
+            let mut cur = Cursor::new(black_box(&req_bytes[..]));
+            read_request_head(&mut cur).unwrap().unwrap()
+        })
+    });
+    g.throughput(Throughput::Bytes(resp_bytes.len() as u64));
+    g.bench_function("response_head", |b| {
+        b.iter(|| {
+            let mut cur = Cursor::new(black_box(&resp_bytes[..]));
+            read_response_head(&mut cur).unwrap()
+        })
+    });
+    g.bench_function("request_serialize", |b| b.iter(|| black_box(&req).to_bytes()));
+    g.finish();
+}
+
+fn bench_chunked(c: &mut Criterion) {
+    let payload = vec![0xA5u8; 64 * 1024];
+    let mut wire = Vec::new();
+    {
+        let mut w = ChunkedWriter::new(&mut wire);
+        for chunk in payload.chunks(4096) {
+            w.write_all(chunk).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    let mut g = c.benchmark_group("chunked");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("encode_64k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(70_000);
+            let mut w = ChunkedWriter::new(&mut out);
+            for chunk in black_box(&payload).chunks(4096) {
+                w.write_all(chunk).unwrap();
+            }
+            w.finish().unwrap();
+        })
+    });
+    g.bench_function("decode_64k", |b| {
+        b.iter(|| {
+            let mut cur = Cursor::new(black_box(&wire[..]));
+            BodyReader::new(&mut cur, BodyLen::Chunked).read_all().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_ranges(c: &mut Criterion) {
+    let frags: Vec<(u64, usize)> = (0..64).map(|i| (i * 10_000, 1500)).collect();
+    let header = format_range_header(&frags);
+    let scattered: Vec<(u64, usize)> = (0..1024)
+        .map(|i| (((i * 7919) % 100_000) as u64 * 100, 512))
+        .collect();
+
+    let mut g = c.benchmark_group("ranges");
+    g.bench_function("format_64", |b| b.iter(|| format_range_header(black_box(&frags))));
+    g.bench_function("parse_64", |b| b.iter(|| parse_range_header(black_box(&header)).unwrap()));
+    g.bench_function("coalesce_1024", |b| {
+        b.iter(|| coalesce_fragments(black_box(&scattered), 512))
+    });
+    g.finish();
+}
+
+fn bench_multipart(c: &mut Criterion) {
+    let part = vec![0x3Cu8; 2048];
+    let ranges: Vec<ContentRange> = (0..32)
+        .map(|i| ContentRange {
+            first: i * 10_000,
+            last: i * 10_000 + 2047,
+            total: Some(1_000_000),
+        })
+        .collect();
+    let mut body = Vec::new();
+    {
+        let mut w = MultipartWriter::new(&mut body, "BENCH");
+        for r in &ranges {
+            w.write_part("application/octet-stream", *r, &part).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    let mut g = c.benchmark_group("multipart");
+    g.throughput(Throughput::Bytes(body.len() as u64));
+    g.bench_function("write_32x2k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(body.len());
+            let mut w = MultipartWriter::new(&mut out, "BENCH");
+            for r in black_box(&ranges) {
+                w.write_part("application/octet-stream", *r, &part).unwrap();
+            }
+            w.finish().unwrap();
+            out
+        })
+    });
+    g.bench_function("read_32x2k", |b| {
+        b.iter(|| {
+            MultipartReader::new(Cursor::new(black_box(&body[..])), "BENCH")
+                .read_all_parts()
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    // Sparse calorimeter-like data: the realistic case for basket payloads.
+    let mut sparse = vec![0u8; 64 * 1024];
+    for i in (0..sparse.len()).step_by(7) {
+        sparse[i] = (i % 251) as u8;
+    }
+    let compressed = rootio::codec::compress(&sparse);
+
+    let mut g = c.benchmark_group("lzss_codec");
+    g.throughput(Throughput::Bytes(sparse.len() as u64));
+    g.bench_function("compress_64k_sparse", |b| {
+        b.iter(|| rootio::codec::compress(black_box(&sparse)))
+    });
+    g.bench_function("decompress_64k_sparse", |b| {
+        b.iter(|| rootio::codec::decompress(black_box(&compressed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_metalink(c: &mut Criterion) {
+    let mut file = metalink::MetaFile::new("data/events.root");
+    file.size = Some(700_000_000);
+    for i in 0..8 {
+        file.add_url(
+            metalink::UrlRef::new(format!("http://dpm{i}.cern.ch/data/events.root"))
+                .priority(i + 1)
+                .location("ch"),
+        );
+    }
+    let xml = metalink::Metalink::single(file).to_xml();
+    let mut g = c.benchmark_group("metalink");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("parse_8_replicas", |b| {
+        b.iter(|| metalink::Metalink::parse(black_box(&xml)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_xrd_wire(c: &mut Criterion) {
+    let frags: Vec<(u64, u32)> = (0..64).map(|i| (i * 10_000, 1500)).collect();
+    let mut payload = xrdlite::wire::PayloadWriter::new().u32(7).u16(64);
+    for &(off, len) in &frags {
+        payload = payload.u64(off).u32(len);
+    }
+    let frame = xrdlite::wire::Frame {
+        stream_id: 42,
+        code: 3,
+        flags: 0,
+        payload: payload.build(),
+    };
+    let encoded = frame.encode();
+    let mut g = c.benchmark_group("xrd_wire");
+    g.bench_function("encode_readv64", |b| b.iter(|| black_box(&frame).encode()));
+    g.bench_function("decode_readv64", |b| {
+        b.iter(|| {
+            xrdlite::wire::Frame::read_from(&mut Cursor::new(black_box(&encoded[..]))).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    use davix::{Endpoint, Metrics, SessionPool};
+    use netsim::{RealRuntime, Runtime, TcpConnector, TcpListenerWrap};
+    use std::time::Duration;
+
+    // A real loopback listener that accepts and parks connections, so the
+    // pool's acquire/release path is measured against live sockets.
+    let listener = TcpListenerWrap::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = netsim::Listener::accept(&listener) {
+            held.push(s);
+        }
+    });
+    let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+    let make_pool = |rt: &Arc<dyn Runtime>| {
+        SessionPool::new(
+            Arc::new(TcpConnector),
+            Arc::clone(rt),
+            Arc::new(Metrics::default()),
+            16,
+            Duration::from_secs(600),
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+        )
+    };
+    let ep = Endpoint { scheme: "http".into(), host: addr.ip().to_string(), port: addr.port() };
+
+    let mut g = c.benchmark_group("session_pool");
+    // The steady-state hot path: check out the warm session, return it.
+    let pool = make_pool(&rt);
+    let warm = pool.acquire(&ep).expect("connect");
+    pool.release(warm, true);
+    g.bench_function("acquire_release_hot", |b| {
+        b.iter(|| {
+            let s = pool.acquire(black_box(&ep)).expect("acquire");
+            pool.release(s, true);
+        })
+    });
+    // Contended: 4 threads hammer the same endpoint stack.
+    let pool = Arc::new(make_pool(&rt));
+    for _ in 0..4 {
+        let s = pool.acquire(&ep).expect("connect");
+        pool.release(s, true);
+    }
+    g.bench_function("acquire_release_4threads", |b| {
+        b.iter_custom(|iters| {
+            let start = std::time::Instant::now();
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let ep = ep.clone();
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        let s = pool.acquire(&ep).expect("acquire");
+                        pool.release(s, true);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            start.elapsed() / 4
+        })
+    });
+    g.finish();
+}
+
+fn bench_treecache(c: &mut Criterion) {
+    use ioapi::MemFile;
+    use rootio::{Generator, Schema, TreeCache, TreeCacheOptions, TreeReader, WriterOptions};
+
+    let mut generator = Generator::new(Schema::hep(64), 7);
+    let file = rootio::write_tree(
+        &mut generator,
+        4_000,
+        &WriterOptions { events_per_basket: 32, compress: true },
+    );
+    let reader = Arc::new(TreeReader::open(Arc::new(MemFile::new(file))).unwrap());
+    let branches: Vec<usize> = (0..4).collect();
+
+    let mut g = c.benchmark_group("treecache");
+    // One cold window gather: plan the baskets, vectored-read, decompress.
+    // A fresh cache per iteration — the cache itself never evicts, so a
+    // long-lived one would serve every later access from memory.
+    g.bench_function("window_load_120ev", |b| {
+        b.iter_batched(
+            || {
+                TreeCache::new(
+                    Arc::clone(&reader),
+                    &branches,
+                    TreeCacheOptions { window_events: 120, enabled: true, prefetch: false },
+                )
+            },
+            |mut cache| black_box(cache.f32_value(0, 0).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    // The cached fast path: repeated access within a loaded window.
+    g.bench_function("cached_column_access", |b| {
+        let mut cache = TreeCache::new(
+            Arc::clone(&reader),
+            &branches,
+            TreeCacheOptions { window_events: 512, enabled: true, prefetch: false },
+        );
+        cache.f32_value(0, 0).unwrap();
+        let mut ev = 0u64;
+        b.iter(|| {
+            let v = cache.f32_value(1, ev).unwrap();
+            ev = (ev + 1) % 512;
+            black_box(v)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_http_parse,
+    bench_chunked,
+    bench_ranges,
+    bench_multipart,
+    bench_codec,
+    bench_metalink,
+    bench_xrd_wire,
+    bench_pool,
+    bench_treecache
+);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! **Figure 1 / §2.2**: why davix rejects HTTP pipelining.
+//!
+//! The paper: pipelined requests must be answered in order, so one slow
+//! (large) response delays every response behind it — head-of-line
+//! blocking. davix's answer is a connection pool with parallel dispatch.
+//!
+//! Workload: 64 GETs — one 4 MiB object first, then 63 × 16 KiB — over one
+//! link. Strategies:
+//!
+//! * `serial` — one keep-alive connection, request→response→request;
+//! * `pipelined` — one connection, all 64 requests written up front,
+//!   responses read in order (the HOL victim);
+//! * `pipelined + nagle` — the same over a link with Nagle + 40 ms delayed
+//!   ACKs: §2.2's "side effects with the TCP's nagle algorithm" (each
+//!   sub-MSS request write stalls on the previous one's delayed ACK);
+//! * `davix pool` — 8 worker threads dispatching through the session pool.
+//!
+//! Metrics: total completion time and the mean completion time of the
+//! *small* requests (where HOL blocking hurts).
+
+use bytes::Bytes;
+use davix::{Config, DavixClient, PreparedRequest};
+use davix_bench::rawhttp::{pipelined_batch, RawConn};
+use davix_bench::{millis, secs, Table};
+use httpd::ServerConfig;
+use netsim::{LinkSpec, Runtime as _, SimNet};
+use objstore::{ObjectStore, StorageNode, StorageOptions};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N_SMALL: usize = 63;
+const SMALL: usize = 16 * 1024;
+const BIG: usize = 4 * 1024 * 1024;
+
+fn testnet(link: LinkSpec) -> (SimNet, Vec<String>) {
+    let net = SimNet::new();
+    net.add_host("client");
+    net.add_host("server");
+    net.set_link("client", "server", link);
+    let store = Arc::new(ObjectStore::new());
+    let mut targets = vec!["/obj/big".to_string()];
+    store.put("/obj/big", Bytes::from(vec![1u8; BIG]));
+    for i in 0..N_SMALL {
+        let path = format!("/obj/small{i}");
+        store.put(&path, Bytes::from(vec![2u8; SMALL]));
+        targets.push(path);
+    }
+    StorageNode::start(
+        store,
+        Box::new(net.bind("server", 80).unwrap()),
+        net.runtime(),
+        StorageOptions::default(),
+        ServerConfig::default(),
+    );
+    (net, targets)
+}
+
+/// (total time, mean small-response completion)
+fn run_serial(link: LinkSpec) -> (Duration, Duration) {
+    let (net, targets) = testnet(link);
+    let _g = net.enter();
+    let t0 = net.now();
+    let mut conn = RawConn::open(&net, "client", "server", 80).unwrap();
+    let mut small_done = Vec::new();
+    for t in &targets {
+        conn.get("server", t).unwrap();
+        if t.contains("small") {
+            small_done.push(net.now() - t0);
+        }
+    }
+    (net.now() - t0, mean_dur(&small_done))
+}
+
+fn run_pipelined(link: LinkSpec) -> (Duration, Duration) {
+    let (net, targets) = testnet(link);
+    let _g = net.enter();
+    let t0 = net.now();
+    let mut conn = RawConn::open(&net, "client", "server", 80).unwrap();
+    let done = pipelined_batch(&net, &mut conn, "server", &targets).unwrap();
+    // Response 0 is the big one; 1.. are the small ones.
+    let small: Vec<Duration> = done[1..].iter().map(|d| *d - t0).collect();
+    (net.now() - t0, mean_dur(&small))
+}
+
+fn run_pool(link: LinkSpec, workers: usize) -> (Duration, Duration) {
+    let (net, targets) = testnet(link);
+    let client = DavixClient::new(net.connector("client"), net.runtime(), Config::default());
+    let queue: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(targets.clone()));
+    let small_done: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let done = net.runtime().signal();
+    let live = Arc::new(Mutex::new(workers));
+    let t0 = Duration::ZERO;
+    for w in 0..workers {
+        let net2 = net.clone();
+        let client = client.clone();
+        let queue = Arc::clone(&queue);
+        let small_done = Arc::clone(&small_done);
+        let done = Arc::clone(&done);
+        let live = Arc::clone(&live);
+        net.spawn(&format!("pool-worker-{w}"), move || {
+            loop {
+                let target = queue.lock().pop();
+                let Some(target) = target else { break };
+                let uri = format!("http://server{target}").parse().unwrap();
+                client.executor().execute_expect(&PreparedRequest::get(uri), "get").unwrap();
+                if target.contains("small") {
+                    small_done.lock().push(net2.now());
+                }
+            }
+            let mut l = live.lock();
+            *l -= 1;
+            if *l == 0 {
+                done.set();
+            }
+        });
+    }
+    let _g = net.enter();
+    done.wait(None);
+    let smalls = small_done.lock().clone();
+    (net.now() - t0, mean_dur(&smalls))
+}
+
+fn mean_dur(xs: &[Duration]) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64(xs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / xs.len() as f64)
+}
+
+fn main() {
+    println!("== Figure 1 / §2.2: pipelining head-of-line blocking vs pool dispatch ==");
+    println!(
+        "workload: 1 × {} MiB + {} × {} KiB GETs (big first)\n",
+        BIG / 1024 / 1024,
+        N_SMALL,
+        SMALL / 1024
+    );
+
+    for (name, link) in [("LAN (2.5 ms RTT)", LinkSpec::lan()), ("WAN (150 ms RTT)", LinkSpec::wan())] {
+        let mut table = Table::new(&["strategy", "total (s)", "mean small latency (ms)"]);
+        let (t, s) = run_serial(link);
+        table.row(vec!["serial keep-alive".into(), secs(t), millis(s)]);
+        let (t, s) = run_pipelined(link);
+        table.row(vec!["pipelined (in-order)".into(), secs(t), millis(s)]);
+        let (t, s) = run_pipelined(link.with_nagle());
+        table.row(vec!["pipelined + nagle".into(), secs(t), millis(s)]);
+        let (t, s) = run_pool(link, 8);
+        table.row(vec!["davix pool (8 conns)".into(), secs(t), millis(s)]);
+        println!("--- {name} ---");
+        table.print();
+        println!();
+    }
+    println!(
+        "claim check: pipelining's total is fine but its small-request latency is\n\
+         dominated by the big response stuck at the head of the line; the pool keeps\n\
+         small responses fast AND beats serial totals. This is why davix uses a\n\
+         dynamic connection pool instead of pipelining (§2.2, Figures 1-2)."
+    );
+}

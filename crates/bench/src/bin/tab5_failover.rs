@@ -1,0 +1,77 @@
+//! **§2.4 (fail-over strategy)**: resiliency and its latency price.
+//!
+//! Claim: "a read operation on a resource will succeed as long as one
+//! replica of this resource is remotely accessible", with "no compromise or
+//! impact on the performances" in the healthy case.
+//!
+//! Experiment: three replicas (LAN, GEANT, WAN links), kill 0/1/2 of them,
+//! measure a 64 KiB read's completion time and whether it succeeded.
+
+use bytes::Bytes;
+use davix::Config;
+use davix_bench::{millis, Table};
+use davix_repro::testbed::{Testbed, TestbedConfig, FED};
+use netsim::LinkSpec;
+
+fn main() {
+    println!("== §2.4: Metalink fail-over under replica failures ==\n");
+    let data: Vec<u8> = (0..1_000_000usize).map(|i| (i % 251) as u8).collect();
+
+    let mut table = Table::new(&[
+        "dead replicas",
+        "read ok",
+        "read latency (ms)",
+        "fail-overs",
+        "metalink fetches",
+        "served by",
+    ]);
+
+    for dead in 0..=3usize {
+        let tb = Testbed::start(TestbedConfig {
+            replicas: vec![
+                ("dpm-ch.cern.ch".to_string(), LinkSpec::lan()),
+                ("dpm-uk.gridpp.ac.uk".to_string(), LinkSpec::pan_european()),
+                ("dpm-us.bnl.gov".to_string(), LinkSpec::wan()),
+            ],
+            data: Bytes::from(data.clone()),
+            with_federation: true,
+            ..Default::default()
+        });
+        let _g = tb.net.enter();
+        let cfg = Config::default()
+            .no_retry()
+            .with_metalink_base(format!("http://{FED}/myfed").parse().unwrap());
+        let client = tb.davix_client(cfg);
+        let file = client.open_failover(&tb.url(0)).unwrap();
+
+        // Warm read, then kill.
+        let mut buf = vec![0u8; 64 * 1024];
+        file.pread(0, &mut buf).unwrap();
+        for host in tb.hosts.iter().take(dead) {
+            tb.net.set_host_down(host, true);
+        }
+
+        let t0 = tb.net.now();
+        let result = file.pread(500_000, &mut buf);
+        let elapsed = tb.net.now() - t0;
+        let m = client.metrics();
+        let (ok_cell, served_by) = match result {
+            Ok(_) => ("yes".to_string(), file.current_uri().host),
+            Err(e) => (format!("no ({e})"), "-".to_string()),
+        };
+        table.row(vec![
+            dead.to_string(),
+            ok_cell,
+            millis(elapsed),
+            m.failovers.to_string(),
+            m.metalinks_fetched.to_string(),
+            served_by,
+        ]);
+    }
+    table.print();
+    println!(
+        "\nclaim check: zero dead replicas costs zero extra (no metalink fetched);\n\
+         each dead replica adds probe + metalink latency but the read SUCCEEDS\n\
+         until all three are gone — the §2.4 guarantee."
+    );
+}

@@ -1,0 +1,179 @@
+//! # davix-bench — the harness that regenerates every figure and table
+//!
+//! One binary per paper artefact (see DESIGN.md §5 for the experiment
+//! index):
+//!
+//! | binary              | artefact | claim |
+//! |---------------------|----------|-------|
+//! | `fig1_pipelining`   | Fig. 1 + §2.2 | pipelining head-of-line blocking vs pool dispatch |
+//! | `fig2_pool`         | Fig. 2 + §2.2 | session recycling amortizes handshake + slow start |
+//! | `fig3_vectored`     | Fig. 3 + §2.3 | multi-range GET collapses N reads into 1 round trip |
+//! | `fig4_analysis`     | Fig. 4 (headline) | davix ≈ XRootD on LAN, XRootD ahead on WAN |
+//! | `tab5_failover`     | §2.4     | Metalink fail-over cost and guarantee |
+//! | `tab6_multistream`  | §2.4     | multi-stream bandwidth vs server load |
+//!
+//! All experiments run on virtual time: results are deterministic and a
+//! "300 ms" link costs nothing to simulate. Numbers are printed next to the
+//! paper's where the paper gives any.
+
+use std::time::Duration;
+
+/// A simple aligned text table for harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Render with per-column alignment.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            println!("{s}");
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Format a virtual duration in seconds with 2 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Format a virtual duration in milliseconds with 1 decimal.
+pub fn millis(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+pub mod rawhttp {
+    //! A deliberately *naive* HTTP client used as the baseline in F1/F2:
+    //! single connection, optional pipelining, no pooling — the behaviours
+    //! the paper argues against.
+
+    use httpwire::parse::{read_response_head, response_body_len, BodyReader};
+    use httpwire::{Method, RequestHead};
+    use netsim::{BoxedStream, SimNet};
+    use std::io::{BufReader, Write};
+    use std::time::Duration;
+
+    /// One keep-alive connection to `host:port` on a simulated net.
+    pub struct RawConn {
+        writer: BoxedStream,
+        reader: BufReader<BoxedStream>,
+    }
+
+    impl RawConn {
+        /// Connect.
+        pub fn open(net: &SimNet, from: &str, host: &str, port: u16) -> std::io::Result<RawConn> {
+            let stream = net.connect(from, host, port)?;
+            let writer = netsim::Stream::try_clone(&stream)?;
+            Ok(RawConn { writer, reader: BufReader::new(Box::new(stream)) })
+        }
+
+        /// Send one GET (does not read the response).
+        pub fn send_get(&mut self, host: &str, target: &str) -> std::io::Result<()> {
+            let mut head = RequestHead::new(Method::Get, target);
+            head.headers.set("Host", host);
+            self.writer.write_all(&head.to_bytes())
+        }
+
+        /// Read one full response body.
+        pub fn read_response(&mut self) -> std::io::Result<Vec<u8>> {
+            let head = read_response_head(&mut self.reader).map_err(std::io::Error::from)?;
+            let len = response_body_len(&Method::Get, &head);
+            BodyReader::new(&mut self.reader, len)
+                .read_all()
+                .map_err(std::io::Error::from)
+        }
+
+        /// Serial request/response on this connection.
+        pub fn get(&mut self, host: &str, target: &str) -> std::io::Result<Vec<u8>> {
+            self.send_get(host, target)?;
+            self.read_response()
+        }
+    }
+
+    /// Pipelined batch: write all requests, then read all responses in
+    /// order. Returns the completion (virtual) time of each response.
+    pub fn pipelined_batch(
+        net: &SimNet,
+        conn: &mut RawConn,
+        host: &str,
+        targets: &[String],
+    ) -> std::io::Result<Vec<Duration>> {
+        for t in targets {
+            conn.send_get(host, t)?;
+        }
+        let mut done = Vec::with_capacity(targets.len());
+        for _ in targets {
+            conn.read_response()?;
+            done.push(net.now());
+        }
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["x".into(), "123".into()]);
+        t.print();
+    }
+
+    #[test]
+    fn mean_std_math() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.50");
+        assert_eq!(millis(Duration::from_micros(2500)), "2.5");
+    }
+}

@@ -1,0 +1,51 @@
+//! The `davix` multi-command binary. All logic lives in the library
+//! ([`davix_cli`]); this file parses arguments, runs the command and maps
+//! errors to exit codes.
+
+use davix_cli::{exit_code, parse_args, real_client, run_command, start_server, CliError, Command, USAGE};
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&argv) {
+        Ok(cmd) => cmd,
+        Err(CliError::Usage(m)) if m == "help requested" => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("davix: {e}");
+            eprint!("{USAGE}");
+            std::process::exit(exit_code(&e));
+        }
+    };
+
+    if let Command::Serve { addr, root } = &cmd {
+        match start_server(addr, root.as_deref()) {
+            Ok((_node, local, loaded)) => {
+                eprintln!("davix: serving {loaded} preloaded object(s) on http://{local}/");
+                // Serve until interrupted.
+                loop {
+                    std::thread::park();
+                }
+            }
+            Err(e) => {
+                eprintln!("davix: {e}");
+                std::process::exit(exit_code(&e));
+            }
+        }
+    }
+
+    let client = real_client(davix::Config::default());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match run_command(&client, &cmd, &mut out) {
+        Ok(_) => {
+            let _ = out.flush();
+        }
+        Err(e) => {
+            eprintln!("davix: {e}");
+            std::process::exit(exit_code(&e));
+        }
+    }
+}

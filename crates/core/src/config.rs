@@ -1,0 +1,125 @@
+//! Client configuration.
+
+use httpwire::Uri;
+use std::time::Duration;
+
+/// How the client issues vectored reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangePolicy {
+    /// Pack fragments into one multi-range request; degrade gracefully when
+    /// the server answers with a single range or the full entity (default —
+    /// this is the §2.3 design).
+    MultiRange,
+    /// Never send multi-range: issue one single-range request per coalesced
+    /// fragment, dispatched in parallel through the session pool. (The
+    /// pre-davix state of the art; used as an ablation baseline.)
+    SingleRanges,
+}
+
+/// Retry behaviour for idempotent requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 = never retry).
+    pub retries: u32,
+    /// Base backoff between attempts (doubled each retry, virtual time).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { retries: 2, backoff: Duration::from_millis(50) }
+    }
+}
+
+/// Tunables of a [`DavixClient`](crate::DavixClient).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Idle keep-alive sessions kept per endpoint (Figure 2's pool).
+    pub max_idle_per_endpoint: usize,
+    /// Idle sessions older than this are discarded on checkout.
+    pub idle_session_ttl: Duration,
+    /// Connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-read inactivity timeout on responses.
+    pub io_timeout: Duration,
+    /// Maximum redirect hops before [`DavixError::RedirectLoop`](crate::DavixError).
+    pub max_redirects: u32,
+    /// Retry policy for idempotent requests.
+    pub retry: RetryPolicy,
+    /// Vectored-read strategy.
+    pub range_policy: RangePolicy,
+    /// Fragments closer than this many bytes are merged into one wire range
+    /// (reading a small gap is cheaper than another part header).
+    pub vector_merge_gap: u64,
+    /// Concurrency for the per-fragment fallback path of `pread_vec` and for
+    /// `SingleRanges` mode.
+    pub vector_fallback_parallelism: usize,
+    /// Where to fetch Metalinks: `Some(base)` queries
+    /// `{base}{path}?metalink` (a federation service); `None` asks the
+    /// resource's own origin (`{url}?metalink`).
+    pub metalink_base: Option<Uri>,
+    /// `User-Agent` header.
+    pub user_agent: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_idle_per_endpoint: 16,
+            idle_session_ttl: Duration::from_secs(60),
+            connect_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(120),
+            max_redirects: 8,
+            retry: RetryPolicy::default(),
+            range_policy: RangePolicy::MultiRange,
+            vector_merge_gap: 512,
+            vector_fallback_parallelism: 8,
+            metalink_base: None,
+            user_agent: "davix-rs/0.1".to_string(),
+        }
+    }
+}
+
+impl Config {
+    /// Disable retries (useful in tests that count requests).
+    pub fn no_retry(mut self) -> Self {
+        self.retry = RetryPolicy { retries: 0, backoff: Duration::ZERO };
+        self
+    }
+
+    /// Use the single-range ablation mode.
+    pub fn single_ranges(mut self) -> Self {
+        self.range_policy = RangePolicy::SingleRanges;
+        self
+    }
+
+    /// Point metalink discovery at a federation service.
+    pub fn with_metalink_base(mut self, base: Uri) -> Self {
+        self.metalink_base = Some(base);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.max_idle_per_endpoint >= 1);
+        assert!(c.max_redirects >= 1);
+        assert_eq!(c.range_policy, RangePolicy::MultiRange);
+        assert!(c.metalink_base.is_none());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = Config::default().no_retry().single_ranges();
+        assert_eq!(c.retry.retries, 0);
+        assert_eq!(c.range_policy, RangePolicy::SingleRanges);
+        let base: Uri = "http://fed.cern.ch/myfed".parse().unwrap();
+        let c = Config::default().with_metalink_base(base.clone());
+        assert_eq!(c.metalink_base, Some(base));
+    }
+}

@@ -1,0 +1,508 @@
+//! Request execution: pool checkout → write → parse → recycle, plus the
+//! retry and redirect policies.
+
+use crate::config::Config;
+use crate::error::{DavixError, Result};
+use crate::metrics::Metrics;
+use crate::pool::{Endpoint, SessionPool};
+use bytes::Bytes;
+use httpwire::parse::{read_response_head, response_body_len, BodyLen, BodyReader};
+use httpwire::{HeaderMap, Method, RequestHead, ResponseHead, Uri, Version, WireError};
+use netsim::{Connector, Runtime};
+use std::io::Write;
+use std::sync::Arc;
+
+/// A request ready for execution.
+#[derive(Debug, Clone)]
+pub struct PreparedRequest {
+    /// HTTP method.
+    pub method: Method,
+    /// Absolute target URI.
+    pub uri: Uri,
+    /// Extra headers (`Host`, `User-Agent`, `Content-Length` are added
+    /// automatically).
+    pub headers: HeaderMap,
+    /// Optional body.
+    pub body: Option<Bytes>,
+}
+
+impl PreparedRequest {
+    /// A bodyless request.
+    pub fn new(method: Method, uri: Uri) -> Self {
+        PreparedRequest { method, uri, headers: HeaderMap::new(), body: None }
+    }
+
+    /// GET.
+    pub fn get(uri: Uri) -> Self {
+        Self::new(Method::Get, uri)
+    }
+
+    /// HEAD.
+    pub fn head(uri: Uri) -> Self {
+        Self::new(Method::Head, uri)
+    }
+
+    /// PUT with a body.
+    pub fn put(uri: Uri, body: impl Into<Bytes>) -> Self {
+        let mut r = Self::new(Method::Put, uri);
+        r.body = Some(body.into());
+        r
+    }
+
+    /// Add a header (builder style).
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.set(name, value);
+        self
+    }
+}
+
+/// A fully-received response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status line + headers.
+    pub head: ResponseHead,
+    /// Entire body.
+    pub body: Vec<u8>,
+    /// URI that actually served the response (after redirects).
+    pub final_uri: Uri,
+}
+
+impl HttpResponse {
+    /// Error out unless the status is 2xx.
+    pub fn expect_success(self, context: &str) -> Result<HttpResponse> {
+        if self.head.status.is_success() {
+            Ok(self)
+        } else {
+            Err(DavixError::from_status(
+                self.head.status,
+                format!("{context} ({})", self.final_uri),
+            ))
+        }
+    }
+}
+
+/// Executes [`PreparedRequest`]s over a [`SessionPool`].
+pub struct HttpExecutor {
+    pool: SessionPool,
+    cfg: Config,
+    rt: Arc<dyn Runtime>,
+    metrics: Arc<Metrics>,
+}
+
+/// Cap on immediate retries against *stale* recycled sessions (a server that
+/// closes between our keep-alive checkout and our write).
+const MAX_STALE_RETRIES: u32 = 3;
+
+impl HttpExecutor {
+    /// Build an executor (and its pool) from transport + config.
+    pub fn new(
+        connector: Arc<dyn Connector>,
+        rt: Arc<dyn Runtime>,
+        cfg: Config,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let pool = SessionPool::new(
+            connector,
+            Arc::clone(&rt),
+            Arc::clone(&metrics),
+            cfg.max_idle_per_endpoint,
+            cfg.idle_session_ttl,
+            cfg.connect_timeout,
+            cfg.io_timeout,
+        );
+        HttpExecutor { pool, cfg, rt, metrics }
+    }
+
+    /// The shared metrics handle.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The runtime this executor schedules on.
+    pub fn runtime(&self) -> &Arc<dyn Runtime> {
+        &self.rt
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Direct pool access (benchmarks inspect idle counts).
+    pub fn pool(&self) -> &SessionPool {
+        &self.pool
+    }
+
+    /// Execute with redirects and retries per configuration.
+    pub fn execute(&self, req: &PreparedRequest) -> Result<HttpResponse> {
+        let mut uri = req.uri.clone();
+        let mut redirects = 0u32;
+        let mut attempts = 0u32;
+        let mut stale_retries = 0u32;
+        loop {
+            match self.try_once(req, &uri) {
+                Ok(resp) => {
+                    if resp.head.status.is_redirect() {
+                        if let Some(loc) = resp.head.headers.get("location") {
+                            redirects += 1;
+                            if redirects > self.cfg.max_redirects {
+                                return Err(DavixError::RedirectLoop(self.cfg.max_redirects));
+                            }
+                            Metrics::bump(&self.metrics.redirects);
+                            uri = uri.resolve_location(loc).map_err(DavixError::from)?;
+                            attempts = 0;
+                            continue;
+                        }
+                    }
+                    // 5xx on an idempotent request: retry within budget (the
+                    // server may recover — matches libdavix's behaviour).
+                    if resp.head.status.is_server_error()
+                        && req.method.is_idempotent()
+                        && attempts < self.cfg.retry.retries
+                    {
+                        attempts += 1;
+                        Metrics::bump(&self.metrics.retries);
+                        let backoff = self.cfg.retry.backoff * 2u32.saturating_pow(attempts - 1);
+                        if !backoff.is_zero() {
+                            self.rt.sleep(backoff);
+                        }
+                        continue;
+                    }
+                    return Ok(HttpResponse {
+                        head: resp.head,
+                        body: resp.body,
+                        final_uri: uri,
+                    });
+                }
+                Err(TryError { error, stale }) => {
+                    if stale && stale_retries < MAX_STALE_RETRIES {
+                        // The recycled connection had died under us; the
+                        // request never reached the application. Retry on a
+                        // fresh connection without burning retry budget.
+                        stale_retries += 1;
+                        continue;
+                    }
+                    let retryable =
+                        error.is_retryable() && req.method.is_idempotent();
+                    if retryable && attempts < self.cfg.retry.retries {
+                        attempts += 1;
+                        Metrics::bump(&self.metrics.retries);
+                        let backoff = self.cfg.retry.backoff * 2u32.saturating_pow(attempts - 1);
+                        if !backoff.is_zero() {
+                            self.rt.sleep(backoff);
+                        }
+                        continue;
+                    }
+                    return Err(error);
+                }
+            }
+        }
+    }
+
+    /// Execute and require 2xx.
+    pub fn execute_expect(&self, req: &PreparedRequest, context: &str) -> Result<HttpResponse> {
+        self.execute(req)?.expect_success(context)
+    }
+
+    fn try_once(&self, req: &PreparedRequest, uri: &Uri) -> std::result::Result<RawResponse, TryError> {
+        let ep = Endpoint::of(uri);
+        let mut session = self
+            .pool
+            .acquire(&ep)
+            .map_err(|error| TryError { error, stale: false })?;
+        let reused = session.reused;
+
+        // Serialize head + body into one buffer → one transport write → the
+        // whole request travels in one segment train.
+        let mut head = RequestHead::new(req.method.clone(), uri.request_target());
+        head.version = Version::Http11;
+        head.headers = req.headers.clone();
+        head.headers.set("Host", uri.authority());
+        head.headers.set("User-Agent", &self.cfg.user_agent);
+        if let Some(body) = &req.body {
+            head.headers.set("Content-Length", body.len().to_string());
+        }
+        let mut wire = head.to_bytes();
+        if let Some(body) = &req.body {
+            wire.extend_from_slice(body);
+        }
+
+        Metrics::bump(&self.metrics.requests);
+        Metrics::add(&self.metrics.bytes_out, wire.len() as u64);
+        session.note_request();
+
+        if let Err(e) = session.writer.write_all(&wire) {
+            self.pool.release(session, false);
+            return Err(TryError { error: e.into(), stale: reused });
+        }
+
+        let rhead = match read_response_head(&mut session.reader) {
+            Ok(h) => h,
+            Err(e) => {
+                self.pool.release(session, false);
+                let stale = reused && matches!(e, WireError::UnexpectedEof);
+                return Err(TryError { error: e.into(), stale });
+            }
+        };
+        let framing = response_body_len(&req.method, &rhead);
+        let body = match BodyReader::new(&mut session.reader, framing).read_all() {
+            Ok(b) => b,
+            Err(e) => {
+                self.pool.release(session, false);
+                return Err(TryError { error: e.into(), stale: false });
+            }
+        };
+        Metrics::add(&self.metrics.bytes_in, body.len() as u64);
+
+        let keep = rhead.headers.keep_alive(rhead.version == Version::Http11)
+            && framing != BodyLen::Close;
+        self.pool.release(session, keep);
+        Ok(RawResponse { head: rhead, body })
+    }
+}
+
+struct RawResponse {
+    head: ResponseHead,
+    body: Vec<u8>,
+}
+
+struct TryError {
+    error: DavixError,
+    stale: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use httpd::{HttpServer, Request, Response, ServerConfig};
+    use httpwire::StatusCode;
+    use netsim::{LinkSpec, SimNet};
+    use objstore::{ObjectStore, StorageNode, StorageOptions};
+    use std::time::Duration;
+
+    fn sim() -> SimNet {
+        let net = SimNet::new();
+        net.add_host("c");
+        net.add_host("s");
+        net.set_link("c", "s", LinkSpec { delay: Duration::from_millis(1), ..Default::default() });
+        net
+    }
+
+    fn executor(net: &SimNet, cfg: Config) -> HttpExecutor {
+        HttpExecutor::new(net.connector("c"), net.runtime(), cfg, Arc::new(Metrics::default()))
+    }
+
+    fn storage(net: &SimNet) -> Arc<ObjectStore> {
+        let store = Arc::new(ObjectStore::new());
+        store.put("/f", Bytes::from_static(b"hello world"));
+        StorageNode::start(
+            Arc::clone(&store),
+            Box::new(net.bind("s", 80).unwrap()),
+            net.runtime(),
+            StorageOptions::default(),
+            ServerConfig::default(),
+        );
+        store
+    }
+
+    #[test]
+    fn get_roundtrip_with_keepalive_reuse() {
+        let net = sim();
+        let _store = storage(&net);
+        let _g = net.enter();
+        let ex = executor(&net, Config::default());
+        for _ in 0..3 {
+            let resp = ex
+                .execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get /f")
+                .unwrap();
+            assert_eq!(resp.body, b"hello world");
+        }
+        let m = ex.metrics().snapshot();
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.sessions_created, 1, "keep-alive must recycle the session");
+        assert_eq!(m.sessions_reused, 2);
+    }
+
+    #[test]
+    fn not_found_maps_to_error() {
+        let net = sim();
+        let _store = storage(&net);
+        let _g = net.enter();
+        let ex = executor(&net, Config::default());
+        let err = ex
+            .execute_expect(&PreparedRequest::get("http://s/missing".parse().unwrap()), "get")
+            .unwrap_err();
+        assert!(matches!(err, DavixError::NotFound(_)));
+    }
+
+    #[test]
+    fn redirects_are_followed() {
+        let net = sim();
+        net.add_host("s2");
+        net.set_link("c", "s2", LinkSpec { delay: Duration::from_millis(1), ..Default::default() });
+        // s: redirector; s2: storage
+        let redirector = HttpServer::new(
+            Arc::new(|req: Request| {
+                Response::empty(StatusCode::FOUND)
+                    .header("Location", format!("http://s2{}", req.head.target))
+            }),
+            ServerConfig::default(),
+        );
+        redirector.serve(Box::new(net.bind("s", 80).unwrap()), net.runtime());
+        let store = Arc::new(ObjectStore::new());
+        store.put("/f", Bytes::from_static(b"via-redirect"));
+        StorageNode::start(
+            store,
+            Box::new(net.bind("s2", 80).unwrap()),
+            net.runtime(),
+            StorageOptions::default(),
+            ServerConfig::default(),
+        );
+        let _g = net.enter();
+        let ex = executor(&net, Config::default());
+        let resp = ex
+            .execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get")
+            .unwrap();
+        assert_eq!(resp.body, b"via-redirect");
+        assert_eq!(resp.final_uri.host, "s2");
+        assert_eq!(ex.metrics().snapshot().redirects, 1);
+    }
+
+    #[test]
+    fn redirect_loop_is_detected() {
+        let net = sim();
+        let looper = HttpServer::new(
+            Arc::new(|req: Request| {
+                Response::empty(StatusCode::FOUND).header("Location", req.head.target.clone())
+            }),
+            ServerConfig::default(),
+        );
+        looper.serve(Box::new(net.bind("s", 80).unwrap()), net.runtime());
+        let _g = net.enter();
+        let ex = executor(&net, Config { max_redirects: 4, ..Config::default() });
+        let err = ex.execute(&PreparedRequest::get("http://s/x".parse().unwrap())).unwrap_err();
+        assert!(matches!(err, DavixError::RedirectLoop(4)));
+    }
+
+    #[test]
+    fn stale_recycled_session_is_retried_transparently() {
+        let net = sim();
+        // Server closes every connection after one request.
+        let store = Arc::new(ObjectStore::new());
+        store.put("/f", Bytes::from_static(b"x"));
+        StorageNode::start(
+            store,
+            Box::new(net.bind("s", 80).unwrap()),
+            net.runtime(),
+            StorageOptions::default(),
+            ServerConfig { max_requests_per_conn: Some(1), ..Default::default() },
+        );
+        let _g = net.enter();
+        let ex = executor(&net, Config::default().no_retry());
+        for _ in 0..3 {
+            ex.execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get")
+                .unwrap();
+        }
+        // Connection-per-request server: the response advertises close, so
+        // davix should never even try to recycle (no stale retries burned).
+        let m = ex.metrics().snapshot();
+        assert_eq!(m.sessions_created, 3);
+        assert_eq!(m.retries, 0);
+    }
+
+    #[test]
+    fn server_errors_are_retried_for_idempotent_methods() {
+        let net = sim();
+        let store = Arc::new(ObjectStore::new());
+        store.put("/f", Bytes::from_static(b"ok"));
+        let node = StorageNode::start(
+            store,
+            Box::new(net.bind("s", 80).unwrap()),
+            net.runtime(),
+            StorageOptions::default(),
+            ServerConfig::default(),
+        );
+        node.handler.fail_next(2);
+        let _g = net.enter();
+        let ex = executor(
+            &net,
+            Config {
+                retry: crate::config::RetryPolicy { retries: 3, backoff: Duration::from_millis(1) },
+                ..Config::default()
+            },
+        );
+        let resp = ex
+            .execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get")
+            .unwrap();
+        assert_eq!(resp.body, b"ok");
+        assert_eq!(ex.metrics().snapshot().retries, 2);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_returns_last_error() {
+        let net = sim();
+        let store = Arc::new(ObjectStore::new());
+        store.put("/f", Bytes::from_static(b"ok"));
+        let node = StorageNode::start(
+            store,
+            Box::new(net.bind("s", 80).unwrap()),
+            net.runtime(),
+            StorageOptions::default(),
+            ServerConfig::default(),
+        );
+        node.handler.fail_next(10);
+        let _g = net.enter();
+        let ex = executor(
+            &net,
+            Config {
+                retry: crate::config::RetryPolicy { retries: 1, backoff: Duration::ZERO },
+                ..Config::default()
+            },
+        );
+        let err = ex
+            .execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get")
+            .unwrap_err();
+        assert!(matches!(err, DavixError::Http { status, .. } if status == StatusCode::INTERNAL_SERVER_ERROR));
+    }
+
+    #[test]
+    fn put_and_delete_roundtrip() {
+        let net = sim();
+        let store = storage(&net);
+        let _g = net.enter();
+        let ex = executor(&net, Config::default());
+        let resp = ex
+            .execute_expect(
+                &PreparedRequest::put("http://s/new".parse().unwrap(), &b"data"[..]),
+                "put",
+            )
+            .unwrap();
+        assert_eq!(resp.head.status, StatusCode::CREATED);
+        assert_eq!(store.get("/new").unwrap().data.as_ref(), b"data");
+        let resp = ex
+            .execute_expect(
+                &PreparedRequest::new(Method::Delete, "http://s/new".parse().unwrap()),
+                "delete",
+            )
+            .unwrap();
+        assert_eq!(resp.head.status, StatusCode::NO_CONTENT);
+        assert!(store.get("/new").is_none());
+    }
+
+    #[test]
+    fn connection_refused_surfaces_after_retries() {
+        let net = sim();
+        let _g = net.enter();
+        let ex = executor(
+            &net,
+            Config {
+                retry: crate::config::RetryPolicy { retries: 1, backoff: Duration::ZERO },
+                ..Config::default()
+            },
+        );
+        let err = ex.execute(&PreparedRequest::get("http://s/f".parse().unwrap())).unwrap_err();
+        assert!(matches!(err, DavixError::Connection(_)));
+        assert_eq!(ex.metrics().snapshot().retries, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Client-wide counters. Benchmarks difference these to report the paper's
+//! key quantities: requests, round trips, connection reuse.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared by all components of one client.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests written to the wire (including retries and redirects).
+    pub requests: AtomicU64,
+    /// Requests that were retried after a failure.
+    pub retries: AtomicU64,
+    /// Redirect hops followed.
+    pub redirects: AtomicU64,
+    /// New TCP sessions established.
+    pub sessions_created: AtomicU64,
+    /// Sessions checked out from the idle pool (recycled).
+    pub sessions_reused: AtomicU64,
+    /// Idle sessions dropped (TTL or pool overflow).
+    pub sessions_discarded: AtomicU64,
+    /// Response body bytes received.
+    pub bytes_in: AtomicU64,
+    /// Request bytes sent (heads + bodies).
+    pub bytes_out: AtomicU64,
+    /// Multi-range (vectored) GETs issued.
+    pub vectored_requests: AtomicU64,
+    /// Vectored reads that had to fall back to per-fragment requests.
+    pub vector_fallbacks: AtomicU64,
+    /// Metalink documents fetched.
+    pub metalinks_fetched: AtomicU64,
+    /// Replica fail-overs performed.
+    pub failovers: AtomicU64,
+}
+
+macro_rules! snapshot_fields {
+    ($self:ident, $($f:ident),+ $(,)?) => {
+        MetricsSnapshot { $($f: $self.$f.load(Ordering::Relaxed)),+ }
+    };
+}
+
+impl Metrics {
+    /// Add one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Plain-value copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        snapshot_fields!(
+            self,
+            requests,
+            retries,
+            redirects,
+            sessions_created,
+            sessions_reused,
+            sessions_discarded,
+            bytes_in,
+            bytes_out,
+            vectored_requests,
+            vector_fallbacks,
+            metalinks_fetched,
+            failovers,
+        )
+    }
+}
+
+/// Value snapshot of [`Metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct MetricsSnapshot {
+    pub requests: u64,
+    pub retries: u64,
+    pub redirects: u64,
+    pub sessions_created: u64,
+    pub sessions_reused: u64,
+    pub sessions_discarded: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub vectored_requests: u64,
+    pub vector_fallbacks: u64,
+    pub metalinks_fetched: u64,
+    pub failovers: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests - earlier.requests,
+            retries: self.retries - earlier.retries,
+            redirects: self.redirects - earlier.redirects,
+            sessions_created: self.sessions_created - earlier.sessions_created,
+            sessions_reused: self.sessions_reused - earlier.sessions_reused,
+            sessions_discarded: self.sessions_discarded - earlier.sessions_discarded,
+            bytes_in: self.bytes_in - earlier.bytes_in,
+            bytes_out: self.bytes_out - earlier.bytes_out,
+            vectored_requests: self.vectored_requests - earlier.vectored_requests,
+            vector_fallbacks: self.vector_fallbacks - earlier.vector_fallbacks,
+            metalinks_fetched: self.metalinks_fetched - earlier.metalinks_fetched,
+            failovers: self.failovers - earlier.failovers,
+        }
+    }
+
+    /// Fraction of session checkouts served from the pool.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.sessions_created + self.sessions_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.sessions_reused as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let m = Metrics::default();
+        Metrics::bump(&m.requests);
+        Metrics::add(&m.bytes_in, 100);
+        let a = m.snapshot();
+        assert_eq!(a.requests, 1);
+        assert_eq!(a.bytes_in, 100);
+        Metrics::bump(&m.requests);
+        let d = m.snapshot().since(&a);
+        assert_eq!(d.requests, 1);
+        assert_eq!(d.bytes_in, 0);
+    }
+
+    #[test]
+    fn reuse_ratio() {
+        let s = MetricsSnapshot { sessions_created: 1, sessions_reused: 3, ..Default::default() };
+        assert!((s.reuse_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(MetricsSnapshot::default().reuse_ratio(), 0.0);
+    }
+}

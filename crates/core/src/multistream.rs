@@ -1,0 +1,240 @@
+//! Multi-stream downloads (§2.4, the "multi-stream" strategy).
+//!
+//! Split an entity into chunks and fetch them in parallel from *several
+//! replicas at once*. Maximizes client-side bandwidth and inherits the
+//! fail-over resilience (a chunk that fails on one replica is retried on
+//! another), at the cost the paper is upfront about: higher server load
+//! (more connections per client).
+
+use crate::client::DavixClient;
+use crate::error::{DavixError, Result};
+use crate::file::DavFile;
+use crate::metrics::Metrics;
+use httpwire::Uri;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Tuning for [`multistream_download`].
+#[derive(Debug, Clone)]
+pub struct MultistreamOptions {
+    /// Total parallel streams across all replicas.
+    pub streams: usize,
+    /// Chunk size in bytes.
+    pub chunk_size: usize,
+    /// Give up after this many total chunk failures.
+    pub max_chunk_failures: usize,
+}
+
+impl Default for MultistreamOptions {
+    fn default() -> Self {
+        MultistreamOptions { streams: 4, chunk_size: 4 * 1024 * 1024, max_chunk_failures: 64 }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<(u64, usize)>>,
+    out: Mutex<DownloadState>,
+}
+
+struct DownloadState {
+    buf: Vec<u8>,
+    remaining_chunks: usize,
+    failures: usize,
+    fatal: Option<DavixError>,
+}
+
+/// Download a whole entity from `replicas` using `opts.streams` parallel
+/// streams, round-robining streams over replicas. Returns the assembled
+/// bytes.
+///
+/// Replicas that fail are abandoned by their streams; their chunks return to
+/// the queue for the surviving streams. The download fails only when every
+/// stream has died or the failure budget is exhausted.
+pub fn multistream_download(
+    client: &DavixClient,
+    replicas: &[Uri],
+    opts: &MultistreamOptions,
+) -> Result<Vec<u8>> {
+    if replicas.is_empty() {
+        return Err(DavixError::InvalidArgument("no replicas given".to_string()));
+    }
+    if opts.streams == 0 || opts.chunk_size == 0 {
+        return Err(DavixError::InvalidArgument("streams and chunk_size must be > 0".to_string()));
+    }
+
+    // Find the size from the first replica that answers.
+    let mut size = None;
+    let mut last_err = None;
+    for uri in replicas {
+        match DavFile::open(Arc::clone(&client.inner), uri.clone()) {
+            Ok(f) => {
+                size = Some(f.size_hint()?);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let size = size.ok_or_else(|| DavixError::AllReplicasFailed {
+        tried: replicas.len(),
+        last: Box::new(last_err.unwrap_or_else(|| DavixError::Metalink("unreachable".into()))),
+    })?;
+
+    let mut chunks: VecDeque<(u64, usize)> = VecDeque::new();
+    let mut off = 0u64;
+    while off < size {
+        let len = opts.chunk_size.min((size - off) as usize);
+        chunks.push_back((off, len));
+        off += len as u64;
+    }
+    let n_chunks = chunks.len();
+    if n_chunks == 0 {
+        return Ok(Vec::new());
+    }
+
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(chunks),
+        out: Mutex::new(DownloadState {
+            buf: vec![0u8; size as usize],
+            remaining_chunks: n_chunks,
+            failures: 0,
+            fatal: None,
+        }),
+    });
+    let done = client.inner.executor.runtime().signal();
+    let live_streams = Arc::new(Mutex::new(0usize));
+    let rt = Arc::clone(client.inner.executor.runtime());
+
+    let streams = opts.streams.min(n_chunks).max(1);
+    *live_streams.lock() = streams;
+    for s in 0..streams {
+        let uri = replicas[s % replicas.len()].clone();
+        let client = client.clone();
+        let shared = Arc::clone(&shared);
+        let done = Arc::clone(&done);
+        let live = Arc::clone(&live_streams);
+        let max_failures = opts.max_chunk_failures;
+        rt.spawn(
+            &format!("davix-stream-{s}"),
+            Box::new(move || {
+                stream_worker(client, uri, shared, &done, &live, max_failures);
+            }),
+        );
+    }
+
+    done.wait(None);
+    let mut st = shared.out.lock();
+    if let Some(e) = st.fatal.take() {
+        return Err(e);
+    }
+    if st.remaining_chunks > 0 {
+        return Err(DavixError::AllReplicasFailed {
+            tried: replicas.len(),
+            last: Box::new(DavixError::Metalink("all streams died".to_string())),
+        });
+    }
+    Ok(std::mem::take(&mut st.buf))
+}
+
+/// Resolve `url`'s Metalink, multi-stream-download from its replicas, and
+/// **verify the result against the Metalink checksum** when one is declared
+/// (§2.4 lists the checksum among the Metalink metadata; real davix checks
+/// it). `crc32` and `adler32` digests are understood; unknown algorithms are
+/// ignored. Returns [`DavixError::ChecksumMismatch`] on corruption.
+pub fn multistream_download_verified(
+    client: &DavixClient,
+    url: &str,
+    opts: &MultistreamOptions,
+) -> Result<Vec<u8>> {
+    let origin = client.parse_url(url)?;
+    let set = crate::replicas::fetch_replica_set(&client.inner, &origin)?;
+    let data = multistream_download(client, &set.uris, opts)?;
+    if let Some(size) = set.size {
+        if data.len() as u64 != size {
+            return Err(DavixError::Protocol(format!(
+                "metalink declares {size} bytes, downloaded {}",
+                data.len()
+            )));
+        }
+    }
+    for (algo, expected) in &set.hashes {
+        let got = match algo.as_str() {
+            "crc32" => ioapi::checksum::to_hex(ioapi::checksum::crc32(&data)),
+            "adler32" => ioapi::checksum::to_hex(ioapi::checksum::adler32(&data)),
+            _ => continue, // unknown algorithm: cannot verify, skip
+        };
+        if got != expected.to_ascii_lowercase() {
+            return Err(DavixError::ChecksumMismatch {
+                algo: algo.clone(),
+                expected: expected.clone(),
+                got,
+            });
+        }
+    }
+    Ok(data)
+}
+
+fn stream_worker(
+    client: DavixClient,
+    uri: Uri,
+    shared: Arc<Shared>,
+    done: &Arc<dyn netsim::Signal>,
+    live: &Arc<Mutex<usize>>,
+    max_failures: usize,
+) {
+    // Each stream opens its own DavFile → its own pooled connections.
+    let file = DavFile::open(Arc::clone(&client.inner), uri).ok();
+    loop {
+        let chunk = shared.queue.lock().pop_front();
+        let Some((off, len)) = chunk else { break };
+        let result = match &file {
+            Some(f) => {
+                let mut buf = vec![0u8; len];
+                f.pread(off, &mut buf).map(|n| {
+                    buf.truncate(n);
+                    buf
+                })
+            }
+            None => Err(DavixError::Metalink("replica unreachable".to_string())),
+        };
+        match result {
+            Ok(data) if data.len() == len => {
+                let mut st = shared.out.lock();
+                st.buf[off as usize..off as usize + len].copy_from_slice(&data);
+                st.remaining_chunks -= 1;
+                if st.remaining_chunks == 0 {
+                    done.set();
+                }
+            }
+            Ok(_) | Err(_) => {
+                // Chunk failed on this replica: requeue for other streams,
+                // then kill this stream (its replica is suspect).
+                let fatal = {
+                    let mut st = shared.out.lock();
+                    st.failures += 1;
+                    Metrics::bump(&client.inner.executor.metrics().failovers);
+                    if st.failures > max_failures {
+                        st.fatal = Some(DavixError::Metalink(
+                            "multistream failure budget exhausted".to_string(),
+                        ));
+                        true
+                    } else {
+                        false
+                    }
+                };
+                shared.queue.lock().push_back((off, len));
+                if fatal {
+                    done.set();
+                }
+                break;
+            }
+        }
+    }
+    let mut l = live.lock();
+    *l -= 1;
+    if *l == 0 {
+        // Last stream out: if work remains, nobody will do it — wake the
+        // caller so it can report failure instead of hanging.
+        done.set();
+    }
+}

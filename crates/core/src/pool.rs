@@ -1,0 +1,307 @@
+//! The dynamic connection pool with session recycling (paper §2.2, Fig. 2).
+//!
+//! Calling threads *dispatch* requests by checking a session out of the pool
+//! (one per endpoint stack), using it, and returning it if the response
+//! allowed keep-alive. Reuse keeps the TCP congestion window warm — the
+//! measured benefit is the F2 experiment.
+
+use crate::error::{DavixError, Result};
+use crate::metrics::Metrics;
+use httpwire::Uri;
+use netsim::{BoxedStream, Connector, Runtime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pool key: where a session is connected to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// URI scheme (pool separates http/https).
+    pub scheme: String,
+    /// Host name.
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Endpoint of a URI.
+    pub fn of(uri: &Uri) -> Endpoint {
+        Endpoint { scheme: uri.scheme.clone(), host: uri.host.clone(), port: uri.port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}://{}:{}", self.scheme, self.host, self.port)
+    }
+}
+
+/// A checked-out keep-alive session: buffered reader + writer clone of one
+/// connection, plus bookkeeping.
+pub struct Session {
+    pub(crate) reader: BufReader<BoxedStream>,
+    pub(crate) writer: BoxedStream,
+    /// Whether this session came from the idle pool (stale-retry heuristics).
+    pub(crate) reused: bool,
+    endpoint: Endpoint,
+    last_used: Duration,
+    requests_served: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("endpoint", &self.endpoint)
+            .field("reused", &self.reused)
+            .field("requests_served", &self.requests_served)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Requests already sent over this session.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    pub(crate) fn note_request(&mut self) {
+        self.requests_served += 1;
+    }
+}
+
+/// Thread-safe session pool keyed by endpoint.
+pub struct SessionPool {
+    connector: Arc<dyn Connector>,
+    rt: Arc<dyn Runtime>,
+    metrics: Arc<Metrics>,
+    max_idle_per_endpoint: usize,
+    idle_ttl: Duration,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    idle: Mutex<HashMap<Endpoint, Vec<Session>>>,
+}
+
+impl SessionPool {
+    /// Build a pool.
+    pub fn new(
+        connector: Arc<dyn Connector>,
+        rt: Arc<dyn Runtime>,
+        metrics: Arc<Metrics>,
+        max_idle_per_endpoint: usize,
+        idle_ttl: Duration,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> Self {
+        SessionPool {
+            connector,
+            rt,
+            metrics,
+            max_idle_per_endpoint,
+            idle_ttl,
+            connect_timeout,
+            io_timeout,
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Check out a session: recycle the most recently returned idle session
+    /// for the endpoint, or open a fresh connection.
+    pub fn acquire(&self, ep: &Endpoint) -> Result<Session> {
+        let now = self.rt.now();
+        {
+            let mut idle = self.idle.lock();
+            if let Some(stack) = idle.get_mut(ep) {
+                // LIFO: the most recently used session has the warmest cwnd.
+                while let Some(s) = stack.pop() {
+                    if now.saturating_sub(s.last_used) <= self.idle_ttl {
+                        Metrics::bump(&self.metrics.sessions_reused);
+                        let mut s = s;
+                        s.reused = true;
+                        return Ok(s);
+                    }
+                    Metrics::bump(&self.metrics.sessions_discarded);
+                    // drop: connection closes (FIN) on drop of the streams
+                }
+            }
+        }
+        self.connect(ep)
+    }
+
+    fn connect(&self, ep: &Endpoint) -> Result<Session> {
+        let mut stream = self
+            .connector
+            .connect(&ep.host, ep.port, Some(self.connect_timeout))
+            .map_err(DavixError::from)?;
+        stream.set_read_timeout(Some(self.io_timeout)).map_err(DavixError::from)?;
+        let writer = stream.try_clone().map_err(DavixError::from)?;
+        Metrics::bump(&self.metrics.sessions_created);
+        Ok(Session {
+            reader: BufReader::with_capacity(32 * 1024, stream),
+            writer,
+            reused: false,
+            endpoint: ep.clone(),
+            last_used: self.rt.now(),
+            requests_served: 0,
+        })
+    }
+
+    /// Return a session. `reusable = false` (response forbade keep-alive, or
+    /// an error corrupted the stream) drops the connection instead.
+    pub fn release(&self, mut session: Session, reusable: bool) {
+        if !reusable {
+            Metrics::bump(&self.metrics.sessions_discarded);
+            return;
+        }
+        session.last_used = self.rt.now();
+        session.reused = false;
+        let mut idle = self.idle.lock();
+        let stack = idle.entry(session.endpoint.clone()).or_default();
+        stack.push(session);
+        if stack.len() > self.max_idle_per_endpoint {
+            // Evict the oldest (bottom of the LIFO stack).
+            stack.remove(0);
+            Metrics::bump(&self.metrics.sessions_discarded);
+        }
+    }
+
+    /// Number of idle sessions currently pooled for an endpoint.
+    pub fn idle_count(&self, ep: &Endpoint) -> usize {
+        self.idle.lock().get(ep).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Drop every idle session.
+    pub fn clear(&self) {
+        self.idle.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkSpec, SimNet};
+    use std::io::Read;
+
+    fn setup() -> (SimNet, SessionPool, Endpoint, Arc<Metrics>) {
+        let net = SimNet::new();
+        net.add_host("c");
+        net.add_host("s");
+        net.set_link("c", "s", LinkSpec { delay: Duration::from_millis(1), ..Default::default() });
+        let listener = net.bind("s", 80).unwrap();
+        net.spawn("echo-server", move || loop {
+            match listener.accept_sim() {
+                Ok((_s, _)) => { /* hold the connection open */ }
+                Err(_) => return,
+            }
+        });
+        let metrics = Arc::new(Metrics::default());
+        let pool = SessionPool::new(
+            net.connector("c"),
+            net.runtime(),
+            Arc::clone(&metrics),
+            2,
+            Duration::from_secs(10),
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+        );
+        let ep = Endpoint { scheme: "http".into(), host: "s".into(), port: 80 };
+        (net, pool, ep, metrics)
+    }
+
+    #[test]
+    fn acquire_creates_then_recycles() {
+        let (net, pool, ep, metrics) = setup();
+        let _g = net.enter();
+        let s1 = pool.acquire(&ep).unwrap();
+        assert!(!s1.reused);
+        pool.release(s1, true);
+        assert_eq!(pool.idle_count(&ep), 1);
+        let s2 = pool.acquire(&ep).unwrap();
+        assert!(s2.reused, "second checkout must recycle");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.sessions_created, 1);
+        assert_eq!(snap.sessions_reused, 1);
+    }
+
+    #[test]
+    fn non_reusable_sessions_are_dropped() {
+        let (net, pool, ep, _m) = setup();
+        let _g = net.enter();
+        let s = pool.acquire(&ep).unwrap();
+        pool.release(s, false);
+        assert_eq!(pool.idle_count(&ep), 0);
+        let s2 = pool.acquire(&ep).unwrap();
+        assert!(!s2.reused);
+    }
+
+    #[test]
+    fn pool_caps_idle_sessions() {
+        let (net, pool, ep, metrics) = setup();
+        let _g = net.enter();
+        let sessions: Vec<Session> = (0..4).map(|_| pool.acquire(&ep).unwrap()).collect();
+        for s in sessions {
+            pool.release(s, true);
+        }
+        assert_eq!(pool.idle_count(&ep), 2, "max_idle_per_endpoint honoured");
+        assert_eq!(metrics.snapshot().sessions_discarded, 2);
+    }
+
+    #[test]
+    fn ttl_discards_stale_sessions() {
+        let (net, pool, ep, metrics) = setup();
+        let _g = net.enter();
+        let s = pool.acquire(&ep).unwrap();
+        pool.release(s, true);
+        net.sleep(Duration::from_secs(11)); // > idle_ttl
+        let s2 = pool.acquire(&ep).unwrap();
+        assert!(!s2.reused, "stale session must not be recycled");
+        assert_eq!(metrics.snapshot().sessions_discarded, 1);
+    }
+
+    #[test]
+    fn connect_failure_is_reported() {
+        let (net, pool, _ep, _m) = setup();
+        let _g = net.enter();
+        let bad = Endpoint { scheme: "http".into(), host: "s".into(), port: 81 };
+        let err = pool.acquire(&bad).unwrap_err();
+        assert!(matches!(err, DavixError::Connection(_)));
+    }
+
+    #[test]
+    fn sessions_really_share_a_connection() {
+        // A recycled session keeps talking on the same TCP stream: write on
+        // the writer half, observe on the server side of the same conn.
+        let net = SimNet::new();
+        net.add_host("c");
+        net.add_host("s");
+        let listener = net.bind("s", 80).unwrap();
+        net.spawn("server", move || {
+            let (mut s, _) = listener.accept_sim().unwrap();
+            let mut buf = [0u8; 2];
+            s.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"ab");
+        });
+        let metrics = Arc::new(Metrics::default());
+        let pool = SessionPool::new(
+            net.connector("c"),
+            net.runtime(),
+            metrics,
+            4,
+            Duration::from_secs(10),
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+        );
+        let ep = Endpoint { scheme: "http".into(), host: "s".into(), port: 80 };
+        let _g = net.enter();
+        let mut s1 = pool.acquire(&ep).unwrap();
+        std::io::Write::write_all(&mut s1.writer, b"a").unwrap();
+        pool.release(s1, true);
+        let mut s2 = pool.acquire(&ep).unwrap();
+        std::io::Write::write_all(&mut s2.writer, b"b").unwrap();
+        // server asserts it sees "ab" on one connection
+        net.sleep(Duration::from_millis(50));
+        assert_eq!(net.stats().conns_created, 1);
+    }
+}

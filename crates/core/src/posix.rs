@@ -1,0 +1,156 @@
+//! POSIX-flavoured namespace API, mirroring libdavix's `DavPosix`
+//! (`stat` / `opendir` / `mkdir` / `unlink` / whole-object get & put).
+
+use crate::client::ClientInner;
+use crate::error::{DavixError, Result};
+use crate::executor::PreparedRequest;
+use httpwire::{Method, StatusCode, Uri};
+use std::sync::Arc;
+
+/// Stat result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStat {
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// Whether the entry is a directory/collection.
+    pub is_dir: bool,
+    /// ETag when the server provided one.
+    pub etag: Option<String>,
+}
+
+/// One directory entry from [`DavPosix::opendir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (last path segment).
+    pub name: String,
+    /// Whether it is a collection.
+    pub is_dir: bool,
+    /// Size in bytes (0 for collections).
+    pub size: u64,
+}
+
+/// POSIX-like façade over the executor.
+pub struct DavPosix {
+    inner: Arc<ClientInner>,
+}
+
+impl DavPosix {
+    pub(crate) fn new(inner: Arc<ClientInner>) -> DavPosix {
+        DavPosix { inner }
+    }
+
+    fn uri(&self, url: &str) -> Result<Uri> {
+        url.parse().map_err(DavixError::from)
+    }
+
+    /// Stat a remote path (HEAD; falls back to PROPFIND depth 0 for
+    /// directories, which HEAD reports as 403).
+    pub fn stat(&self, url: &str) -> Result<FileStat> {
+        let uri = self.uri(url)?;
+        let resp = self.inner.executor.execute(&PreparedRequest::head(uri.clone()))?;
+        match resp.head.status {
+            s if s.is_success() => Ok(FileStat {
+                size: resp.head.headers.content_length().unwrap_or(0),
+                is_dir: false,
+                etag: resp.head.headers.get("etag").map(str::to_string),
+            }),
+            StatusCode::FORBIDDEN => {
+                // Probably a directory; confirm via PROPFIND depth 0.
+                let req = PreparedRequest::new(Method::Propfind, uri).header("Depth", "0");
+                let resp = self.inner.executor.execute_expect(&req, "stat dir")?;
+                let _ = resp;
+                Ok(FileStat { size: 0, is_dir: true, etag: None })
+            }
+            s => Err(DavixError::from_status(s, format!("stat {url}"))),
+        }
+    }
+
+    /// List a directory (PROPFIND depth 1).
+    pub fn opendir(&self, url: &str) -> Result<Vec<DirEntry>> {
+        let uri = self.uri(url)?;
+        let base_path = uri.decoded_path();
+        let req = PreparedRequest::new(Method::Propfind, uri).header("Depth", "1");
+        let resp = self.inner.executor.execute_expect(&req, "opendir")?;
+        let text = String::from_utf8_lossy(&resp.body);
+        let doc = metalink::xml::parse(&text)
+            .map_err(|e| DavixError::Protocol(format!("bad PROPFIND body: {e}")))?;
+        let mut entries = Vec::new();
+        for r in doc.find_all("response") {
+            let href = r
+                .find("href")
+                .map(|h| h.text())
+                .ok_or_else(|| DavixError::Protocol("response without href".to_string()))?;
+            let href = href.trim_end_matches('/');
+            // Skip the directory itself.
+            if href == base_path.trim_end_matches('/') {
+                continue;
+            }
+            let name = href.rsplit('/').next().unwrap_or(href).to_string();
+            let prop = r.find("propstat").and_then(|ps| ps.find("prop"));
+            let is_dir = prop
+                .and_then(|p| p.find("resourcetype"))
+                .map(|rt| rt.find("collection").is_some())
+                .unwrap_or(false);
+            let size = prop
+                .and_then(|p| p.find("getcontentlength"))
+                .and_then(|l| l.text().trim().parse().ok())
+                .unwrap_or(0);
+            entries.push(DirEntry { name, is_dir, size });
+        }
+        Ok(entries)
+    }
+
+    /// Create a directory (MKCOL).
+    pub fn mkdir(&self, url: &str) -> Result<()> {
+        let uri = self.uri(url)?;
+        self.inner
+            .executor
+            .execute_expect(&PreparedRequest::new(Method::Mkcol, uri), "mkdir")
+            .map(|_| ())
+    }
+
+    /// Delete an object (DELETE).
+    pub fn unlink(&self, url: &str) -> Result<()> {
+        let uri = self.uri(url)?;
+        self.inner
+            .executor
+            .execute_expect(&PreparedRequest::new(Method::Delete, uri), "unlink")
+            .map(|_| ())
+    }
+
+    /// Fetch a whole object.
+    pub fn get(&self, url: &str) -> Result<Vec<u8>> {
+        let uri = self.uri(url)?;
+        Ok(self
+            .inner
+            .executor
+            .execute_expect(&PreparedRequest::get(uri), "get")?
+            .body)
+    }
+
+    /// Store a whole object (PUT).
+    pub fn put(&self, url: &str, data: impl Into<bytes::Bytes>) -> Result<()> {
+        let uri = self.uri(url)?;
+        self.inner
+            .executor
+            .execute_expect(&PreparedRequest::put(uri, data.into()), "put")
+            .map(|_| ())
+    }
+
+    /// Rename an object (WebDAV MOVE, RFC 4918 §9.9 — `davix-mv`). Both
+    /// URLs must point at the same server; the destination is passed in the
+    /// `Destination` header.
+    pub fn rename(&self, from_url: &str, to_url: &str) -> Result<()> {
+        let from = self.uri(from_url)?;
+        let to = self.uri(to_url)?;
+        if from.host != to.host || from.port != to.port {
+            return Err(DavixError::InvalidArgument(format!(
+                "rename cannot cross servers ({} -> {})",
+                from.host, to.host
+            )));
+        }
+        let req =
+            PreparedRequest::new(Method::Move, from).header("Destination", to.to_string());
+        self.inner.executor.execute_expect(&req, "rename").map(|_| ())
+    }
+}

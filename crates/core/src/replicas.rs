@@ -1,0 +1,285 @@
+//! Metalink-driven replica fail-over (§2.4, the default "fail-over"
+//! strategy).
+//!
+//! A [`ReplicaFile`] behaves like a [`DavFile`], but when an operation fails
+//! with a replica-eligible error it (lazily, once) fetches the resource's
+//! Metalink, then walks the replica list — blacklisting dead replicas — until
+//! the operation succeeds or every replica has failed. The paper's guarantee:
+//! *a read succeeds as long as one replica is reachable and referenced.*
+
+use crate::client::ClientInner;
+use crate::error::{DavixError, Result};
+use crate::executor::PreparedRequest;
+use crate::file::DavFile;
+use crate::metrics::Metrics;
+use httpwire::Uri;
+use ioapi::{IoStats, IoStatsSnapshot, RandomAccess};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A remote file with transparent Metalink fail-over.
+pub struct ReplicaFile {
+    inner: Arc<ClientInner>,
+    origin: Uri,
+    state: Mutex<State>,
+    io: IoStats,
+}
+
+struct State {
+    /// Replica URIs in priority order; populated on first failure (or at
+    /// open when the origin itself is down).
+    replicas: Option<Vec<Uri>>,
+    /// Index into `replicas` of the replica currently in use (when resolved).
+    current: usize,
+    /// The open file on the current replica.
+    file: Option<DavFile>,
+}
+
+impl ReplicaFile {
+    /// Open `origin`, falling back to replicas immediately if the origin is
+    /// unreachable.
+    pub(crate) fn new(inner: Arc<ClientInner>, origin: Uri) -> Result<ReplicaFile> {
+        let rf = ReplicaFile {
+            inner,
+            origin,
+            state: Mutex::new(State { replicas: None, current: 0, file: None }),
+            io: IoStats::default(),
+        };
+        // Force an open so size is known; fail-over may already kick in here.
+        rf.with_file(|f| f.size_hint())?;
+        Ok(rf)
+    }
+
+    /// The origin URL this file was opened from.
+    pub fn origin(&self) -> &Uri {
+        &self.origin
+    }
+
+    /// URI of the replica currently serving reads.
+    pub fn current_uri(&self) -> Uri {
+        let st = self.state.lock();
+        st.file.as_ref().map(|f| f.uri().clone()).unwrap_or_else(|| self.origin.clone())
+    }
+
+    /// Entity size (from whichever replica answered first).
+    pub fn size_hint(&self) -> Result<u64> {
+        self.with_file(|f| f.size_hint())
+    }
+
+    /// Positional read with fail-over.
+    pub fn pread(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let cell = parking_lot::Mutex::new(buf);
+        let n = self.with_file(|f| f.pread(offset, &mut cell.lock()[..]))?;
+        self.io.record_read(n as u64, 1);
+        Ok(n)
+    }
+
+    /// Vectored read with fail-over.
+    pub fn pread_vec(&self, fragments: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        let out = self.with_file(|f| f.pread_vec(fragments))?;
+        let bytes: u64 = out.iter().map(|v| v.len() as u64).sum();
+        self.io.record_vector_read(bytes, 1);
+        Ok(out)
+    }
+
+    /// Run `op` against the current replica, failing over on eligible errors
+    /// until the replica list is exhausted.
+    fn with_file<T>(&self, op: impl Fn(&DavFile) -> Result<T>) -> Result<T> {
+        let mut tried = 0usize;
+        let mut last_err: Option<DavixError> = None;
+        loop {
+            // Ensure an open file (may itself fail → treated like op failure).
+            let open_result: Result<()> = {
+                let mut st = self.state.lock();
+                if st.file.is_none() {
+                    let uri = match &st.replicas {
+                        None => self.origin.clone(),
+                        Some(reps) => reps
+                            .get(st.current)
+                            .cloned()
+                            .ok_or_else(|| DavixError::AllReplicasFailed {
+                                tried,
+                                last: Box::new(last_err.take().unwrap_or_else(|| {
+                                    DavixError::Metalink("no replicas".to_string())
+                                })),
+                            })?,
+                    };
+                    match DavFile::open(Arc::clone(&self.inner), uri) {
+                        Ok(f) => {
+                            st.file = Some(f);
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                } else {
+                    Ok(())
+                }
+            };
+
+            let result: Result<T> = match open_result {
+                Ok(()) => {
+                    let st = self.state.lock();
+                    let f = st.file.as_ref().expect("file opened above");
+                    op(f)
+                }
+                Err(e) => Err(e),
+            };
+
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_failover_candidate() => {
+                    tried += 1;
+                    last_err = Some(e);
+                    Metrics::bump(&self.inner.executor.metrics().failovers);
+                    self.advance(&mut last_err, tried)?
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Move to the next untried replica, resolving the Metalink on first use.
+    fn advance(&self, last_err: &mut Option<DavixError>, tried: usize) -> Result<()> {
+        let mut st = self.state.lock();
+        st.file = None;
+        if st.replicas.is_none() {
+            match self.fetch_metalink() {
+                Ok(reps) => {
+                    // Skip the origin we already tried if it leads the list.
+                    let start = if reps.first().map(|u| u == &self.origin).unwrap_or(false) {
+                        1
+                    } else {
+                        0
+                    };
+                    st.replicas = Some(reps);
+                    st.current = start;
+                }
+                Err(e) => {
+                    return Err(DavixError::AllReplicasFailed {
+                        tried,
+                        last: Box::new(
+                            last_err.take().unwrap_or(e),
+                        ),
+                    });
+                }
+            }
+        } else {
+            st.current += 1;
+        }
+        let exhausted = st
+            .replicas
+            .as_ref()
+            .map(|r| st.current >= r.len())
+            .unwrap_or(true);
+        if exhausted {
+            return Err(DavixError::AllReplicasFailed {
+                tried,
+                last: Box::new(last_err.take().unwrap_or_else(|| {
+                    DavixError::Metalink("replica list exhausted".to_string())
+                })),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetch and parse the Metalink for the origin resource.
+    fn fetch_metalink(&self) -> Result<Vec<Uri>> {
+        fetch_replicas(&self.inner, &self.origin)
+    }
+
+    /// I/O counters for this file.
+    pub fn io_stats(&self) -> IoStatsSnapshot {
+        self.io.snapshot()
+    }
+}
+
+/// A resolved Metalink: replica URIs plus the verification metadata the
+/// paper's §2.4 lists ("name, size, checksum, signature and location").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSet {
+    /// Replica URIs in priority order (non-HTTP replicas skipped).
+    pub uris: Vec<Uri>,
+    /// Entity size, when the Metalink declares one.
+    pub size: Option<u64>,
+    /// `(algorithm, lowercase-hex)` checksums, when declared.
+    pub hashes: Vec<(String, String)>,
+}
+
+impl ReplicaSet {
+    /// The declared digest for `algo` (case-insensitive), if any.
+    pub fn hash(&self, algo: &str) -> Option<&str> {
+        self.hashes
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(algo))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Fetch and parse the Metalink for `origin`, returning replica URIs in
+/// priority order. Honours [`Config::metalink_base`]: with a federation base
+/// the Metalink comes from the federation service, otherwise from the
+/// resource's own origin (`{url}?metalink`).
+///
+/// [`Config::metalink_base`]: crate::config::Config::metalink_base
+pub(crate) fn fetch_replicas(inner: &Arc<ClientInner>, origin: &Uri) -> Result<Vec<Uri>> {
+    fetch_replica_set(inner, origin).map(|set| set.uris)
+}
+
+/// As [`fetch_replicas`], but keeping size and checksum metadata.
+pub(crate) fn fetch_replica_set(inner: &Arc<ClientInner>, origin: &Uri) -> Result<ReplicaSet> {
+    let target = match &inner.cfg.metalink_base {
+        Some(base) => {
+            let mut u = base.clone();
+            u.path = format!("{}{}", base.path.trim_end_matches('/'), origin.path);
+            u.query = Some("metalink".to_string());
+            u
+        }
+        None => {
+            let mut u = origin.clone();
+            u.query = Some("metalink".to_string());
+            u
+        }
+    };
+    let resp = inner.executor.execute_expect(&PreparedRequest::get(target), "metalink fetch")?;
+    Metrics::bump(&inner.executor.metrics().metalinks_fetched);
+    let text = String::from_utf8_lossy(&resp.body);
+    let doc =
+        metalink::Metalink::parse(&text).map_err(|e| DavixError::Metalink(e.to_string()))?;
+    let file = doc
+        .files
+        .first()
+        .ok_or_else(|| DavixError::Metalink("empty metalink".to_string()))?;
+    let mut uris = Vec::new();
+    for u in file.sorted_urls() {
+        match u.url.parse::<Uri>() {
+            Ok(uri) => uris.push(uri),
+            Err(_) => continue, // skip non-HTTP replicas (e.g. xroot://)
+        }
+    }
+    if uris.is_empty() {
+        return Err(DavixError::Metalink("no usable replica urls".to_string()));
+    }
+    Ok(ReplicaSet {
+        uris,
+        size: file.size,
+        hashes: file.hashes.iter().map(|h| (h.algo.clone(), h.value.clone())).collect(),
+    })
+}
+
+impl RandomAccess for ReplicaFile {
+    fn size(&self) -> std::io::Result<u64> {
+        self.size_hint().map_err(std::io::Error::from)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.pread(offset, buf).map_err(std::io::Error::from)
+    }
+
+    fn read_vec(&self, fragments: &[(u64, usize)]) -> std::io::Result<Vec<Vec<u8>>> {
+        self.pread_vec(fragments).map_err(std::io::Error::from)
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        self.io.snapshot()
+    }
+}

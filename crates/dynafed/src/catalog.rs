@@ -1,0 +1,229 @@
+//! The replica catalogue: which storage endpoints hold which resources.
+
+use metalink::{MetaFile, Metalink, UrlRef};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One replica of a resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replica {
+    /// Absolute URL of the replica.
+    pub url: String,
+    /// Priority (1 = preferred).
+    pub priority: u32,
+    /// Optional location tag (for Metalink `location=`).
+    pub location: Option<String>,
+    /// Liveness as last observed (health monitor or manual marking).
+    pub alive: bool,
+}
+
+impl Replica {
+    /// A live replica.
+    pub fn new(url: impl Into<String>, priority: u32) -> Replica {
+        Replica { url: url.into(), priority, location: None, alive: true }
+    }
+
+    /// Attach a location tag (builder style).
+    pub fn location(mut self, loc: impl Into<String>) -> Replica {
+        self.location = Some(loc.into());
+        self
+    }
+}
+
+/// Path → replicas, with liveness. All methods are thread-safe.
+#[derive(Debug, Default)]
+pub struct ReplicaCatalog {
+    entries: RwLock<HashMap<String, FileEntry>>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FileEntry {
+    size: Option<u64>,
+    /// `(algo, lowercase-hex)` pairs served in Metalink `<hash>` elements.
+    hashes: Vec<(String, String)>,
+    replicas: Vec<Replica>,
+}
+
+impl ReplicaCatalog {
+    /// Empty catalogue.
+    pub fn new() -> Self {
+        ReplicaCatalog::default()
+    }
+
+    /// Register a replica of `path` (appends; duplicates by URL are replaced).
+    pub fn register(&self, path: &str, replica: Replica) {
+        let mut entries = self.entries.write();
+        let e = entries.entry(path.to_string()).or_default();
+        e.replicas.retain(|r| r.url != replica.url);
+        e.replicas.push(replica);
+        e.replicas.sort_by_key(|r| r.priority);
+    }
+
+    /// Record the entity size (served in Metalinks).
+    pub fn set_size(&self, path: &str, size: u64) {
+        self.entries.write().entry(path.to_string()).or_default().size = Some(size);
+    }
+
+    /// Record a content checksum (served as a Metalink `<hash>` — the §2.4
+    /// metadata clients use to verify downloads). Replaces an existing entry
+    /// of the same algorithm.
+    pub fn set_hash(&self, path: &str, algo: &str, hex: impl Into<String>) {
+        let mut entries = self.entries.write();
+        let e = entries.entry(path.to_string()).or_default();
+        let algo_lc = algo.to_ascii_lowercase();
+        e.hashes.retain(|(a, _)| *a != algo_lc);
+        e.hashes.push((algo_lc, hex.into()));
+    }
+
+    /// All replicas of `path` (live and dead), priority-sorted.
+    pub fn replicas(&self, path: &str) -> Vec<Replica> {
+        self.entries.read().get(path).map(|e| e.replicas.clone()).unwrap_or_default()
+    }
+
+    /// Live replicas only.
+    pub fn live_replicas(&self, path: &str) -> Vec<Replica> {
+        self.replicas(path).into_iter().filter(|r| r.alive).collect()
+    }
+
+    /// Mark every replica whose URL contains `host_fragment` up or down
+    /// (health monitor uses host names; tests can use full URLs).
+    pub fn mark_host(&self, host_fragment: &str, alive: bool) {
+        let mut entries = self.entries.write();
+        for e in entries.values_mut() {
+            for r in &mut e.replicas {
+                if r.url.contains(host_fragment) {
+                    r.alive = alive;
+                }
+            }
+        }
+    }
+
+    /// Every distinct host mentioned in the catalogue (for health probing):
+    /// `(host, port)` pairs.
+    pub fn hosts(&self) -> Vec<(String, u16)> {
+        let entries = self.entries.read();
+        let mut hosts = std::collections::BTreeSet::new();
+        for e in entries.values() {
+            for r in &e.replicas {
+                if let Ok(uri) = r.url.parse::<httpwire::Uri>() {
+                    hosts.insert((uri.host, uri.port));
+                }
+            }
+        }
+        hosts.into_iter().collect()
+    }
+
+    /// Build the RFC 5854 Metalink for `path` from the live replicas.
+    /// `None` when the path is unknown or has no live replicas.
+    pub fn metalink(&self, path: &str) -> Option<Metalink> {
+        let entries = self.entries.read();
+        let e = entries.get(path)?;
+        let live: Vec<&Replica> = e.replicas.iter().filter(|r| r.alive).collect();
+        if live.is_empty() {
+            return None;
+        }
+        let mut f = MetaFile::new(path.trim_start_matches('/'));
+        f.size = e.size;
+        for (algo, hex) in &e.hashes {
+            f.hashes.push(metalink::Hash { algo: algo.clone(), value: hex.clone() });
+        }
+        for r in live {
+            let mut u = UrlRef::new(r.url.clone()).priority(r.priority);
+            if let Some(loc) = &r.location {
+                u = u.location(loc.clone());
+            }
+            f.add_url(u);
+        }
+        Some(Metalink::single(f))
+    }
+
+    /// Number of catalogued paths.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_sorts_and_dedups() {
+        let c = ReplicaCatalog::new();
+        c.register("/f", Replica::new("http://b/f", 2));
+        c.register("/f", Replica::new("http://a/f", 1));
+        c.register("/f", Replica::new("http://b/f", 3)); // replaces priority 2
+        let reps = c.replicas("/f");
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].url, "http://a/f");
+        assert_eq!(reps[1].priority, 3);
+    }
+
+    #[test]
+    fn liveness_filtering() {
+        let c = ReplicaCatalog::new();
+        c.register("/f", Replica::new("http://a/f", 1));
+        c.register("/f", Replica::new("http://b/f", 2));
+        c.mark_host("a", false);
+        let live = c.live_replicas("/f");
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].url, "http://b/f");
+        c.mark_host("a", true);
+        assert_eq!(c.live_replicas("/f").len(), 2);
+    }
+
+    #[test]
+    fn metalink_generation() {
+        let c = ReplicaCatalog::new();
+        c.register("/data/f.root", Replica::new("http://a/data/f.root", 1).location("ch"));
+        c.register("/data/f.root", Replica::new("http://b/data/f.root", 2));
+        c.set_size("/data/f.root", 700_000_000);
+        let ml = c.metalink("/data/f.root").unwrap();
+        let f = &ml.files[0];
+        assert_eq!(f.size, Some(700_000_000));
+        assert_eq!(f.urls.len(), 2);
+        assert_eq!(f.sorted_urls()[0].location.as_deref(), Some("ch"));
+        // XML roundtrip sanity
+        let xml = ml.to_xml();
+        assert!(metalink::Metalink::parse(&xml).is_ok());
+    }
+
+    #[test]
+    fn metalink_includes_hashes() {
+        let c = ReplicaCatalog::new();
+        c.register("/f", Replica::new("http://a/f", 1));
+        c.set_hash("/f", "CRC32", "cbf43926");
+        c.set_hash("/f", "adler32", "11e60398");
+        c.set_hash("/f", "crc32", "deadbeef"); // replaces, case-insensitively
+        let ml = c.metalink("/f").unwrap();
+        let f = &ml.files[0];
+        assert_eq!(f.hash("crc32"), Some("deadbeef"));
+        assert_eq!(f.hash("adler32"), Some("11e60398"));
+        // And they survive the XML roundtrip.
+        let back = metalink::Metalink::parse(&ml.to_xml()).unwrap();
+        assert_eq!(back.files[0].hash("crc32"), Some("deadbeef"));
+    }
+
+    #[test]
+    fn metalink_is_none_for_unknown_or_dead() {
+        let c = ReplicaCatalog::new();
+        assert!(c.metalink("/nope").is_none());
+        c.register("/f", Replica::new("http://a/f", 1));
+        c.mark_host("a", false);
+        assert!(c.metalink("/f").is_none());
+    }
+
+    #[test]
+    fn hosts_are_collected() {
+        let c = ReplicaCatalog::new();
+        c.register("/f", Replica::new("http://a:8080/f", 1));
+        c.register("/g", Replica::new("http://b/g", 1));
+        c.register("/h", Replica::new("not a url", 1));
+        assert_eq!(c.hosts(), vec![("a".to_string(), 8080), ("b".to_string(), 80)]);
+    }
+}

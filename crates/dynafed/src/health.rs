@@ -1,0 +1,127 @@
+//! Replica health probing.
+//!
+//! DynaFed keeps its view of endpoint liveness fresh by probing; we do the
+//! same with a minimal HTTP `OPTIONS` ping per host on a runtime thread.
+
+use crate::catalog::ReplicaCatalog;
+use httpwire::{Method, RequestHead};
+use netsim::{Connector, Runtime};
+use std::io::{BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Background health monitor. Stop it with [`HealthMonitor::stop`]; it exits
+/// at the next tick.
+pub struct HealthMonitor {
+    stop: Arc<AtomicBool>,
+}
+
+impl HealthMonitor {
+    /// Start probing every host in `catalog` each `interval`. A host is
+    /// *alive* when a TCP connect + `OPTIONS /` gets any HTTP response.
+    pub fn start(
+        catalog: Arc<ReplicaCatalog>,
+        connector: Arc<dyn Connector>,
+        rt: Arc<dyn Runtime>,
+        interval: Duration,
+        rounds: Option<u32>,
+    ) -> HealthMonitor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let rt2 = Arc::clone(&rt);
+        rt.spawn("dynafed-health", Box::new(move || {
+            let mut round = 0u32;
+            loop {
+                if stop2.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(max) = rounds {
+                    if round >= max {
+                        return;
+                    }
+                }
+                round += 1;
+                for (host, port) in catalog.hosts() {
+                    let alive = probe(connector.as_ref(), &host, port);
+                    catalog.mark_host(&host, alive);
+                }
+                rt2.sleep(interval);
+            }
+        }));
+        HealthMonitor { stop }
+    }
+
+    /// Ask the monitor to exit at its next tick.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One OPTIONS probe; any well-formed HTTP answer counts as alive.
+fn probe(connector: &dyn Connector, host: &str, port: u16) -> bool {
+    let Ok(mut stream) = connector.connect(host, port, Some(Duration::from_secs(2))) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut head = RequestHead::new(Method::Options, "/");
+    head.headers.set("Host", host);
+    head.headers.set("Connection", "close");
+    if stream.write_all(&head.to_bytes()).is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    httpwire::parse::read_response_head(&mut reader).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Replica;
+    use bytes::Bytes;
+    use httpd::ServerConfig;
+    use netsim::{LinkSpec, SimNet};
+    use objstore::{ObjectStore, StorageNode, StorageOptions};
+
+    #[test]
+    fn monitor_flips_liveness_both_ways() {
+        let net = SimNet::new();
+        net.add_host("fed");
+        net.add_host("dpm1");
+        net.set_link("fed", "dpm1", LinkSpec { delay: Duration::from_millis(1), ..Default::default() });
+        let store = Arc::new(ObjectStore::new());
+        store.put("/f", Bytes::from_static(b"x"));
+        StorageNode::start(
+            store,
+            Box::new(net.bind("dpm1", 80).unwrap()),
+            net.runtime(),
+            StorageOptions::default(),
+            ServerConfig::default(),
+        );
+
+        let catalog = Arc::new(ReplicaCatalog::new());
+        catalog.register("/f", Replica::new("http://dpm1/f", 1));
+        catalog.mark_host("dpm1", false); // start pessimistic
+
+        let monitor = HealthMonitor::start(
+            Arc::clone(&catalog),
+            net.connector("fed"),
+            net.runtime(),
+            Duration::from_millis(100),
+            Some(2),
+        );
+
+        let _g = net.enter();
+        net.sleep(Duration::from_millis(50));
+        assert!(
+            !catalog.live_replicas("/f").is_empty(),
+            "first probe round should mark dpm1 alive"
+        );
+
+        // Take the host down; the second round must notice.
+        net.set_host_down("dpm1", true);
+        net.sleep(Duration::from_millis(150));
+        assert!(catalog.live_replicas("/f").is_empty(), "second probe should mark dpm1 dead");
+        monitor.stop();
+    }
+}

@@ -1,0 +1,25 @@
+//! # httpd — an embeddable threaded HTTP/1.1 server
+//!
+//! The server side of the reproduction: storage nodes (`objstore`) and the
+//! federation service (`dynafed`) mount [`Handler`]s on this server and run
+//! it over either the simulated network or real TCP (anything implementing
+//! [`netsim::Listener`]).
+//!
+//! Protocol behaviour is deliberately *spec-faithful* rather than clever:
+//!
+//! * **keep-alive** per RFC 7230 §6.3 (HTTP/1.1 persistent by default,
+//!   `Connection: close` honoured, optional server-imposed request cap to
+//!   emulate the "aggressive pipeline interruptions" the paper complains
+//!   about);
+//! * **pipelining**: requests are read and answered strictly in order on a
+//!   connection — which is exactly what gives HTTP/1.1 pipelining its
+//!   head-of-line blocking problem (§2.2, Figure 1). The F1 experiment
+//!   measures this server doing precisely that;
+//! * responses carry `Content-Length` and are written with a single
+//!   `write_all`, mirroring sendfile-style servers.
+
+pub mod router;
+pub mod server;
+
+pub use router::Router;
+pub use server::{Handler, HttpServer, Request, Response, ServerConfig, ServerStats};

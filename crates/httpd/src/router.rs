@@ -1,0 +1,93 @@
+//! Longest-prefix path router for composing handlers on one server
+//! (a storage namespace under `/dpm/`, a metalink service under `/fed/`, …).
+
+use crate::{Handler, Request, Response};
+use httpwire::StatusCode;
+use std::sync::Arc;
+
+/// Routes requests to the handler with the longest matching path prefix.
+pub struct Router {
+    routes: Vec<(String, Arc<dyn Handler>)>,
+    fallback: Arc<dyn Handler>,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router {
+    /// Empty router answering 404 to everything.
+    pub fn new() -> Self {
+        Router {
+            routes: Vec::new(),
+            fallback: Arc::new(|_req: Request| Response::error(StatusCode::NOT_FOUND)),
+        }
+    }
+
+    /// Mount `handler` under `prefix` (builder style).
+    pub fn mount(mut self, prefix: &str, handler: Arc<dyn Handler>) -> Self {
+        self.routes.push((prefix.to_string(), handler));
+        // Longest prefix first.
+        self.routes.sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
+        self
+    }
+
+    /// Replace the 404 fallback.
+    pub fn fallback(mut self, handler: Arc<dyn Handler>) -> Self {
+        self.fallback = handler;
+        self
+    }
+}
+
+impl Handler for Router {
+    fn handle(&self, req: Request) -> Response {
+        let path = req.head.path();
+        for (prefix, h) in &self.routes {
+            if path.starts_with(prefix.as_str()) {
+                return h.handle(req);
+            }
+        }
+        self.fallback.handle(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpwire::{Method, RequestHead};
+
+    fn req(path: &str) -> Request {
+        Request { head: RequestHead::new(Method::Get, path), body: Vec::new(), peer: "t".into() }
+    }
+
+    fn tag(s: &'static str) -> Arc<dyn Handler> {
+        Arc::new(move |_req: Request| Response::text(StatusCode::OK, s))
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let r = Router::new().mount("/a/", tag("short")).mount("/a/b/", tag("long"));
+        assert_eq!(r.handle(req("/a/b/c")).body.as_ref(), b"long");
+        assert_eq!(r.handle(req("/a/x")).body.as_ref(), b"short");
+    }
+
+    #[test]
+    fn fallback_is_404_by_default() {
+        let r = Router::new().mount("/a/", tag("a"));
+        assert_eq!(r.handle(req("/nope")).status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn custom_fallback() {
+        let r = Router::new().fallback(tag("fb"));
+        assert_eq!(r.handle(req("/whatever")).body.as_ref(), b"fb");
+    }
+
+    #[test]
+    fn query_does_not_affect_matching() {
+        let r = Router::new().mount("/data/", tag("d"));
+        assert_eq!(r.handle(req("/data/f?metalink")).body.as_ref(), b"d");
+    }
+}

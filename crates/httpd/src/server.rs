@@ -1,0 +1,503 @@
+//! Connection handling, request dispatch and response writing.
+
+use bytes::Bytes;
+use httpwire::parse::{read_request_head, request_body_len, BodyReader};
+use httpwire::{date, HeaderMap, RequestHead, StatusCode, Version};
+use netsim::{Listener, Runtime};
+use std::io::{BufReader, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fully-read inbound request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request line and headers.
+    pub head: RequestHead,
+    /// Request body (empty for bodyless methods).
+    pub body: Vec<u8>,
+    /// Peer name as reported by the transport.
+    pub peer: String,
+}
+
+impl Request {
+    /// Percent-decoded path.
+    pub fn decoded_path(&self) -> String {
+        httpwire::uri::percent_decode(self.head.path())
+    }
+}
+
+/// An outbound response: status, headers and an in-memory body.
+///
+/// Bodies are `Bytes`, so handlers can hand out zero-copy slices of stored
+/// objects.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Response headers (`Content-Length`, `Date`, `Server` are added at
+    /// write time).
+    pub headers: HeaderMap,
+    /// Body payload.
+    pub body: Bytes,
+    /// Force-close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// Empty-bodied response.
+    pub fn empty(status: StatusCode) -> Self {
+        Response { status, headers: HeaderMap::new(), body: Bytes::new(), close: false }
+    }
+
+    /// Response with a body and content type.
+    pub fn with_body(status: StatusCode, content_type: &str, body: impl Into<Bytes>) -> Self {
+        let mut r = Response::empty(status);
+        r.headers.set("Content-Type", content_type);
+        r.body = body.into();
+        r
+    }
+
+    /// `text/plain` convenience.
+    pub fn text(status: StatusCode, s: impl Into<String>) -> Self {
+        Response::with_body(status, "text/plain", s.into().into_bytes())
+    }
+
+    /// Plain-status error with the reason as body.
+    pub fn error(status: StatusCode) -> Self {
+        Response::text(status, status.reason().to_string())
+    }
+
+    /// Add a header (builder style).
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.set(name, value);
+        self
+    }
+}
+
+/// Request handler mounted on a server.
+pub trait Handler: Send + Sync {
+    /// Produce the response for one request.
+    fn handle(&self, req: Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request) -> Response + Send + Sync,
+{
+    fn handle(&self, req: Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server tuning and fault-injection knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Close the connection after this many requests (emulates servers that
+    /// interrupt long-lived connections; `None` = unlimited).
+    pub max_requests_per_conn: Option<u64>,
+    /// Virtual CPU/disk time spent on each request before the handler runs.
+    pub process_delay: Duration,
+    /// Idle timeout on keep-alive connections.
+    pub idle_timeout: Option<Duration>,
+    /// Advertise and speak HTTP/1.0 semantics (no persistent connections
+    /// unless asked) — the "old server" baseline in the F2 experiment.
+    pub http10: bool,
+    /// Server name advertised in the `Server` header.
+    pub name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_requests_per_conn: None,
+            process_delay: Duration::ZERO,
+            idle_timeout: Some(Duration::from_secs(60)),
+            http10: false,
+            name: "dpm-sim/0.1".to_string(),
+        }
+    }
+}
+
+/// Aggregate server counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests served.
+    pub requests: AtomicU64,
+    /// Responses that closed the connection.
+    pub closes: AtomicU64,
+}
+
+impl ServerStats {
+    /// (connections, requests) snapshot.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.connections.load(Ordering::Relaxed), self.requests.load(Ordering::Relaxed))
+    }
+}
+
+/// The server: a handler plus configuration, servable on any listener.
+pub struct HttpServer {
+    handler: Arc<dyn Handler>,
+    cfg: ServerConfig,
+    stats: Arc<ServerStats>,
+    stopping: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Create a server around `handler`.
+    pub fn new(handler: Arc<dyn Handler>, cfg: ServerConfig) -> Arc<Self> {
+        Arc::new(HttpServer {
+            handler,
+            cfg,
+            stats: Arc::new(ServerStats::default()),
+            stopping: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Ask accept loops to wind down (close the listener separately to
+    /// unblock a pending accept).
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+    }
+
+    /// Run the accept loop on `listener`, spawning one runtime thread per
+    /// connection. Returns immediately; the loop runs on a runtime thread.
+    pub fn serve(self: &Arc<Self>, listener: Box<dyn Listener>, rt: Arc<dyn Runtime>) {
+        let server = Arc::clone(self);
+        let rt2 = Arc::clone(&rt);
+        rt.spawn("httpd-accept", Box::new(move || {
+            let mut conn_id = 0u64;
+            loop {
+                if server.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (stream, peer) = match listener.accept() {
+                    Ok(x) => x,
+                    Err(_) => return, // listener closed
+                };
+                conn_id += 1;
+                server.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let server2 = Arc::clone(&server);
+                let rt3 = Arc::clone(&rt2);
+                rt2.spawn(
+                    &format!("httpd-conn-{conn_id}"),
+                    Box::new(move || server2.handle_connection(stream, peer, &rt3)),
+                );
+            }
+        }));
+    }
+
+    fn handle_connection(
+        &self,
+        mut stream: netsim::BoxedStream,
+        peer: String,
+        rt: &Arc<dyn Runtime>,
+    ) {
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        if let Some(t) = self.cfg.idle_timeout {
+            let _ = stream.set_read_timeout(Some(t));
+        }
+        let mut reader = BufReader::with_capacity(16 * 1024, stream);
+        let mut served = 0u64;
+        loop {
+            let head = match read_request_head(&mut reader) {
+                Ok(Some(h)) => h,
+                Ok(None) => return, // clean close
+                Err(_) => return,   // parse error / timeout / reset
+            };
+            let body = match request_body_len(&head) {
+                Ok(len) => match BodyReader::new(&mut reader, len).read_all() {
+                    Ok(b) => b,
+                    Err(_) => return,
+                },
+                Err(_) => {
+                    let resp = Response::error(StatusCode::BAD_REQUEST);
+                    let _ = self.write_response(&mut writer, &head, resp, true);
+                    return;
+                }
+            };
+
+            if !self.cfg.process_delay.is_zero() {
+                rt.sleep(self.cfg.process_delay);
+            }
+
+            served += 1;
+            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+
+            let req = Request { head: head.clone(), body, peer: peer.clone() };
+            let resp = self.handler.handle(req);
+
+            let client_keep_alive =
+                head.headers.keep_alive(head.version == Version::Http11) && !self.cfg.http10;
+            let cap_hit = self
+                .cfg
+                .max_requests_per_conn
+                .map(|cap| served >= cap)
+                .unwrap_or(false);
+            let close = resp.close || !client_keep_alive || cap_hit;
+
+            if self.write_response(&mut writer, &head, resp, close).is_err() {
+                return;
+            }
+            if close {
+                self.stats.closes.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Serialize and send a response in a single `write_all`.
+    fn write_response(
+        &self,
+        w: &mut netsim::BoxedStream,
+        req_head: &RequestHead,
+        resp: Response,
+        close: bool,
+    ) -> std::io::Result<()> {
+        let mut head = httpwire::ResponseHead::new(resp.status);
+        head.version = if self.cfg.http10 { Version::Http10 } else { Version::Http11 };
+        head.headers = resp.headers;
+        head.headers.set("Server", &self.cfg.name);
+        head.headers.set("Date", date::format_http_date(date::unix_now()));
+        // HEAD responses advertise the length they *would* have carried.
+        let body_is_suppressed = req_head.method == httpwire::Method::Head
+            || resp.status.0 == 204
+            || resp.status.0 == 304;
+        if !head.headers.contains("content-length") {
+            head.headers.set("Content-Length", resp.body.len().to_string());
+        }
+        if close {
+            head.headers.set("Connection", "close");
+        } else if self.cfg.http10 {
+            head.headers.set("Connection", "keep-alive");
+        }
+        let mut out = head.to_bytes();
+        if !body_is_suppressed {
+            out.extend_from_slice(&resp.body);
+        }
+        w.write_all(&out)?;
+        w.flush()
+    }
+}
+
+/// Read one full response from `r` (test helper shared by this crate's tests
+/// and integration tests downstream).
+pub fn read_full_response(
+    r: &mut impl std::io::BufRead,
+    req_method: &httpwire::Method,
+) -> Result<(httpwire::ResponseHead, Vec<u8>), httpwire::WireError> {
+    let head = httpwire::parse::read_response_head(r)?;
+    let len = httpwire::parse::response_body_len(req_method, &head);
+    let body = BodyReader::new(r, len).read_all()?;
+    Ok((head, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpwire::Method;
+    use netsim::{LinkSpec, SimNet};
+    use std::io::BufReader;
+
+    fn echo_server() -> Arc<HttpServer> {
+        HttpServer::new(
+            Arc::new(|req: Request| {
+                let mut body = format!("{} {}", req.head.method, req.head.target).into_bytes();
+                if !req.body.is_empty() {
+                    body.extend_from_slice(b" body=");
+                    body.extend_from_slice(&req.body);
+                }
+                Response::with_body(StatusCode::OK, "text/plain", body)
+            }),
+            ServerConfig::default(),
+        )
+    }
+
+    fn sim_pair() -> (SimNet, Arc<dyn Runtime>) {
+        let net = SimNet::new();
+        net.add_host("client");
+        net.add_host("server");
+        net.set_link("client", "server", LinkSpec { delay: Duration::from_millis(1), bandwidth: None, ..Default::default() });
+        let rt = net.runtime() as Arc<dyn Runtime>;
+        (net, rt)
+    }
+
+    fn send(
+        stream: &mut impl Write,
+        method: Method,
+        target: &str,
+        body: Option<&[u8]>,
+    ) -> RequestHead {
+        let mut h = RequestHead::new(method, target);
+        h.headers.set("Host", "server");
+        if let Some(b) = body {
+            h.headers.set("Content-Length", b.len().to_string());
+        }
+        let mut bytes = h.to_bytes();
+        if let Some(b) = body {
+            bytes.extend_from_slice(b);
+        }
+        stream.write_all(&bytes).unwrap();
+        h
+    }
+
+    #[test]
+    fn serves_basic_request() {
+        let (net, rt) = sim_pair();
+        let server = echo_server();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let mut c = net.connect("client", "server", 80).unwrap();
+        send(&mut c, Method::Get, "/hello", None);
+        let mut r = BufReader::new(c);
+        let (head, body) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert_eq!(head.status, StatusCode::OK);
+        assert_eq!(body, b"GET /hello");
+        assert!(head.headers.contains("date"));
+        assert!(head.headers.contains("server"));
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let (net, rt) = sim_pair();
+        let server = echo_server();
+        let stats = server.stats();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        let mut r = BufReader::new(c);
+        for i in 0..5 {
+            send(&mut w, Method::Get, &format!("/r{i}"), None);
+            let (head, body) = read_full_response(&mut r, &Method::Get).unwrap();
+            assert_eq!(head.status, StatusCode::OK);
+            assert_eq!(body, format!("GET /r{i}").as_bytes());
+            assert!(!head.headers.connection_has("close"));
+        }
+        let (conns, reqs) = stats.snapshot();
+        assert_eq!((conns, reqs), (1, 5));
+    }
+
+    #[test]
+    fn put_body_reaches_handler() {
+        let (net, rt) = sim_pair();
+        let server = echo_server();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let mut c = net.connect("client", "server", 80).unwrap();
+        send(&mut c, Method::Put, "/obj", Some(b"payload"));
+        let mut r = BufReader::new(c);
+        let (_, body) = read_full_response(&mut r, &Method::Put).unwrap();
+        assert_eq!(body, b"PUT /obj body=payload");
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let (net, rt) = sim_pair();
+        let server = echo_server();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        let mut h = RequestHead::new(Method::Get, "/x");
+        h.headers.set("Host", "server");
+        h.headers.set("Connection", "close");
+        w.write_all(&h.to_bytes()).unwrap();
+        let mut r = BufReader::new(c);
+        let (head, _) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert!(head.headers.connection_has("close"));
+        // Next read sees EOF: server closed.
+        let mut buf = [0u8; 1];
+        assert_eq!(std::io::Read::read(&mut r, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn request_cap_forces_close() {
+        let (net, rt) = sim_pair();
+        let server = HttpServer::new(
+            Arc::new(|_req: Request| Response::text(StatusCode::OK, "ok")),
+            ServerConfig { max_requests_per_conn: Some(2), ..Default::default() },
+        );
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        let mut r = BufReader::new(c);
+        send(&mut w, Method::Get, "/1", None);
+        let (h1, _) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert!(!h1.headers.connection_has("close"));
+        send(&mut w, Method::Get, "/2", None);
+        let (h2, _) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert!(h2.headers.connection_has("close"));
+    }
+
+    #[test]
+    fn head_suppresses_body_but_keeps_length() {
+        let (net, rt) = sim_pair();
+        let server = HttpServer::new(
+            Arc::new(|_req: Request| Response::text(StatusCode::OK, "0123456789")),
+            ServerConfig::default(),
+        );
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        let mut r = BufReader::new(c);
+        send(&mut w, Method::Head, "/x", None);
+        let (head, body) = read_full_response(&mut r, &Method::Head).unwrap();
+        assert_eq!(head.headers.content_length(), Some(10));
+        assert!(body.is_empty());
+        // Connection still usable.
+        send(&mut w, Method::Get, "/x", None);
+        let (_, body) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert_eq!(body, b"0123456789");
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let (net, rt) = sim_pair();
+        let server = echo_server();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        // Fire three requests back to back without reading.
+        for i in 0..3 {
+            send(&mut w, Method::Get, &format!("/p{i}"), None);
+        }
+        let mut r = BufReader::new(c);
+        for i in 0..3 {
+            let (_, body) = read_full_response(&mut r, &Method::Get).unwrap();
+            assert_eq!(body, format!("GET /p{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn http10_mode_closes_by_default() {
+        let (net, rt) = sim_pair();
+        let server = HttpServer::new(
+            Arc::new(|_req: Request| Response::text(StatusCode::OK, "ok")),
+            ServerConfig { http10: true, ..Default::default() },
+        );
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let mut c = net.connect("client", "server", 80).unwrap();
+        send(&mut c, Method::Get, "/x", None);
+        let mut r = BufReader::new(c);
+        let (head, body) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert_eq!(head.version, Version::Http10);
+        assert_eq!(body, b"ok");
+        let mut buf = [0u8; 1];
+        assert_eq!(std::io::Read::read(&mut r, &mut buf).unwrap(), 0, "server must close");
+    }
+}

@@ -1,0 +1,124 @@
+//! RFC 1123 (IMF-fixdate) HTTP dates, implemented over plain Unix seconds —
+//! no external time crate.
+
+/// Days-from-civil / civil-from-days after Howard Hinnant's algorithms.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = if m > 2 { m - 3 } else { m + 9 } as u64;
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+const DAY_NAMES: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+const MONTH_NAMES: [&str; 12] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+
+/// Format Unix seconds as an IMF-fixdate, e.g. `Sun, 06 Nov 1994 08:49:37 GMT`.
+pub fn format_http_date(unix_secs: i64) -> String {
+    let days = unix_secs.div_euclid(86_400);
+    let secs = unix_secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    // 1970-01-01 was a Thursday (weekday index 3 with Monday = 0).
+    let weekday = (days.rem_euclid(7) + 3) % 7;
+    format!(
+        "{}, {:02} {} {} {:02}:{:02}:{:02} GMT",
+        DAY_NAMES[weekday as usize],
+        d,
+        MONTH_NAMES[(m - 1) as usize],
+        y,
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60,
+    )
+}
+
+/// Parse an IMF-fixdate back to Unix seconds. Returns `None` on any
+/// deviation from the fixed format (the obsolete RFC 850 / asctime formats
+/// are not accepted — our own peers never produce them).
+pub fn parse_http_date(s: &str) -> Option<i64> {
+    // "Sun, 06 Nov 1994 08:49:37 GMT"
+    let rest = s.trim();
+    let (_dow, rest) = rest.split_once(", ")?;
+    let mut it = rest.split(' ');
+    let day: u32 = it.next()?.parse().ok()?;
+    let mon_name = it.next()?;
+    let month = MONTH_NAMES.iter().position(|m| *m == mon_name)? as u32 + 1;
+    let year: i64 = it.next()?.parse().ok()?;
+    let hms = it.next()?;
+    let tz = it.next()?;
+    if tz != "GMT" || it.next().is_some() {
+        return None;
+    }
+    let mut hms_it = hms.split(':');
+    let h: i64 = hms_it.next()?.parse().ok()?;
+    let mi: i64 = hms_it.next()?.parse().ok()?;
+    let sec: i64 = hms_it.next()?.parse().ok()?;
+    if !(1..=31).contains(&day) || h > 23 || mi > 59 || sec > 60 {
+        return None;
+    }
+    Some(days_from_civil(year, month, day) * 86_400 + h * 3600 + mi * 60 + sec)
+}
+
+/// Current wall-clock time as Unix seconds (used for `Date` headers).
+pub fn unix_now() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_the_rfc_example() {
+        // RFC 7231's canonical example.
+        assert_eq!(format_http_date(784_111_777), "Sun, 06 Nov 1994 08:49:37 GMT");
+    }
+
+    #[test]
+    fn epoch_is_thursday() {
+        assert_eq!(format_http_date(0), "Thu, 01 Jan 1970 00:00:00 GMT");
+    }
+
+    #[test]
+    fn parse_inverts_format() {
+        for &t in &[0i64, 784_111_777, 1_400_000_000, 2_000_000_003, 86_399, 86_400] {
+            let s = format_http_date(t);
+            assert_eq!(parse_http_date(&s), Some(t), "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_http_date("yesterday"), None);
+        assert_eq!(parse_http_date("Sun, 06 Nov 1994 08:49:37 PST"), None);
+        assert_eq!(parse_http_date("Sun, 32 Nov 1994 08:49:37 GMT"), None);
+        assert_eq!(parse_http_date(""), None);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2000-02-29 12:00:00 UTC = 951825600
+        let s = format_http_date(951_825_600);
+        assert!(s.contains("29 Feb 2000"), "{s}");
+        assert_eq!(parse_http_date(&s), Some(951_825_600));
+    }
+}

@@ -1,0 +1,531 @@
+//! Incremental message parsing: heads and body framing.
+
+use crate::{HeaderMap, Method, RequestHead, ResponseHead, StatusCode, Version, WireError};
+use std::io::{BufRead, Read, Write};
+
+/// Upper bound on a message head (start line + headers), matching common
+/// server defaults.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Read one CRLF- (or bare-LF-) terminated line, without the terminator.
+/// `Ok(None)` means EOF before any byte was read.
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option<String>, WireError> {
+    let mut buf = Vec::with_capacity(64);
+    let n = r.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.len() > *budget {
+        return Err(WireError::HeadTooLarge(MAX_HEAD_BYTES));
+    }
+    *budget -= buf.len();
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    } else {
+        // EOF mid-line.
+        return Err(WireError::UnexpectedEof);
+    }
+    String::from_utf8(buf).map(Some).map_err(|_| {
+        WireError::BadHeader("non-UTF-8 bytes in message head".to_string())
+    })
+}
+
+/// Read header fields until the blank line.
+fn read_headers<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<HeaderMap, WireError> {
+    let mut headers = HeaderMap::new();
+    loop {
+        let line = read_line(r, budget)?.ok_or(WireError::UnexpectedEof)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::BadHeader(line.clone()))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(WireError::BadHeader(line.clone()));
+        }
+        headers.append(name, value.trim());
+    }
+}
+
+/// Read a request head. `Ok(None)` signals a clean EOF before the request
+/// started (the peer closed an idle keep-alive connection).
+pub fn read_request_head<R: BufRead>(r: &mut R) -> Result<Option<RequestHead>, WireError> {
+    let mut budget = MAX_HEAD_BYTES;
+    // RFC 7230 §3.5: robustly skip one stray empty line before the request.
+    let start = loop {
+        match read_line(r, &mut budget)? {
+            None => return Ok(None),
+            Some(l) if l.is_empty() => continue,
+            Some(l) => break l,
+        }
+    };
+    let mut parts = start.split(' ');
+    let (m, t, v) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(WireError::BadStartLine(start.clone())),
+    };
+    let method: Method = m.parse()?;
+    let version = Version::parse(v)?;
+    if t.is_empty() {
+        return Err(WireError::BadStartLine(start));
+    }
+    let headers = read_headers(r, &mut budget)?;
+    Ok(Some(RequestHead { method, target: t.to_string(), version, headers }))
+}
+
+/// Read a response head. EOF before the status line is an error (the client
+/// was expecting a response).
+pub fn read_response_head<R: BufRead>(r: &mut R) -> Result<ResponseHead, WireError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let start = read_line(r, &mut budget)?.ok_or(WireError::UnexpectedEof)?;
+    // "HTTP/1.1 206 Partial Content" — the reason phrase may contain spaces
+    // or be empty.
+    let mut parts = start.splitn(3, ' ');
+    let v = parts.next().unwrap_or("");
+    let code = parts.next().ok_or_else(|| WireError::BadStartLine(start.clone()))?;
+    let reason = parts.next().unwrap_or("").to_string();
+    let version = Version::parse(v)?;
+    let code: u16 = code
+        .parse()
+        .map_err(|_| WireError::BadStartLine(start.clone()))?;
+    if !(100..600).contains(&code) {
+        return Err(WireError::BadStartLine(start));
+    }
+    let headers = read_headers(r, &mut budget)?;
+    Ok(ResponseHead { version, status: StatusCode(code), reason, headers })
+}
+
+/// How a message body is delimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyLen {
+    /// No body at all (HEAD responses, 204/304, bodyless requests).
+    None,
+    /// Exactly this many bytes.
+    Fixed(u64),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+    /// Body runs until the connection closes (HTTP/1.0 style responses).
+    Close,
+}
+
+/// Body length of a request per RFC 7230 §3.3.3 (requests never use
+/// read-to-close).
+pub fn request_body_len(head: &RequestHead) -> Result<BodyLen, WireError> {
+    if head.headers.is_chunked() {
+        return Ok(BodyLen::Chunked);
+    }
+    match head.headers.get("content-length") {
+        Some(_) => match head.headers.content_length() {
+            Some(0) => Ok(BodyLen::None),
+            Some(n) => Ok(BodyLen::Fixed(n)),
+            None => Err(WireError::BadHeader("invalid Content-Length".to_string())),
+        },
+        None => Ok(BodyLen::None),
+    }
+}
+
+/// Body length of a response to `req_method` per RFC 7230 §3.3.3.
+pub fn response_body_len(req_method: &Method, head: &ResponseHead) -> BodyLen {
+    let code = head.status.0;
+    if *req_method == Method::Head || (100..200).contains(&code) || code == 204 || code == 304 {
+        return BodyLen::None;
+    }
+    if head.headers.is_chunked() {
+        return BodyLen::Chunked;
+    }
+    if let Some(n) = head.headers.content_length() {
+        return if n == 0 { BodyLen::None } else { BodyLen::Fixed(n) };
+    }
+    BodyLen::Close
+}
+
+enum BodyState {
+    Done,
+    Fixed { remaining: u64 },
+    /// `in_chunk` holds the unread bytes of the current chunk; `None` means
+    /// we are positioned before the first size line.
+    Chunked { in_chunk: Option<u64> },
+    Close,
+}
+
+/// A body reader that enforces the message framing and stops exactly at the
+/// message boundary, leaving the underlying stream positioned at the next
+/// message (essential for keep-alive connections).
+pub struct BodyReader<'a, R: BufRead> {
+    inner: &'a mut R,
+    state: BodyState,
+}
+
+impl<'a, R: BufRead> BodyReader<'a, R> {
+    /// Wrap `inner` for a body of the given length.
+    pub fn new(inner: &'a mut R, len: BodyLen) -> Self {
+        let state = match len {
+            BodyLen::None => BodyState::Done,
+            BodyLen::Fixed(n) => BodyState::Fixed { remaining: n },
+            BodyLen::Chunked => BodyState::Chunked { in_chunk: None },
+            BodyLen::Close => BodyState::Close,
+        };
+        BodyReader { inner, state }
+    }
+
+    /// Read the whole body into a `Vec`.
+    pub fn read_all(mut self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        Read::read_to_end(&mut self, &mut out).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                WireError::UnexpectedEof
+            } else if e.kind() == std::io::ErrorKind::InvalidData {
+                WireError::BadChunk(e.to_string())
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Consume and discard the rest of the body (so the connection can be
+    /// reused). Returns the number of bytes drained.
+    pub fn drain(mut self) -> Result<u64, WireError> {
+        let mut sink = [0u8; 8192];
+        let mut total = 0u64;
+        loop {
+            match Read::read(&mut self, &mut sink) {
+                Ok(0) => return Ok(total),
+                Ok(n) => total += n as u64,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+
+    fn read_chunk_size_line(&mut self) -> std::io::Result<u64> {
+        let mut budget = 1024usize;
+        let line = read_line(self.inner, &mut budget)
+            .map_err(std::io::Error::from)?
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof before chunk size")
+            })?;
+        let size_part = line.split(';').next().unwrap_or("").trim();
+        u64::from_str_radix(size_part, 16).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad chunk size line {line:?}"),
+            )
+        })
+    }
+
+    fn skip_trailers(&mut self) -> std::io::Result<()> {
+        let mut budget = 8192usize;
+        loop {
+            let line = read_line(self.inner, &mut budget)
+                .map_err(std::io::Error::from)?
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof in trailers")
+                })?;
+            if line.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Read for BodyReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            match &mut self.state {
+                BodyState::Done => return Ok(0),
+                BodyState::Close => return self.inner.read(buf),
+                BodyState::Fixed { remaining } => {
+                    if *remaining == 0 {
+                        self.state = BodyState::Done;
+                        return Ok(0);
+                    }
+                    let want = buf.len().min(*remaining as usize);
+                    let n = self.inner.read(&mut buf[..want])?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-body",
+                        ));
+                    }
+                    *remaining -= n as u64;
+                    return Ok(n);
+                }
+                BodyState::Chunked { in_chunk } => match *in_chunk {
+                    Some(remaining) if remaining > 0 => {
+                        let want = buf.len().min(remaining as usize);
+                        let n = self.inner.read(&mut buf[..want])?;
+                        if n == 0 {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "connection closed mid-chunk",
+                            ));
+                        }
+                        self.state =
+                            BodyState::Chunked { in_chunk: Some(remaining - n as u64) };
+                        return Ok(n);
+                    }
+                    at_boundary => {
+                        // Consume the CRLF that follows a finished chunk.
+                        if at_boundary == Some(0) {
+                            let mut crlf = [0u8; 2];
+                            self.inner.read_exact(&mut crlf)?;
+                            if &crlf != b"\r\n" {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    "chunk not followed by CRLF",
+                                ));
+                            }
+                        }
+                        let size = self.read_chunk_size_line()?;
+                        if size == 0 {
+                            self.skip_trailers()?;
+                            self.state = BodyState::Done;
+                            return Ok(0);
+                        }
+                        self.state = BodyState::Chunked { in_chunk: Some(size) };
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Writes a body using chunked transfer encoding. Call [`finish`] to emit the
+/// terminating zero chunk.
+///
+/// [`finish`]: ChunkedWriter::finish
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+    finished: bool,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wrap a sink.
+    pub fn new(w: W) -> Self {
+        ChunkedWriter { w, finished: false }
+    }
+
+    /// Emit the last-chunk marker and (empty) trailer section, returning the
+    /// underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.finished = true;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // One chunk per write call: header, payload, CRLF.
+        let mut head = [0u8; 18];
+        let mut cursor = std::io::Cursor::new(&mut head[..]);
+        write!(cursor, "{:x}\r\n", buf.len())?;
+        let n = cursor.position() as usize;
+        self.w.write_all(&head[..n])?;
+        self.w.write_all(buf)?;
+        self.w.write_all(b"\r\n")?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn req(s: &str) -> Result<Option<RequestHead>, WireError> {
+        read_request_head(&mut Cursor::new(s.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parse_simple_request() {
+        let r = req("GET /x?q=1 HTTP/1.1\r\nHost: h\r\nRange: bytes=0-9\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path(), "/x");
+        assert_eq!(r.query(), Some("q=1"));
+        assert_eq!(r.headers.get("host"), Some("h"));
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(req("").unwrap().is_none());
+    }
+
+    #[test]
+    fn leading_blank_line_is_tolerated() {
+        let r = req("\r\nGET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.method, Method::Get);
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(req("GET /\r\n\r\n").is_err());
+        assert!(req("GET / HTTP/1.1 extra\r\n\r\n").is_err());
+        assert!(req("GET / HTTP/3.0\r\n\r\n").is_err());
+        assert!(req("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").is_err());
+        assert!(req("GET / HTTP/1.1\r\nBad Header: x\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn truncated_head_is_unexpected_eof() {
+        let e = req("GET / HTTP/1.1\r\nHost: h").unwrap_err();
+        assert!(matches!(e, WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn parse_response_with_spaced_reason() {
+        let mut c = Cursor::new(b"HTTP/1.1 206 Partial Content\r\nContent-Length: 3\r\n\r\nabc".to_vec());
+        let r = read_response_head(&mut c).unwrap();
+        assert_eq!(r.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(r.reason, "Partial Content");
+        assert_eq!(r.headers.content_length(), Some(3));
+    }
+
+    #[test]
+    fn parse_response_without_reason() {
+        let mut c = Cursor::new(b"HTTP/1.1 404\r\n\r\n".to_vec());
+        // The bare form "HTTP/1.1 404" lacks the trailing space; accept it.
+        let r = read_response_head(&mut c).unwrap();
+        assert_eq!(r.status, StatusCode::NOT_FOUND);
+        assert_eq!(r.reason, "");
+    }
+
+    #[test]
+    fn body_len_rules_for_responses() {
+        let mk = |status: u16, cl: Option<&str>, te: Option<&str>| {
+            let mut h = ResponseHead::new(StatusCode(status));
+            if let Some(cl) = cl {
+                h.headers.set("Content-Length", cl);
+            }
+            if let Some(te) = te {
+                h.headers.set("Transfer-Encoding", te);
+            }
+            h
+        };
+        assert_eq!(
+            response_body_len(&Method::Head, &mk(200, Some("10"), None)),
+            BodyLen::None
+        );
+        assert_eq!(response_body_len(&Method::Get, &mk(204, None, None)), BodyLen::None);
+        assert_eq!(response_body_len(&Method::Get, &mk(304, Some("9"), None)), BodyLen::None);
+        assert_eq!(
+            response_body_len(&Method::Get, &mk(200, Some("10"), None)),
+            BodyLen::Fixed(10)
+        );
+        assert_eq!(
+            response_body_len(&Method::Get, &mk(200, None, Some("chunked"))),
+            BodyLen::Chunked
+        );
+        assert_eq!(response_body_len(&Method::Get, &mk(200, None, None)), BodyLen::Close);
+    }
+
+    #[test]
+    fn body_len_rules_for_requests() {
+        let mut r = RequestHead::new(Method::Put, "/x");
+        assert_eq!(request_body_len(&r).unwrap(), BodyLen::None);
+        r.headers.set("Content-Length", "5");
+        assert_eq!(request_body_len(&r).unwrap(), BodyLen::Fixed(5));
+        r.headers.set("Content-Length", "bogus");
+        assert!(request_body_len(&r).is_err());
+        r.headers.remove("Content-Length");
+        r.headers.set("Transfer-Encoding", "chunked");
+        assert_eq!(request_body_len(&r).unwrap(), BodyLen::Chunked);
+    }
+
+    #[test]
+    fn fixed_body_reader_stops_at_boundary() {
+        let mut c = Cursor::new(b"hellorest".to_vec());
+        let body = BodyReader::new(&mut c, BodyLen::Fixed(5)).read_all().unwrap();
+        assert_eq!(body, b"hello");
+        let mut rest = Vec::new();
+        c.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"rest");
+    }
+
+    #[test]
+    fn fixed_body_truncated_is_error() {
+        let mut c = Cursor::new(b"he".to_vec());
+        let err = BodyReader::new(&mut c, BodyLen::Fixed(5)).read_all().unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn chunked_roundtrip() {
+        let mut wire = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(&mut wire);
+            w.write_all(b"hello ").unwrap();
+            w.write_all(b"world").unwrap();
+            w.finish().unwrap();
+        }
+        let mut c = Cursor::new(wire);
+        let body = BodyReader::new(&mut c, BodyLen::Chunked).read_all().unwrap();
+        assert_eq!(body, b"hello world");
+    }
+
+    #[test]
+    fn chunked_with_extensions_and_trailers() {
+        let wire = b"5;ext=1\r\nhello\r\n0\r\nX-Trailer: v\r\n\r\nNEXT";
+        let mut c = Cursor::new(wire.to_vec());
+        let body = BodyReader::new(&mut c, BodyLen::Chunked).read_all().unwrap();
+        assert_eq!(body, b"hello");
+        let mut rest = Vec::new();
+        c.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"NEXT", "reader must stop exactly after the trailer section");
+    }
+
+    #[test]
+    fn chunked_bad_size_is_error() {
+        let mut c = Cursor::new(b"zz\r\nhello\r\n0\r\n\r\n".to_vec());
+        assert!(BodyReader::new(&mut c, BodyLen::Chunked).read_all().is_err());
+    }
+
+    #[test]
+    fn chunked_missing_crlf_is_error() {
+        let mut c = Cursor::new(b"5\r\nhelloXX0\r\n\r\n".to_vec());
+        assert!(BodyReader::new(&mut c, BodyLen::Chunked).read_all().is_err());
+    }
+
+    #[test]
+    fn close_delimited_reads_to_eof() {
+        let mut c = Cursor::new(b"everything".to_vec());
+        let body = BodyReader::new(&mut c, BodyLen::Close).read_all().unwrap();
+        assert_eq!(body, b"everything");
+    }
+
+    #[test]
+    fn drain_discards_remaining() {
+        let mut c = Cursor::new(b"0123456789AFTER".to_vec());
+        let drained = BodyReader::new(&mut c, BodyLen::Fixed(10)).drain().unwrap();
+        assert_eq!(drained, 10);
+        let mut rest = Vec::new();
+        c.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"AFTER");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut s = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..8000 {
+            s.push_str(&format!("X-Header-{i}: {}\r\n", "v".repeat(32)));
+        }
+        s.push_str("\r\n");
+        assert!(matches!(req(&s), Err(WireError::HeadTooLarge(_))));
+    }
+}

@@ -1,0 +1,84 @@
+//! Checksums shared by the storage layer and the client (Metalink
+//! verification): Adler-32 (zlib) and CRC-32 (IEEE),
+//! implemented from their definitions — no external crates.
+
+/// Adler-32 as defined by RFC 1950 §8.2.
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    // Largest n such that 255*n*(n+1)/2 + (n+1)*(MOD-1) < 2^32 (zlib's NMAX):
+    const NMAX: usize = 5552;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(NMAX) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// CRC-32 (IEEE 802.3, the zip/png polynomial), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Lower-case hex rendering used in `Digest:` headers and Metalink `<hash>`.
+pub fn to_hex(v: u32) -> String {
+    format!("{v:08x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler32_known_vectors() {
+        // "Wikipedia" → 0x11E60398 (well-known example)
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // "123456789" → 0xCBF43926 (the canonical check value)
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn adler32_large_input_stays_modular() {
+        // Exercise the NMAX chunking path.
+        let data = vec![0xFFu8; 1_000_000];
+        let v = adler32(&data);
+        // Property: low half < MOD, high half < MOD.
+        assert!((v & 0xFFFF) < 65_521);
+        assert!((v >> 16) < 65_521);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(to_hex(0xCBF4_3926), "cbf43926");
+        assert_eq!(to_hex(0x1), "00000001");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: Metalink documents and the underlying XML layer must
+//! round-trip arbitrary (printable) content exactly — replica fail-over
+//! depends on faithfully recovering URLs, priorities, sizes and hashes.
+
+use metalink::xml::{escape, unescape};
+use metalink::{Hash, MetaFile, Metalink, UrlRef};
+use proptest::prelude::*;
+
+/// Text without control characters (XML 1.0 forbids most of them); the
+/// interesting cases — `&<>"'`, unicode, whitespace runs — stay in.
+fn xml_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~£€çß☃]{0,40}").expect("valid regex")
+}
+
+fn url_like() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("http://[a-z0-9.]{1,20}(:[0-9]{1,4})?/[a-zA-Z0-9/_.%-]{0,30}")
+        .expect("valid regex")
+}
+
+fn hash_entry() -> impl Strategy<Value = Hash> {
+    (
+        proptest::string::string_regex("[a-z0-9-]{1,12}").expect("valid regex"),
+        proptest::string::string_regex("[0-9a-f]{8,64}").expect("valid regex"),
+    )
+        .prop_map(|(algo, value)| Hash { algo, value })
+}
+
+fn url_ref() -> impl Strategy<Value = UrlRef> {
+    (url_like(), proptest::option::of("[a-z]{2}"), 1u32..1_000_000).prop_map(
+        |(url, location, priority)| UrlRef { url, location, priority },
+    )
+}
+
+fn meta_file() -> impl Strategy<Value = MetaFile> {
+    (
+        xml_text(),
+        proptest::option::of(0u64..u64::MAX / 2),
+        proptest::collection::vec(hash_entry(), 0..4),
+        proptest::collection::vec(url_ref(), 1..6),
+    )
+        .prop_map(|(name, size, hashes, urls)| MetaFile { name, size, hashes, urls })
+}
+
+proptest! {
+    /// escape → unescape is the identity for any printable text.
+    #[test]
+    fn xml_escape_roundtrips(s in xml_text(), attr in proptest::bool::ANY) {
+        let escaped = escape(&s, attr);
+        prop_assert_eq!(unescape(&escaped).unwrap(), s);
+    }
+
+    /// Escaped text never contains a bare `<` or `&` (the two characters
+    /// that would corrupt surrounding markup).
+    #[test]
+    fn xml_escape_is_markup_safe(s in xml_text()) {
+        let escaped = escape(&s, true);
+        for (i, c) in escaped.char_indices() {
+            if c == '&' {
+                prop_assert!(
+                    escaped[i..].starts_with("&amp;")
+                        || escaped[i..].starts_with("&lt;")
+                        || escaped[i..].starts_with("&gt;")
+                        || escaped[i..].starts_with("&quot;")
+                        || escaped[i..].starts_with("&apos;"),
+                    "bare ampersand in {escaped:?}"
+                );
+            }
+            prop_assert_ne!(c, '<');
+        }
+    }
+
+    /// Full document → XML → parse recovers every field of every file.
+    #[test]
+    fn metalink_roundtrips(files in proptest::collection::vec(meta_file(), 1..4)) {
+        let doc = Metalink { files };
+        let xml = doc.to_xml();
+        let back = Metalink::parse(&xml).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// sorted_urls is a permutation of urls, ordered by priority.
+    #[test]
+    fn sorted_urls_is_a_priority_ordered_permutation(f in meta_file()) {
+        let sorted = f.sorted_urls();
+        prop_assert_eq!(sorted.len(), f.urls.len());
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].priority <= w[1].priority);
+        }
+        for u in &f.urls {
+            prop_assert!(sorted.contains(&u));
+        }
+    }
+
+    /// hash() lookup is case-insensitive and returns the first match.
+    #[test]
+    fn hash_lookup_matches_declared(f in meta_file()) {
+        for h in &f.hashes {
+            let found = f.hash(&h.algo.to_ascii_uppercase());
+            prop_assert!(found.is_some());
+        }
+        prop_assert_eq!(f.hash("no-such-algo-xyz"), None);
+    }
+}

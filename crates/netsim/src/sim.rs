@@ -1,0 +1,1263 @@
+//! The discrete-event virtual-time network simulator.
+//!
+//! ## Model
+//!
+//! * **Hosts** are named endpoints; **links** between host pairs have a
+//!   one-way `delay` and an optional `bandwidth` (bytes/s). Each direction of
+//!   a link is a FIFO: transmissions serialize behind each other
+//!   (`busy_until`), which models contention between connections sharing a
+//!   path.
+//! * **Connections** follow a TCP cost model: establishment costs one RTT
+//!   (SYN out, SYN-ACK back); each direction has a congestion window that
+//!   starts at `init_cwnd` bytes and grows by one byte per acknowledged byte
+//!   (classic slow start, i.e. doubling per RTT) up to `max_cwnd`; senders
+//!   block when the window is full and resume when ACKs (scheduled one RTT
+//!   after each segment) return. A *reused* connection keeps its grown
+//!   window — this is precisely the effect the paper's session recycling
+//!   exploits (§2.2).
+//! * **Virtual time** advances only when every *registered* thread is blocked
+//!   on a simulator primitive; the blocking thread then pops the earliest
+//!   scheduled events and applies them. Registered threads are those spawned
+//!   via [`SimNet::spawn`] or covered by an [`SimNet::enter`] guard.
+//!
+//! ## What is deliberately not modelled
+//!
+//! Packet loss, retransmission, Nagle's algorithm, receiver flow control and
+//! congestion-avoidance (linear) growth. The paper's observed effects —
+//! round-trip cost of chatty protocols, slow-start cost of fresh
+//! connections, bandwidth-delay-product ceilings — do not depend on them.
+
+use crate::slab::Slab;
+use crate::transport::{BoxedStream, Connector, Listener, Runtime, Signal, Stream};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::cell::Cell;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocked simulation may sit with no schedulable event before we
+/// declare it stalled and panic with a diagnostic dump (real time).
+const STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+thread_local! {
+    /// Which simulator (by core address) the current thread is registered
+    /// with; 0 = none. A thread is registered with at most one net at a
+    /// time — entering a second net supersedes the first until the guard
+    /// drops (the superseded net simply sees the thread as foreign).
+    static IN_SIM: Cell<usize> = const { Cell::new(0) };
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Characteristics of the path between two hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Capacity in bytes per second per direction; `None` = unlimited.
+    pub bandwidth: Option<u64>,
+    /// Initial congestion window in bytes (IW10 ≈ 14 600 by default).
+    pub init_cwnd: u64,
+    /// Congestion window ceiling; `None` derives ~2× the bandwidth-delay
+    /// product (clamped to [64 KiB, 16 MiB]), or 4 MiB on unlimited links.
+    pub max_cwnd: Option<u64>,
+    /// Round trips a connection setup costs. `1` is plain TCP (SYN /
+    /// SYN-ACK); `3` approximates TCP + a TLS 1.2 handshake — the setup
+    /// latency the paper's §2.2 cites for rejecting SPDY's mandatory TLS.
+    pub handshake_rtts: u32,
+    /// Nagle's algorithm: a write smaller than one MSS is held back while
+    /// any previously sent data is unacknowledged. Off by default (modern
+    /// clients set `TCP_NODELAY`); turn on together with [`delayed_ack`] to
+    /// reproduce the §2.2 "side effects with the TCP's nagle algorithm"
+    /// that plague HTTP pipelining.
+    ///
+    /// [`delayed_ack`]: LinkSpec::delayed_ack
+    pub nagle: bool,
+    /// Delayed-ACK timer: the ACK of a segment smaller than one MSS is
+    /// held this long (classically ~40 ms). `None` = immediate ACKs.
+    pub delayed_ack: Option<Duration>,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            delay: Duration::from_micros(500),
+            bandwidth: None,
+            init_cwnd: 14_600,
+            max_cwnd: None,
+            handshake_rtts: 1,
+            nagle: false,
+            delayed_ack: None,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// Gigabit LAN, ≈2.5 ms RTT: the paper's "CERN ↔ CERN" case (latency < 5 ms).
+    pub fn lan() -> Self {
+        LinkSpec {
+            delay: Duration::from_micros(1250),
+            bandwidth: Some(125_000_000),
+            ..Default::default()
+        }
+    }
+
+    /// Pan-European path (GEANT), ≈25 ms RTT: "UK(GLAS) ↔ CERN" (latency < 50 ms).
+    pub fn pan_european() -> Self {
+        LinkSpec {
+            delay: Duration::from_micros(12_500),
+            bandwidth: Some(125_000_000),
+            ..Default::default()
+        }
+    }
+
+    /// Transatlantic path, ≈150 ms RTT: "USA(BNL) ↔ CERN" (latency < 300 ms).
+    pub fn wan() -> Self {
+        LinkSpec {
+            delay: Duration::from_micros(75_000),
+            bandwidth: Some(125_000_000),
+            ..Default::default()
+        }
+    }
+
+    /// Same-host loopback.
+    fn loopback() -> Self {
+        LinkSpec { delay: Duration::from_micros(10), bandwidth: None, ..Default::default() }
+    }
+
+    fn resolve_max_cwnd(&self) -> u64 {
+        match self.max_cwnd {
+            Some(m) => m.max(self.init_cwnd),
+            None => match self.bandwidth {
+                Some(bw) => {
+                    let rtt_ns = 2 * dur_ns(self.delay) as u128;
+                    let bdp = (bw as u128 * rtt_ns / 1_000_000_000) as u64;
+                    (2 * bdp).clamp(64 * 1024, 16 * 1024 * 1024).max(self.init_cwnd)
+                }
+                None => 4 * 1024 * 1024,
+            },
+        }
+    }
+
+    fn tx_ns(&self, bytes: u64) -> u64 {
+        match self.bandwidth {
+            Some(bw) if bw > 0 => (bytes as u128 * 1_000_000_000 / bw as u128) as u64,
+            _ => 0,
+        }
+    }
+
+    /// This link with a TLS-1.2-like setup cost (3 round trips total).
+    pub fn with_tls_handshake(self) -> Self {
+        LinkSpec { handshake_rtts: 3, ..self }
+    }
+
+    /// This link with Nagle + a 40 ms delayed-ACK timer (the classic
+    /// pathological pairing for pipelined small writes).
+    pub fn with_nagle(self) -> Self {
+        LinkSpec { nagle: true, delayed_ack: Some(Duration::from_millis(40)), ..self }
+    }
+}
+
+/// TCP maximum segment size used by the Nagle / delayed-ACK models.
+const MSS: u64 = 1460;
+
+/// Aggregate counters maintained by the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Connections successfully initiated (`connect` calls that got a SYN out).
+    pub conns_created: u64,
+    /// Payload bytes handed to the network by senders.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered to receive buffers.
+    pub bytes_delivered: u64,
+    /// Connections initiated towards each destination host.
+    pub conns_per_host: HashMap<String, u64>,
+}
+
+// ---------------------------------------------------------------------------
+// internal state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum EventKind {
+    /// Payload arrives at the receive buffer of `conn` direction `dir`.
+    Deliver { conn: usize, dir: usize, data: Vec<u8> },
+    /// ACK returns to the sender of `conn` direction `dir`.
+    Ack { conn: usize, dir: usize, bytes: u64 },
+    /// SYN reaches the server: enqueue on the listener backlog.
+    SynArrive { conn: usize, host: u32, port: u16 },
+    /// Handshake completes at the client.
+    Established { conn: usize },
+    /// RST comes back to the client (closed port / downed host).
+    Refuse { conn: usize },
+    /// FIN arrives at the receiver of direction `dir`.
+    Fin { conn: usize, dir: usize },
+    /// A sleep or timeout deadline fires.
+    WakeWaiter { wid: usize, gen: u64 },
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed so that BinaryHeap (a max-heap) pops the earliest event first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitKind {
+    Readable { conn: usize, dir: usize },
+    Window { conn: usize, dir: usize },
+    Accept { host: u32, port: u16 },
+    ConnectDone { conn: usize },
+    Sleep,
+    Signal { sig: usize },
+}
+
+struct Waiter {
+    kind: WaitKind,
+    gen: u64,
+    ready: bool,
+    timed_out: bool,
+    registered: bool,
+    thread: String,
+}
+
+#[derive(PartialEq, Eq)]
+enum WaitOutcome {
+    Ready,
+    TimedOut,
+}
+
+/// Per-direction connection state. Direction `d` carries bytes written by
+/// endpoint `d` (0 = the connecting client, 1 = the accepting server).
+struct DirState {
+    cwnd: u64,
+    inflight: u64,
+    max_cwnd: u64,
+    delay_ns: u64,
+    spec: LinkSpec,
+    rbuf: VecDeque<Vec<u8>>,
+    rbuf_front_off: usize,
+    rbuf_len: usize,
+    fin: bool,
+    fin_sent: bool,
+}
+
+impl DirState {
+    fn new(spec: LinkSpec) -> Self {
+        DirState {
+            cwnd: spec.init_cwnd,
+            inflight: 0,
+            max_cwnd: spec.resolve_max_cwnd(),
+            delay_ns: dur_ns(spec.delay),
+            spec,
+            rbuf: VecDeque::new(),
+            rbuf_front_off: 0,
+            rbuf_len: 0,
+            fin: false,
+            fin_sent: false,
+        }
+    }
+}
+
+struct Conn {
+    hosts: [u32; 2],
+    established: bool,
+    refused: bool,
+    reset: bool,
+    open_handles: [u32; 2],
+    dirs: [DirState; 2],
+}
+
+struct HostState {
+    name: String,
+    down: bool,
+}
+
+struct ListenerState {
+    open: bool,
+    backlog: VecDeque<usize>,
+}
+
+struct SignalState {
+    set: bool,
+}
+
+struct State {
+    now_ns: u64,
+    seq: u64,
+    change_tick: u64,
+    events: BinaryHeap<Event>,
+    hosts: Vec<HostState>,
+    host_by_name: HashMap<String, u32>,
+    links: HashMap<(u32, u32), LinkSpec>,
+    default_link: LinkSpec,
+    link_busy: HashMap<(u32, u32), u64>,
+    listeners: HashMap<(u32, u16), ListenerState>,
+    conns: Slab<Conn>,
+    waiters: Slab<Waiter>,
+    waiter_gen: u64,
+    signals: Slab<SignalState>,
+    registered: usize,
+    reg_waiting: usize,
+    stats: NetStats,
+}
+
+impl State {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn schedule(&mut self, at: u64, kind: EventKind) {
+        let seq = self.next_seq();
+        self.events.push(Event { at: at.max(self.now_ns), seq, kind });
+        self.change_tick += 1;
+    }
+
+    fn link_spec(&self, a: u32, b: u32) -> LinkSpec {
+        if a == b {
+            return self.links.get(&(a, b)).copied().unwrap_or_else(LinkSpec::loopback);
+        }
+        self.links.get(&(a, b)).copied().unwrap_or(self.default_link)
+    }
+
+    /// Marks matching waiters ready; returns how many woke.
+    fn wake_where(&mut self, pred: impl Fn(&WaitKind) -> bool) -> usize {
+        let mut woke = 0;
+        let reg_waiting = &mut self.reg_waiting;
+        for (_, w) in self.waiters.iter_mut() {
+            if !w.ready && pred(&w.kind) {
+                w.ready = true;
+                if w.registered {
+                    *reg_waiting -= 1;
+                }
+                woke += 1;
+            }
+        }
+        if woke > 0 {
+            self.change_tick += 1;
+        }
+        woke
+    }
+
+    fn reset_conn(&mut self, cid: usize) {
+        if let Some(c) = self.conns.get_mut(cid) {
+            if !c.reset {
+                c.reset = true;
+                self.wake_where(|k| match *k {
+                    WaitKind::Readable { conn, .. }
+                    | WaitKind::Window { conn, .. }
+                    | WaitKind::ConnectDone { conn } => conn == cid,
+                    _ => false,
+                });
+            }
+        }
+    }
+
+    fn apply(&mut self, ev: EventKind) {
+        match ev {
+            EventKind::Deliver { conn, dir, data } => {
+                let len = data.len();
+                if let Some(c) = self.conns.get_mut(conn) {
+                    if c.reset {
+                        return;
+                    }
+                    let d = &mut c.dirs[dir];
+                    d.rbuf.push_back(data);
+                    d.rbuf_len += len;
+                    self.stats.bytes_delivered += len as u64;
+                    self.wake_where(|k| matches!(*k, WaitKind::Readable { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                }
+            }
+            EventKind::Ack { conn, dir, bytes } => {
+                if let Some(c) = self.conns.get_mut(conn) {
+                    if c.reset {
+                        return;
+                    }
+                    let d = &mut c.dirs[dir];
+                    d.inflight = d.inflight.saturating_sub(bytes);
+                    d.cwnd = (d.cwnd + bytes).min(d.max_cwnd);
+                    self.wake_where(|k| matches!(*k, WaitKind::Window { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                }
+            }
+            EventKind::SynArrive { conn, host, port } => {
+                let host_down = self.hosts.get(host as usize).map(|h| h.down).unwrap_or(true);
+                let listener_open =
+                    self.listeners.get(&(host, port)).map(|l| l.open).unwrap_or(false);
+                if host_down || !listener_open {
+                    self.reset_conn(conn);
+                    return;
+                }
+                if let Some(l) = self.listeners.get_mut(&(host, port)) {
+                    l.backlog.push_back(conn);
+                }
+                self.wake_where(|k| matches!(*k, WaitKind::Accept { host: h2, port: p2 } if h2 == host && p2 == port));
+            }
+            EventKind::Established { conn } => {
+                if let Some(c) = self.conns.get_mut(conn) {
+                    if !c.reset && !c.refused {
+                        c.established = true;
+                    }
+                }
+                self.wake_where(|k| matches!(*k, WaitKind::ConnectDone { conn: c2 } if c2 == conn));
+            }
+            EventKind::Refuse { conn } => {
+                if let Some(c) = self.conns.get_mut(conn) {
+                    c.refused = true;
+                }
+                self.wake_where(|k| matches!(*k, WaitKind::ConnectDone { conn: c2 } if c2 == conn));
+            }
+            EventKind::Fin { conn, dir } => {
+                if let Some(c) = self.conns.get_mut(conn) {
+                    c.dirs[dir].fin = true;
+                    self.wake_where(|k| matches!(*k, WaitKind::Readable { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                }
+            }
+            EventKind::WakeWaiter { wid, gen } => {
+                let mut woke = false;
+                if let Some(w) = self.waiters.get_mut(wid) {
+                    if w.gen == gen && !w.ready {
+                        w.ready = true;
+                        w.timed_out = true;
+                        woke = w.registered;
+                        self.change_tick += 1;
+                    }
+                }
+                if woke {
+                    self.reg_waiting -= 1;
+                }
+            }
+        }
+    }
+
+    /// Advance the virtual clock to the earliest scheduled event and apply
+    /// every event due at that instant.
+    fn advance(&mut self) {
+        let t = match self.events.peek() {
+            Some(e) => e.at,
+            None => return,
+        };
+        debug_assert!(t >= self.now_ns, "event scheduled in the past");
+        self.now_ns = self.now_ns.max(t);
+        while let Some(e) = self.events.peek() {
+            if e.at > self.now_ns {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked event");
+            self.apply(ev.kind);
+        }
+        self.change_tick += 1;
+    }
+
+    fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "now={:?} events={} registered={} reg_waiting={}",
+            Duration::from_nanos(self.now_ns),
+            self.events.len(),
+            self.registered,
+            self.reg_waiting
+        );
+        for (id, w) in self.waiters.iter() {
+            let _ = writeln!(
+                s,
+                "  waiter #{id} thread={} kind={:?} ready={} registered={}",
+                w.thread, w.kind, w.ready, w.registered
+            );
+        }
+        s
+    }
+}
+
+struct SimCore {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for SimCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCore").finish_non_exhaustive()
+    }
+}
+
+impl SimCore {
+    /// Park the calling thread until `kind` is satisfied or `deadline_ns`
+    /// passes. The caller must hold (and pass) the state lock; the lock is
+    /// released while parked and re-acquired before returning. The parked
+    /// thread drives the virtual clock when it is the last runnable one.
+    fn core_id(&self) -> usize {
+        self as *const SimCore as usize
+    }
+
+    fn wait_on(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        kind: WaitKind,
+        deadline_ns: Option<u64>,
+    ) -> WaitOutcome {
+        let registered = IN_SIM.with(|c| c.get()) == self.core_id();
+        st.waiter_gen += 1;
+        let gen = st.waiter_gen;
+        let thread = std::thread::current().name().unwrap_or("?").to_string();
+        let wid = st.waiters.insert(Waiter {
+            kind,
+            gen,
+            ready: false,
+            timed_out: false,
+            registered,
+            thread,
+        });
+        if registered {
+            st.reg_waiting += 1;
+        }
+        if let Some(d) = deadline_ns {
+            st.schedule(d, EventKind::WakeWaiter { wid, gen });
+        }
+        loop {
+            let w = st.waiters.get(wid).expect("waiter alive");
+            if w.ready {
+                let timed_out = w.timed_out;
+                st.waiters.remove(wid);
+                // reg_waiting was already decremented when we were marked ready
+                return if timed_out { WaitOutcome::TimedOut } else { WaitOutcome::Ready };
+            }
+            if st.reg_waiting == st.registered {
+                if !st.events.is_empty() {
+                    st.advance();
+                    self.cv.notify_all();
+                    continue;
+                }
+                // No registered thread can run and nothing is scheduled.
+                // Either a foreign (unregistered) thread will act, or the
+                // simulation is stalled.
+                let tick = st.change_tick;
+                let timed_out = self.cv.wait_for(st, STALL_TIMEOUT).timed_out();
+                if timed_out && st.change_tick == tick {
+                    let dump = st.dump();
+                    panic!(
+                        "netsim: simulation stalled — every registered thread is blocked, \
+                         no events are scheduled and nothing changed for {STALL_TIMEOUT:?}\n{dump}"
+                    );
+                }
+                continue;
+            }
+            self.cv.wait(st);
+        }
+    }
+
+    fn notify(&self) {
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// public handles
+// ---------------------------------------------------------------------------
+
+/// Handle to a simulated network. Cheap to clone.
+#[derive(Clone)]
+pub struct SimNet {
+    core: Arc<SimCore>,
+}
+
+impl Default for SimNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimNet {
+    /// Create an empty network at virtual time zero.
+    pub fn new() -> Self {
+        SimNet {
+            core: Arc::new(SimCore {
+                state: Mutex::new(State {
+                    now_ns: 0,
+                    seq: 0,
+                    change_tick: 0,
+                    events: BinaryHeap::new(),
+                    hosts: Vec::new(),
+                    host_by_name: HashMap::new(),
+                    links: HashMap::new(),
+                    default_link: LinkSpec::default(),
+                    link_busy: HashMap::new(),
+                    listeners: HashMap::new(),
+                    conns: Slab::new(),
+                    waiters: Slab::new(),
+                    waiter_gen: 0,
+                    signals: Slab::new(),
+                    registered: 0,
+                    reg_waiting: 0,
+                    stats: NetStats::default(),
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Add a host (idempotent) and return its name back for chaining.
+    pub fn add_host(&self, name: &str) {
+        let mut st = self.core.state.lock();
+        if !st.host_by_name.contains_key(name) {
+            let id = st.hosts.len() as u32;
+            st.hosts.push(HostState { name: name.to_string(), down: false });
+            st.host_by_name.insert(name.to_string(), id);
+        }
+    }
+
+    fn host_id(st: &State, name: &str) -> io::Result<u32> {
+        st.host_by_name.get(name).copied().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("unknown host {name:?}"))
+        })
+    }
+
+    /// Configure the (symmetric) link between two hosts. Panics on unknown
+    /// hosts — topology is set up before traffic starts.
+    pub fn set_link(&self, a: &str, b: &str, spec: LinkSpec) {
+        let mut st = self.core.state.lock();
+        let ia = Self::host_id(&st, a).expect("set_link: unknown host");
+        let ib = Self::host_id(&st, b).expect("set_link: unknown host");
+        st.links.insert((ia, ib), spec);
+        st.links.insert((ib, ia), spec);
+    }
+
+    /// Default link used for host pairs with no explicit [`set_link`](Self::set_link).
+    pub fn set_default_link(&self, spec: LinkSpec) {
+        self.core.state.lock().default_link = spec;
+    }
+
+    /// Take a host offline (`down = true`): existing connections are reset,
+    /// pending backlog is dropped, new connections are refused. Bring it back
+    /// with `down = false`.
+    pub fn set_host_down(&self, name: &str, down: bool) {
+        let mut st = self.core.state.lock();
+        let id = match Self::host_id(&st, name) {
+            Ok(id) => id,
+            Err(_) => return,
+        };
+        st.hosts[id as usize].down = down;
+        if down {
+            let cids: Vec<usize> = st
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.reset && (c.hosts[0] == id || c.hosts[1] == id))
+                .map(|(cid, _)| cid)
+                .collect();
+            for cid in cids {
+                st.reset_conn(cid);
+            }
+            let keys: Vec<(u32, u16)> =
+                st.listeners.keys().copied().filter(|(h, _)| *h == id).collect();
+            for k in keys {
+                if let Some(l) = st.listeners.get_mut(&k) {
+                    l.backlog.clear();
+                }
+            }
+        }
+        st.change_tick += 1;
+        self.core.notify();
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.core.state.lock().now_ns)
+    }
+
+    /// Block the calling thread for `d` of virtual time.
+    pub fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let mut st = self.core.state.lock();
+        let deadline = st.now_ns + dur_ns(d);
+        let out = self.core.wait_on(&mut st, WaitKind::Sleep, Some(deadline));
+        debug_assert!(out == WaitOutcome::TimedOut);
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> NetStats {
+        self.core.state.lock().stats.clone()
+    }
+
+    /// Spawn a *registered* thread: the virtual clock waits for it whenever
+    /// it is runnable. The closure must only block on simulator primitives.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, name: &str, f: F) {
+        {
+            let mut st = self.core.state.lock();
+            st.registered += 1;
+        }
+        let core = Arc::clone(&self.core);
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                let id = core.core_id();
+                IN_SIM.with(|c| c.set(id));
+                struct Dereg(Arc<SimCore>);
+                impl Drop for Dereg {
+                    fn drop(&mut self) {
+                        let mut st = self.0.state.lock();
+                        st.registered -= 1;
+                        st.change_tick += 1;
+                        drop(st);
+                        self.0.notify();
+                    }
+                }
+                let _g = Dereg(core);
+                f();
+            })
+            .expect("spawn sim thread");
+    }
+
+    /// Register the *current* thread with the virtual clock for the lifetime
+    /// of the returned guard. Use in tests/benches whose main thread talks to
+    /// the network directly.
+    pub fn enter(&self) -> EnterGuard {
+        let id = self.core.core_id();
+        let prev = IN_SIM.with(|c| c.replace(id));
+        if prev != id {
+            let mut st = self.core.state.lock();
+            st.registered += 1;
+        }
+        EnterGuard { core: Arc::clone(&self.core), prev }
+    }
+
+    /// Bind a listener on `host:port`.
+    pub fn bind(&self, host: &str, port: u16) -> io::Result<SimListener> {
+        let mut st = self.core.state.lock();
+        let id = Self::host_id(&st, host)?;
+        if st.listeners.get(&(id, port)).map(|l| l.open).unwrap_or(false) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("{host}:{port} already bound"),
+            ));
+        }
+        st.listeners.insert((id, port), ListenerState { open: true, backlog: VecDeque::new() });
+        Ok(SimListener {
+            core: Arc::clone(&self.core),
+            host: id,
+            host_name: host.to_string(),
+            port,
+        })
+    }
+
+    /// Connect from `from_host` to `to_host:port`, waiting at most `timeout`.
+    pub fn connect_timeout(
+        &self,
+        from_host: &str,
+        to_host: &str,
+        port: u16,
+        timeout: Option<Duration>,
+    ) -> io::Result<SimStream> {
+        let mut st = self.core.state.lock();
+        let a = Self::host_id(&st, from_host)?;
+        let b = Self::host_id(&st, to_host)?;
+        let spec = st.link_spec(a, b);
+        let rtt = 2 * dur_ns(spec.delay);
+        let conn = Conn {
+            hosts: [a, b],
+            established: false,
+            refused: false,
+            reset: false,
+            open_handles: [1, 0],
+            dirs: [DirState::new(spec), DirState::new(spec)],
+        };
+        let cid = st.conns.insert(conn);
+        st.stats.conns_created += 1;
+        *st.stats.conns_per_host.entry(to_host.to_string()).or_insert(0) += 1;
+
+        let target_down = st.hosts[b as usize].down;
+        let listener_open = st.listeners.get(&(b, port)).map(|l| l.open).unwrap_or(false);
+        let now = st.now_ns;
+        if target_down || !listener_open {
+            // Refusal costs one RTT (SYN out, RST back).
+            st.schedule(now + rtt, EventKind::Refuse { conn: cid });
+        } else {
+            let delay = dur_ns(spec.delay);
+            // Setup costs `handshake_rtts` round trips: 1 for TCP, more when
+            // the link models a TLS-style negotiation on top.
+            let setup = rtt * u64::from(spec.handshake_rtts.max(1));
+            st.schedule(now + delay, EventKind::SynArrive { conn: cid, host: b, port });
+            st.schedule(now + setup, EventKind::Established { conn: cid });
+        }
+        self.core.notify();
+        let deadline = timeout.map(|t| st.now_ns + dur_ns(t));
+        loop {
+            let c = st.conns.get(cid).expect("conn");
+            if c.reset || c.refused {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("connection to {to_host}:{port} refused"),
+                ));
+            }
+            if c.established {
+                break;
+            }
+            match self.core.wait_on(&mut st, WaitKind::ConnectDone { conn: cid }, deadline) {
+                WaitOutcome::Ready => continue,
+                WaitOutcome::TimedOut => {
+                    st.reset_conn(cid);
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("connect to {to_host}:{port} timed out"),
+                    ));
+                }
+            }
+        }
+        drop(st);
+        Ok(SimStream {
+            core: Arc::clone(&self.core),
+            conn: cid,
+            side: 0,
+            peer: format!("{to_host}:{port}"),
+            read_timeout: None,
+        })
+    }
+
+    /// Connect without a timeout.
+    pub fn connect(&self, from_host: &str, to_host: &str, port: u16) -> io::Result<SimStream> {
+        self.connect_timeout(from_host, to_host, port, None)
+    }
+
+    /// A [`Connector`] whose outbound connections originate at `host`.
+    pub fn connector(&self, host: &str) -> Arc<SimConnector> {
+        Arc::new(SimConnector { net: self.clone(), host: host.to_string() })
+    }
+
+    /// A virtual-time [`Runtime`] for library code running on this network.
+    pub fn runtime(&self) -> Arc<SimRuntime> {
+        Arc::new(SimRuntime { net: self.clone() })
+    }
+}
+
+/// Guard returned by [`SimNet::enter`]; deregisters the thread on drop.
+pub struct EnterGuard {
+    core: Arc<SimCore>,
+    prev: usize,
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        if self.prev != self.core.core_id() {
+            IN_SIM.with(|c| c.set(self.prev));
+            let mut st = self.core.state.lock();
+            st.registered -= 1;
+            st.change_tick += 1;
+            drop(st);
+            self.core.notify();
+        }
+    }
+}
+
+/// One endpoint of a simulated connection. Blocking `Read`/`Write`.
+#[derive(Debug)]
+pub struct SimStream {
+    core: Arc<SimCore>,
+    conn: usize,
+    side: usize,
+    peer: String,
+    read_timeout: Option<Duration>,
+}
+
+impl SimStream {
+    fn send_fin_locked(st: &mut State, conn: usize, side: usize) {
+        let now = st.now_ns;
+        let (from, to, delay_ns, already) = {
+            let c = match st.conns.get_mut(conn) {
+                Some(c) => c,
+                None => return,
+            };
+            let d = &mut c.dirs[side];
+            let already = d.fin_sent || c.reset;
+            d.fin_sent = true;
+            (c.hosts[side], c.hosts[1 - side], d.delay_ns, already)
+        };
+        if already {
+            return;
+        }
+        let busy = st.link_busy.get(&(from, to)).copied().unwrap_or(0);
+        let at = busy.max(now) + delay_ns;
+        st.schedule(at, EventKind::Fin { conn, dir: side });
+    }
+}
+
+impl Read for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let core = Arc::clone(&self.core);
+        let mut st = core.state.lock();
+        let deadline = self.read_timeout.map(|t| st.now_ns + dur_ns(t));
+        let dir = 1 - self.side;
+        loop {
+            let c = st.conns.get_mut(self.conn).expect("conn alive");
+            let d = &mut c.dirs[dir];
+            if d.rbuf_len > 0 {
+                let mut n = 0;
+                while n < buf.len() && d.rbuf_len > 0 {
+                    let chunk = d.rbuf.front().expect("nonempty rbuf");
+                    let avail = chunk.len() - d.rbuf_front_off;
+                    let take = avail.min(buf.len() - n);
+                    buf[n..n + take]
+                        .copy_from_slice(&chunk[d.rbuf_front_off..d.rbuf_front_off + take]);
+                    n += take;
+                    d.rbuf_front_off += take;
+                    d.rbuf_len -= take;
+                    if d.rbuf_front_off == chunk.len() {
+                        d.rbuf.pop_front();
+                        d.rbuf_front_off = 0;
+                    }
+                }
+                return Ok(n);
+            }
+            if c.reset {
+                return Err(io::Error::new(io::ErrorKind::ConnectionReset, "connection reset"));
+            }
+            if d.fin {
+                return Ok(0);
+            }
+            match core.wait_on(
+                &mut st,
+                WaitKind::Readable { conn: self.conn, dir },
+                deadline,
+            ) {
+                WaitOutcome::Ready => continue,
+                WaitOutcome::TimedOut => {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
+                }
+            }
+        }
+    }
+}
+
+impl Write for SimStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let core = Arc::clone(&self.core);
+        let mut st = core.state.lock();
+        let dir = self.side;
+        let mut written = 0usize;
+        loop {
+            let (k, from, to, delay_ns, spec) = {
+                let c = st.conns.get_mut(self.conn).expect("conn alive");
+                if c.reset || c.refused {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "connection reset by peer",
+                    ));
+                }
+                let d = &mut c.dirs[dir];
+                if d.fin_sent {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "write after shutdown"));
+                }
+                let mut avail = d.cwnd.saturating_sub(d.inflight);
+                // Nagle: hold a sub-MSS tail while anything is in flight
+                // (it will coalesce with later writes or go out on the ACK).
+                if d.spec.nagle && d.inflight > 0 && ((buf.len() - written) as u64) < MSS {
+                    avail = 0;
+                }
+                if avail == 0 {
+                    (0, 0, 0, 0, d.spec)
+                } else {
+                    let k = (avail as usize).min(buf.len() - written);
+                    d.inflight += k as u64;
+                    (k, c.hosts[dir], c.hosts[1 - dir], d.delay_ns, d.spec)
+                }
+            };
+            if k == 0 {
+                match core.wait_on(&mut st, WaitKind::Window { conn: self.conn, dir }, None) {
+                    WaitOutcome::Ready => continue,
+                    WaitOutcome::TimedOut => unreachable!("no deadline on window waits"),
+                }
+            }
+            let now = st.now_ns;
+            let busy = st.link_busy.entry((from, to)).or_insert(0);
+            let start = (*busy).max(now);
+            let tx = spec.tx_ns(k as u64);
+            *busy = start + tx;
+            let arrive = start + tx + delay_ns;
+            let data = buf[written..written + k].to_vec();
+            st.schedule(arrive, EventKind::Deliver { conn: self.conn, dir, data });
+            // Delayed ACK: a sub-MSS segment's ACK sits on the receiver's
+            // timer (real stacks ACK every second full segment immediately).
+            let ack_hold = match spec.delayed_ack {
+                Some(t) if (k as u64) < MSS => dur_ns(t),
+                _ => 0,
+            };
+            st.schedule(
+                arrive + ack_hold + delay_ns,
+                EventKind::Ack { conn: self.conn, dir, bytes: k as u64 },
+            );
+            st.stats.bytes_sent += k as u64;
+            written += k;
+            core.notify();
+            if written == buf.len() {
+                return Ok(written);
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Stream for SimStream {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+
+    fn try_clone(&self) -> io::Result<BoxedStream> {
+        let mut st = self.core.state.lock();
+        if let Some(c) = st.conns.get_mut(self.conn) {
+            c.open_handles[self.side] += 1;
+        }
+        Ok(Box::new(SimStream {
+            core: Arc::clone(&self.core),
+            conn: self.conn,
+            side: self.side,
+            peer: self.peer.clone(),
+            read_timeout: self.read_timeout,
+        }))
+    }
+
+    fn shutdown_write(&mut self) -> io::Result<()> {
+        let core = Arc::clone(&self.core);
+        let mut st = core.state.lock();
+        SimStream::send_fin_locked(&mut st, self.conn, self.side);
+        core.notify();
+        Ok(())
+    }
+}
+
+impl Drop for SimStream {
+    fn drop(&mut self) {
+        let core = Arc::clone(&self.core);
+        let mut st = core.state.lock();
+        let send_fin = {
+            match st.conns.get_mut(self.conn) {
+                Some(c) => {
+                    c.open_handles[self.side] = c.open_handles[self.side].saturating_sub(1);
+                    c.open_handles[self.side] == 0
+                }
+                None => false,
+            }
+        };
+        if send_fin {
+            SimStream::send_fin_locked(&mut st, self.conn, self.side);
+        }
+        drop(st);
+        core.notify();
+    }
+}
+
+/// Listening socket on a simulated host.
+pub struct SimListener {
+    core: Arc<SimCore>,
+    host: u32,
+    host_name: String,
+    port: u16,
+}
+
+impl SimListener {
+    /// Accept the next inbound connection (blocking).
+    pub fn accept_sim(&self) -> io::Result<(SimStream, String)> {
+        let mut st = self.core.state.lock();
+        loop {
+            let l = st.listeners.get_mut(&(self.host, self.port)).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotConnected, "listener closed")
+            })?;
+            if !l.open {
+                return Err(io::Error::new(io::ErrorKind::NotConnected, "listener closed"));
+            }
+            if let Some(cid) = l.backlog.pop_front() {
+                let (reset, peer_host) = {
+                    let c = st.conns.get_mut(cid).expect("conn alive");
+                    if c.reset {
+                        (true, 0)
+                    } else {
+                        c.open_handles[1] += 1;
+                        (false, c.hosts[0])
+                    }
+                };
+                let peer = if reset {
+                    String::new()
+                } else {
+                    st.hosts[peer_host as usize].name.clone()
+                };
+                if reset {
+                    continue;
+                }
+                let stream = SimStream {
+                    core: Arc::clone(&self.core),
+                    conn: cid,
+                    side: 1,
+                    peer,
+                    read_timeout: None,
+                };
+                let peer = stream.peer.clone();
+                return Ok((stream, peer));
+            }
+            match self.core.wait_on(
+                &mut st,
+                WaitKind::Accept { host: self.host, port: self.port },
+                None,
+            ) {
+                WaitOutcome::Ready => continue,
+                WaitOutcome::TimedOut => unreachable!("no deadline on accept"),
+            }
+        }
+    }
+
+    /// The host this listener is bound on.
+    pub fn host_name(&self) -> &str {
+        &self.host_name
+    }
+}
+
+impl Listener for SimListener {
+    fn accept(&self) -> io::Result<(BoxedStream, String)> {
+        let (s, peer) = self.accept_sim()?;
+        Ok((Box::new(s), peer))
+    }
+
+    fn local_port(&self) -> u16 {
+        self.port
+    }
+
+    fn close(&self) {
+        let mut st = self.core.state.lock();
+        let backlog: Vec<usize> = match st.listeners.get_mut(&(self.host, self.port)) {
+            Some(l) => {
+                l.open = false;
+                l.backlog.drain(..).collect()
+            }
+            None => Vec::new(),
+        };
+        for cid in backlog {
+            st.reset_conn(cid);
+        }
+        st.wake_where(|k| matches!(*k, WaitKind::Accept { host, port } if host == self.host && port == self.port));
+        drop(st);
+        self.core.notify();
+    }
+}
+
+/// [`Connector`] bound to a simulated source host.
+pub struct SimConnector {
+    net: SimNet,
+    host: String,
+}
+
+impl Connector for SimConnector {
+    fn connect(&self, host: &str, port: u16, timeout: Option<Duration>) -> io::Result<BoxedStream> {
+        let s = self.net.connect_timeout(&self.host, host, port, timeout)?;
+        Ok(Box::new(s))
+    }
+}
+
+/// Virtual-time [`Runtime`] backed by a [`SimNet`].
+pub struct SimRuntime {
+    net: SimNet,
+}
+
+impl Runtime for SimRuntime {
+    fn now(&self) -> Duration {
+        self.net.now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.net.sleep(d);
+    }
+
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
+        self.net.spawn(name, f);
+    }
+
+    fn signal(&self) -> Arc<dyn Signal> {
+        let mut st = self.net.core.state.lock();
+        let id = st.signals.insert(SignalState { set: false });
+        drop(st);
+        Arc::new(SimSignal { core: Arc::clone(&self.net.core), id })
+    }
+}
+
+/// Virtual-time-aware manual-reset event.
+struct SimSignal {
+    core: Arc<SimCore>,
+    id: usize,
+}
+
+impl Signal for SimSignal {
+    fn wait(&self, timeout: Option<Duration>) -> bool {
+        let mut st = self.core.state.lock();
+        let deadline = timeout.map(|t| st.now_ns + dur_ns(t));
+        loop {
+            if st.signals.get(self.id).map(|s| s.set).unwrap_or(false) {
+                return true;
+            }
+            match self.core.wait_on(&mut st, WaitKind::Signal { sig: self.id }, deadline) {
+                WaitOutcome::Ready => continue,
+                WaitOutcome::TimedOut => return false,
+            }
+        }
+    }
+
+    fn set(&self) {
+        let mut st = self.core.state.lock();
+        if let Some(s) = st.signals.get_mut(self.id) {
+            s.set = true;
+        }
+        let id = self.id;
+        st.wake_where(|k| matches!(*k, WaitKind::Signal { sig } if sig == id));
+        drop(st);
+        self.core.notify();
+    }
+
+    fn reset(&self) {
+        let mut st = self.core.state.lock();
+        if let Some(s) = st.signals.get_mut(self.id) {
+            s.set = false;
+        }
+    }
+
+    fn is_set(&self) -> bool {
+        self.core.state.lock().signals.get(self.id).map(|s| s.set).unwrap_or(false)
+    }
+}
+
+impl Drop for SimSignal {
+    fn drop(&mut self) {
+        self.core.state.lock().signals.remove(self.id);
+    }
+}

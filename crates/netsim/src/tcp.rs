@@ -1,0 +1,288 @@
+//! Real-network implementations of the [`transport`](crate::transport)
+//! traits over `std::net` TCP sockets and `std::thread`.
+//!
+//! Everything written against [`Stream`]/[`Listener`]/[`Connector`]/
+//! [`Runtime`] (the davix client, the HTTP server, xrdlite) runs on loopback
+//! or LAN sockets through these types with no code changes — the simulated
+//! network is only one backend.
+
+use crate::transport::{BoxedStream, Connector, Listener, Runtime, Signal, Stream};
+use parking_lot::{Condvar, Mutex};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A [`Stream`] over a real `TcpStream`.
+pub struct TcpStreamWrap {
+    inner: TcpStream,
+    peer: String,
+}
+
+impl TcpStreamWrap {
+    /// Wrap an already-connected socket.
+    pub fn new(inner: TcpStream) -> Self {
+        let peer = inner
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        TcpStreamWrap { inner, peer }
+    }
+}
+
+impl Read for TcpStreamWrap {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for TcpStreamWrap {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Stream for TcpStreamWrap {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+
+    fn try_clone(&self) -> io::Result<BoxedStream> {
+        Ok(Box::new(TcpStreamWrap { inner: self.inner.try_clone()?, peer: self.peer.clone() }))
+    }
+
+    fn shutdown_write(&mut self) -> io::Result<()> {
+        self.inner.shutdown(Shutdown::Write)
+    }
+}
+
+/// A [`Listener`] over a real `TcpListener`.
+pub struct TcpListenerWrap {
+    inner: TcpListener,
+    port: u16,
+    closed: Arc<AtomicBool>,
+}
+
+impl TcpListenerWrap {
+    /// Bind on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let inner = TcpListener::bind(addr)?;
+        let port = inner.local_addr()?.port();
+        Ok(TcpListenerWrap { inner, port, closed: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl Listener for TcpListenerWrap {
+    fn accept(&self) -> io::Result<(BoxedStream, String)> {
+        let (s, peer) = self.inner.accept()?;
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "listener closed"));
+        }
+        s.set_nodelay(true).ok();
+        Ok((Box::new(TcpStreamWrap::new(s)), peer.to_string()))
+    }
+
+    fn local_port(&self) -> u16 {
+        self.port
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Unblock a pending accept() by connecting to ourselves.
+        if let Ok(addr) = self.inner.local_addr() {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+        }
+    }
+}
+
+/// A [`Connector`] over real TCP.
+#[derive(Default)]
+pub struct TcpConnector;
+
+impl Connector for TcpConnector {
+    fn connect(&self, host: &str, port: u16, timeout: Option<Duration>) -> io::Result<BoxedStream> {
+        let addrs: Vec<SocketAddr> = (host, port).to_socket_addrs()?.collect();
+        let addr = addrs.first().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no address for {host}:{port}"))
+        })?;
+        let s = match timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        s.set_nodelay(true).ok();
+        Ok(Box::new(TcpStreamWrap::new(s)))
+    }
+}
+
+/// Wall-clock [`Runtime`] over `std::thread` / `std::time`.
+pub struct RealRuntime {
+    start: Instant,
+}
+
+impl Default for RealRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RealRuntime {
+    /// A runtime whose epoch is "now".
+    pub fn new() -> Self {
+        RealRuntime { start: Instant::now() }
+    }
+}
+
+impl Runtime for RealRuntime {
+    fn now(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(f)
+            .expect("spawn thread");
+    }
+
+    fn signal(&self) -> Arc<dyn Signal> {
+        Arc::new(RealSignal { state: Mutex::new(false), cv: Condvar::new() })
+    }
+}
+
+/// Condvar-backed manual-reset event for the real runtime.
+struct RealSignal {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Signal for RealSignal {
+    fn wait(&self, timeout: Option<Duration>) -> bool {
+        let mut set = self.state.lock();
+        match timeout {
+            None => {
+                while !*set {
+                    self.cv.wait(&mut set);
+                }
+                true
+            }
+            Some(t) => {
+                let deadline = Instant::now() + t;
+                while !*set {
+                    if self.cv.wait_until(&mut set, deadline).timed_out() {
+                        return *set;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn set(&self) {
+        *self.state.lock() = true;
+        self.cv.notify_all();
+    }
+
+    fn reset(&self) {
+        *self.state.lock() = false;
+    }
+
+    fn is_set(&self) -> bool {
+        *self.state.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_echo_roundtrip() {
+        let listener = TcpListenerWrap::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_port();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        let conn = TcpConnector;
+        let mut s = conn.connect("127.0.0.1", port, Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_clone_allows_split_read_write() {
+        let listener = TcpListenerWrap::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_port();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 3];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        let conn = TcpConnector;
+        let s = conn.connect("127.0.0.1", port, Some(Duration::from_secs(5))).unwrap();
+        let mut w = s.try_clone().unwrap();
+        let mut r = s;
+        w.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn connect_to_closed_port_fails() {
+        let conn = TcpConnector;
+        // Bind and immediately drop to get a (very likely) unused port.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let r = conn.connect("127.0.0.1", port, Some(Duration::from_millis(500)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn read_timeout_is_honoured() {
+        let listener = TcpListenerWrap::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_port();
+        let handle = std::thread::spawn(move || {
+            let (_s, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let conn = TcpConnector;
+        let mut s = conn.connect("127.0.0.1", port, Some(Duration::from_secs(5))).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        let mut buf = [0u8; 1];
+        let err = s.read(&mut buf).unwrap_err();
+        assert!(
+            err.kind() == io::ErrorKind::WouldBlock || err.kind() == io::ErrorKind::TimedOut,
+            "unexpected error kind {:?}",
+            err.kind()
+        );
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! Transport abstraction shared by the simulated and the real network.
+//!
+//! Protocol code in the other crates (the davix client, the HTTP server, the
+//! xrdlite baseline) is written against these traits so it runs unchanged on
+//! either the [`crate::sim`] virtual network or real TCP sockets
+//! ([`crate::tcp`]).
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A bidirectional byte stream (one TCP connection or one simulated
+/// connection).
+///
+/// `try_clone` yields a second handle to the *same* connection so that one
+/// thread can read while another writes (needed by multiplexing clients such
+/// as xrdlite). The connection is closed (FIN) when the last handle is
+/// dropped.
+pub trait Stream: Read + Write + Send {
+    /// Limit how long a blocking read may wait. `None` removes the limit.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// A human-readable name for the remote endpoint (`host:port`).
+    fn peer(&self) -> String;
+
+    /// A second handle to the same underlying connection.
+    fn try_clone(&self) -> io::Result<BoxedStream>;
+
+    /// Half-close the write direction (sends FIN); reads stay usable.
+    fn shutdown_write(&mut self) -> io::Result<()>;
+}
+
+/// Owned trait object for a [`Stream`].
+pub type BoxedStream = Box<dyn Stream>;
+
+/// Accepts inbound connections on one host/port.
+pub trait Listener: Send {
+    /// Block until a client connects; returns the stream and the peer name.
+    fn accept(&self) -> io::Result<(BoxedStream, String)>;
+
+    /// The port this listener is bound to.
+    fn local_port(&self) -> u16;
+
+    /// Stop accepting: pending and future `accept` calls return an error.
+    fn close(&self);
+}
+
+/// Opens outbound connections. Implementations are bound to a local host
+/// (simulation) or to the local machine (real TCP).
+pub trait Connector: Send + Sync {
+    /// Connect to `host:port`, waiting at most `timeout` if given.
+    fn connect(&self, host: &str, port: u16, timeout: Option<Duration>) -> io::Result<BoxedStream>;
+}
+
+/// A one-shot waitable event usable from library code under simulation.
+///
+/// Libraries must *not* block on bare condition variables while running under
+/// the simulator (the virtual clock cannot see them); they wait on `Signal`s
+/// obtained from their [`Runtime`] instead. Semantics are "manual-reset
+/// event": `set` makes every current and future `wait` return until `reset`.
+pub trait Signal: Send + Sync {
+    /// Block until the signal is set (or the timeout elapses).
+    /// Returns `true` if the signal was set, `false` on timeout.
+    fn wait(&self, timeout: Option<Duration>) -> bool;
+
+    /// Set the signal, waking all waiters.
+    fn set(&self);
+
+    /// Clear the signal.
+    fn reset(&self);
+
+    /// Non-blocking check.
+    fn is_set(&self) -> bool;
+}
+
+/// Execution environment: time, sleeping, thread spawning and signals.
+///
+/// Under simulation all four are virtual-time aware; under [`RealRuntime`]
+/// they map to `std::time` / `std::thread`.
+///
+/// [`RealRuntime`]: crate::tcp::RealRuntime
+pub trait Runtime: Send + Sync {
+    /// Monotonic time since an arbitrary epoch (simulation start or process
+    /// start). Only differences are meaningful.
+    fn now(&self) -> Duration;
+
+    /// Block the calling thread for `d` (virtual or real time).
+    fn sleep(&self, d: Duration);
+
+    /// Spawn a thread that participates in the runtime. Under simulation the
+    /// thread is registered with the virtual clock; it must only block on
+    /// runtime primitives (streams, `sleep`, signals) and must eventually
+    /// exit.
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>);
+
+    /// Create a fresh (unset) [`Signal`].
+    fn signal(&self) -> Arc<dyn Signal>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::RealRuntime;
+
+    #[test]
+    fn real_runtime_signal_roundtrip() {
+        let rt = RealRuntime::new();
+        let sig = rt.signal();
+        assert!(!sig.is_set());
+        sig.set();
+        assert!(sig.is_set());
+        assert!(sig.wait(None));
+        sig.reset();
+        assert!(!sig.is_set());
+        assert!(!sig.wait(Some(Duration::from_millis(5))));
+    }
+
+    #[test]
+    fn real_runtime_spawn_and_signal() {
+        let rt = Arc::new(RealRuntime::new());
+        let sig = rt.signal();
+        let sig2 = Arc::clone(&sig);
+        rt.spawn("setter", Box::new(move || sig2.set()));
+        assert!(sig.wait(Some(Duration::from_secs(5))));
+    }
+
+    #[test]
+    fn real_runtime_clock_advances() {
+        let rt = RealRuntime::new();
+        let t0 = rt.now();
+        rt.sleep(Duration::from_millis(2));
+        assert!(rt.now() > t0);
+    }
+}

@@ -1,0 +1,256 @@
+//! A write queue that decouples producers from a blocking stream write.
+//!
+//! # Why this exists
+//!
+//! Under the simulator, a thread that blocks on a *simulator primitive*
+//! (stream read/write, [`Runtime::sleep`], [`Signal::wait`]) is visible to
+//! the virtual clock; a thread that blocks on a bare mutex is **not**. If a
+//! protocol implementation holds a `Mutex<BoxedStream>` across a
+//! `write_all` that stalls on the simulated TCP window, every other thread
+//! queued on that mutex looks *runnable* to the clock, so virtual time never
+//! advances, the window never opens, and the whole simulation hangs — an
+//! "invisible block" deadlock.
+//!
+//! [`WriteQueue`] removes the pattern: producers enqueue buffers under a
+//! lock held only for the push, and a single dedicated *registered* writer
+//! thread performs the blocking writes. The writer blocks only on the
+//! stream itself and on a [`Signal`], both of which the clock can see.
+//!
+//! The same type works unchanged over real TCP ([`RealRuntime`]) where it is
+//! merely a convenient single-writer serialization point.
+//!
+//! [`RealRuntime`]: crate::tcp::RealRuntime
+//! [`Runtime::sleep`]: crate::transport::Runtime::sleep
+//! [`Signal::wait`]: crate::transport::Signal::wait
+
+use crate::transport::{BoxedStream, Runtime, Signal};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// FIFO queue of byte buffers drained onto a stream by a dedicated thread.
+///
+/// * [`push`](WriteQueue::push) never blocks on the network;
+/// * buffers are written in push order, each with one `write_all`;
+/// * a write error marks the queue *dead*: the writer thread exits and all
+///   later pushes fail with [`io::ErrorKind::BrokenPipe`] carrying the
+///   original error text;
+/// * [`close`](WriteQueue::close) lets the writer drain what is already
+///   queued and then exit.
+pub struct WriteQueue {
+    q: Mutex<VecDeque<Vec<u8>>>,
+    avail: Arc<dyn Signal>,
+    closed: AtomicBool,
+    dead: AtomicBool,
+    dead_reason: Mutex<Option<String>>,
+    /// Total buffers accepted by [`push`](WriteQueue::push).
+    pushed: AtomicU64,
+    /// Total buffers fully written to the stream.
+    written: AtomicU64,
+}
+
+impl WriteQueue {
+    /// Create the queue and spawn its writer thread on `rt`.
+    ///
+    /// `name` names the writer thread (visible in simulator stall dumps).
+    /// The thread owns `stream` and exits when the queue is closed and
+    /// drained, or on the first write error.
+    pub fn spawn(rt: &Arc<dyn Runtime>, name: &str, mut stream: BoxedStream) -> Arc<WriteQueue> {
+        let wq = Arc::new(WriteQueue {
+            q: Mutex::new(VecDeque::new()),
+            avail: rt.signal(),
+            closed: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            dead_reason: Mutex::new(None),
+            pushed: AtomicU64::new(0),
+            written: AtomicU64::new(0),
+        });
+        let wq2 = Arc::clone(&wq);
+        rt.spawn(
+            name,
+            Box::new(move || {
+                use std::io::Write;
+                loop {
+                    let item = wq2.q.lock().pop_front();
+                    match item {
+                        Some(buf) => {
+                            if let Err(e) = stream.write_all(&buf) {
+                                wq2.mark_dead(&e);
+                                return;
+                            }
+                            wq2.written.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if wq2.closed.load(Ordering::Acquire) {
+                                return;
+                            }
+                            // Reset *before* the emptiness re-check so a
+                            // producer's `set` between the check and `wait`
+                            // is not lost.
+                            wq2.avail.reset();
+                            if wq2.q.lock().is_empty() && !wq2.closed.load(Ordering::Acquire) {
+                                wq2.avail.wait(None);
+                            }
+                        }
+                    }
+                }
+            }),
+        );
+        wq
+    }
+
+    fn mark_dead(&self, e: &io::Error) {
+        *self.dead_reason.lock() = Some(e.to_string());
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Enqueue `buf` for writing. Fails if the queue is closed or the
+    /// stream already errored; success does **not** guarantee delivery
+    /// (a later write error is reported to subsequent pushes only).
+    pub fn push(&self, buf: Vec<u8>) -> io::Result<()> {
+        if self.dead.load(Ordering::Acquire) {
+            let reason = self
+                .dead_reason
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "write queue dead".to_string());
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, reason));
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "write queue closed"));
+        }
+        self.q.lock().push_back(buf);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.avail.set();
+        Ok(())
+    }
+
+    /// Stop accepting pushes; the writer drains what is queued, then exits.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.avail.set();
+    }
+
+    /// Whether a write error has occurred.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Buffers accepted so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Buffers fully written so far.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{LinkSpec, SimNet};
+    use std::io::Read;
+    use std::time::Duration;
+
+    #[test]
+    fn drains_in_fifo_order() {
+        let net = SimNet::new();
+        net.add_host("a");
+        net.add_host("b");
+        net.set_link("a", "b", LinkSpec::lan());
+        let listener = net.bind("b", 9).unwrap();
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let collected2 = Arc::clone(&collected);
+        net.spawn("sink", move || {
+            let (mut s, _) = listener.accept_sim().unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+            *collected2.lock() = buf;
+        });
+        let _g = net.enter();
+        let stream = net.connect("a", "b", 9).unwrap();
+        let rt: Arc<dyn Runtime> = net.runtime();
+        let wq = WriteQueue::spawn(&rt, "wq", Box::new(stream));
+        for i in 0..10u8 {
+            wq.push(vec![i; 3]).unwrap();
+        }
+        wq.close();
+        net.sleep(Duration::from_secs(1));
+        let got = collected.lock().clone();
+        let want: Vec<u8> = (0..10u8).flat_map(|i| [i; 3]).collect();
+        assert_eq!(got, want);
+        assert_eq!(wq.pushed(), 10);
+        assert_eq!(wq.written(), 10);
+    }
+
+    #[test]
+    fn push_after_close_fails() {
+        let net = SimNet::new();
+        net.add_host("a");
+        net.add_host("b");
+        net.set_link("a", "b", LinkSpec::lan());
+        let listener = net.bind("b", 9).unwrap();
+        net.spawn("sink", move || {
+            let (mut s, _) = listener.accept_sim().unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let _g = net.enter();
+        let stream = net.connect("a", "b", 9).unwrap();
+        let rt: Arc<dyn Runtime> = net.runtime();
+        let wq = WriteQueue::spawn(&rt, "wq", Box::new(stream));
+        wq.close();
+        assert!(wq.push(vec![1]).is_err());
+    }
+
+    #[test]
+    fn producers_never_block_on_window() {
+        // The regression this type exists for: a producer pushing far more
+        // than the TCP window must return immediately; the writer thread
+        // absorbs the blocking. Before WriteQueue this pattern (mutex held
+        // across a window-blocked write) hung the simulation.
+        let net = SimNet::new();
+        net.add_host("a");
+        net.add_host("b");
+        net.set_link(
+            "a",
+            "b",
+            LinkSpec {
+                delay: Duration::from_millis(50),
+                bandwidth: Some(1 << 20),
+                ..Default::default()
+            },
+        );
+        let listener = net.bind("b", 9).unwrap();
+        let total = Arc::new(AtomicU64::new(0));
+        let total2 = Arc::clone(&total);
+        net.spawn("sink", move || {
+            let (mut s, _) = listener.accept_sim().unwrap();
+            let mut buf = [0u8; 65536];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => {
+                        total2.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        let _g = net.enter();
+        let stream = net.connect("a", "b", 9).unwrap();
+        let rt: Arc<dyn Runtime> = net.runtime();
+        let wq = WriteQueue::spawn(&rt, "wq", Box::new(stream));
+        let t0 = net.now();
+        for _ in 0..8 {
+            wq.push(vec![0xAB; 512 * 1024]).unwrap(); // 4 MiB ≫ any window
+        }
+        assert_eq!(net.now(), t0, "push must not consume virtual time");
+        wq.close();
+        net.sleep(Duration::from_secs(60));
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 512 * 1024);
+    }
+}

@@ -1,0 +1,402 @@
+//! Behavioural tests for the virtual-time network simulator: exact latency
+//! arithmetic, TCP slow start, bandwidth serialization, failure injection,
+//! timeouts, signals and determinism.
+
+use netsim::{LinkSpec, Runtime, SimNet};
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn two_hosts(delay: Duration, bandwidth: Option<u64>) -> SimNet {
+    let net = SimNet::new();
+    net.add_host("client");
+    net.add_host("server");
+    net.set_link(
+        "client",
+        "server",
+        LinkSpec { delay, bandwidth, ..Default::default() },
+    );
+    net
+}
+
+/// One request/response exchange costs exactly 2 RTT: 1 RTT handshake,
+/// 1/2 RTT request, 1/2 RTT response (no bandwidth term).
+#[test]
+fn ping_pong_costs_exactly_two_rtt() {
+    let delay = Duration::from_millis(10);
+    let net = two_hosts(delay, None);
+    let listener = net.bind("server", 80).unwrap();
+    net.spawn("server", move || {
+        let (mut s, _) = listener.accept_sim().unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        s.write_all(b"pong").unwrap();
+    });
+
+    let _g = net.enter();
+    let mut c = net.connect("client", "server", 80).unwrap();
+    assert_eq!(net.now(), Duration::from_millis(20), "handshake = 1 RTT");
+    c.write_all(b"ping").unwrap();
+    let mut buf = [0u8; 4];
+    c.read_exact(&mut buf).unwrap();
+    assert_eq!(&buf, b"pong");
+    assert_eq!(net.now(), Duration::from_millis(40), "total = 2 RTT");
+}
+
+/// A cold connection pays slow start on a bulk transfer; reusing the same
+/// connection (grown congestion window) is strictly faster. This is the
+/// mechanism behind the paper's session-recycling argument (§2.2).
+#[test]
+fn slow_start_makes_cold_transfers_slower_than_warm() {
+    let delay = Duration::from_millis(20);
+    let net = two_hosts(delay, None);
+    let listener = net.bind("server", 80).unwrap();
+    let payload = 1_000_000usize;
+    net.spawn("server", move || {
+        for _ in 0..2 {
+            let (mut s, _) = listener.accept_sim().unwrap();
+            for _ in 0..2 {
+                let mut buf = [0u8; 1];
+                if s.read_exact(&mut buf).is_err() {
+                    break;
+                }
+                s.write_all(&vec![0xABu8; payload]).unwrap();
+            }
+        }
+    });
+
+    let _g = net.enter();
+    let read_back = |s: &mut netsim::SimStream| {
+        s.write_all(b"x").unwrap();
+        let mut got = vec![0u8; payload];
+        s.read_exact(&mut got).unwrap();
+    };
+
+    let mut c = net.connect("client", "server", 80).unwrap();
+    let t0 = net.now();
+    read_back(&mut c);
+    let cold = net.now() - t0;
+
+    let t1 = net.now();
+    read_back(&mut c);
+    let warm = net.now() - t1;
+
+    assert!(
+        warm < cold,
+        "warm transfer ({warm:?}) should beat cold transfer ({cold:?})"
+    );
+    // Cold: ~RTT * log2(1 MB / 14.6 KB) ≈ 6 extra round trips.
+    assert!(cold >= warm + Duration::from_millis(100), "cold={cold:?} warm={warm:?}");
+}
+
+/// Bandwidth serialization: transferring N bytes over a B byte/s link takes
+/// at least N/B of virtual time.
+#[test]
+fn bandwidth_limits_bulk_throughput() {
+    let bw = 1_000_000u64; // 1 MB/s
+    let net = two_hosts(Duration::from_micros(100), Some(bw));
+    let listener = net.bind("server", 80).unwrap();
+    let payload = 2_000_000usize; // 2 MB → ≥ 2 s
+    net.spawn("server", move || {
+        let (mut s, _) = listener.accept_sim().unwrap();
+        let mut buf = [0u8; 1];
+        s.read_exact(&mut buf).unwrap();
+        s.write_all(&vec![7u8; payload]).unwrap();
+    });
+
+    let _g = net.enter();
+    let mut c = net.connect("client", "server", 80).unwrap();
+    c.write_all(b"x").unwrap();
+    let mut got = vec![0u8; payload];
+    c.read_exact(&mut got).unwrap();
+    let elapsed = net.now();
+    assert!(elapsed >= Duration::from_secs(2), "{elapsed:?} < serialization time");
+    assert!(elapsed < Duration::from_secs(4), "{elapsed:?} unreasonably slow");
+}
+
+/// Connecting to a port nobody listens on is refused after one RTT.
+#[test]
+fn connect_refused_costs_one_rtt() {
+    let delay = Duration::from_millis(5);
+    let net = two_hosts(delay, None);
+    let _g = net.enter();
+    let err = net.connect("client", "server", 81).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    assert_eq!(net.now(), Duration::from_millis(10));
+}
+
+/// Killing a host resets established connections and refuses new ones;
+/// bringing it back restores service.
+#[test]
+fn host_down_resets_connections_and_refuses_new_ones() {
+    let net = two_hosts(Duration::from_millis(1), None);
+    let listener = net.bind("server", 80).unwrap();
+    net.spawn("server", move || {
+        while let Ok((mut s, _)) = listener.accept_sim() {
+            let mut buf = [0u8; 1];
+            if s.read_exact(&mut buf).is_ok() {
+                let _ = s.write_all(b"y");
+            }
+        }
+    });
+
+    let _g = net.enter();
+    let mut c = net.connect("client", "server", 80).unwrap();
+    net.set_host_down("server", true);
+    let err = c.write_all(b"x").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    let err = net.connect("client", "server", 80).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+
+    net.set_host_down("server", false);
+    let mut c2 = net.connect("client", "server", 80).unwrap();
+    c2.write_all(b"x").unwrap();
+    let mut buf = [0u8; 1];
+    c2.read_exact(&mut buf).unwrap();
+    assert_eq!(&buf, b"y");
+}
+
+/// Read timeouts fire in virtual time.
+#[test]
+fn read_timeout_fires() {
+    let net = two_hosts(Duration::from_millis(1), None);
+    let listener = net.bind("server", 80).unwrap();
+    let net_srv = net.clone();
+    net.spawn("server", move || {
+        // Accept and hold the connection open without answering.
+        let (_s, _) = listener.accept_sim().unwrap();
+        net_srv.sleep(Duration::from_secs(10));
+    });
+
+    let _g = net.enter();
+    let mut c = net.connect("client", "server", 80).unwrap();
+    netsim::Stream::set_read_timeout(&mut c, Some(Duration::from_millis(50))).unwrap();
+    let t0 = net.now();
+    let mut buf = [0u8; 1];
+    let err = c.read(&mut buf).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    assert_eq!(net.now() - t0, Duration::from_millis(50));
+}
+
+/// EOF: when the peer drops its stream the reader sees Ok(0) after the FIN
+/// propagates.
+#[test]
+fn fin_propagates_as_eof() {
+    let net = two_hosts(Duration::from_millis(2), None);
+    let listener = net.bind("server", 80).unwrap();
+    net.spawn("server", move || {
+        let (mut s, _) = listener.accept_sim().unwrap();
+        s.write_all(b"bye").unwrap();
+        // drop → FIN
+    });
+
+    let _g = net.enter();
+    let mut c = net.connect("client", "server", 80).unwrap();
+    let mut all = Vec::new();
+    c.read_to_end(&mut all).unwrap();
+    assert_eq!(all, b"bye");
+}
+
+/// Signals let unregistered-looking waits participate in virtual time:
+/// a sleeper thread sets a signal at t+100 ms; the waiter observes it and the
+/// clock advanced by exactly that much.
+#[test]
+fn signals_are_virtual_time_aware() {
+    let net = SimNet::new();
+    net.add_host("h");
+    let rt = net.runtime();
+    let sig = rt.signal();
+    let sig2 = Arc::clone(&sig);
+    let rt2 = Arc::clone(&rt) as Arc<dyn Runtime>;
+    net.spawn("setter", move || {
+        rt2.sleep(Duration::from_millis(100));
+        sig2.set();
+    });
+    let _g = net.enter();
+    assert!(sig.wait(Some(Duration::from_secs(5))));
+    assert_eq!(net.now(), Duration::from_millis(100));
+}
+
+/// Signal wait with timeout that elapses (virtual time).
+#[test]
+fn signal_wait_times_out_in_virtual_time() {
+    let net = SimNet::new();
+    net.add_host("h");
+    let rt = net.runtime();
+    let sig = rt.signal();
+    let _g = net.enter();
+    assert!(!sig.wait(Some(Duration::from_millis(30))));
+    assert_eq!(net.now(), Duration::from_millis(30));
+}
+
+/// The same single-client scenario produces bit-identical virtual timings on
+/// repeated runs.
+#[test]
+fn deterministic_timing_across_runs() {
+    fn run() -> (Duration, u64) {
+        let net = two_hosts(Duration::from_millis(7), Some(10_000_000));
+        let listener = net.bind("server", 80).unwrap();
+        net.spawn("server", move || {
+            for _ in 0..3 {
+                let (mut s, _) = listener.accept_sim().unwrap();
+                let mut buf = [0u8; 2];
+                if s.read_exact(&mut buf).is_err() {
+                    return;
+                }
+                s.write_all(&vec![1u8; 100_000]).unwrap();
+            }
+        });
+        let _g = net.enter();
+        for _ in 0..3 {
+            let mut c = net.connect("client", "server", 80).unwrap();
+            c.write_all(b"go").unwrap();
+            let mut got = vec![0u8; 100_000];
+            c.read_exact(&mut got).unwrap();
+        }
+        (net.now(), net.stats().bytes_delivered)
+    }
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+/// Concurrent transfers share a link: two parallel 1 MB transfers over a
+/// 1 MB/s link take ≈2 s (FIFO serialization), not ≈1 s.
+#[test]
+fn concurrent_transfers_share_bandwidth() {
+    let bw = 1_000_000u64;
+    let net = two_hosts(Duration::from_micros(100), Some(bw));
+    let listener = net.bind("server", 80).unwrap();
+    let net2 = net.clone();
+    net.spawn("server-accept", move || {
+        for i in 0..2 {
+            let (mut s, _) = listener.accept_sim().unwrap();
+            net2.spawn(&format!("server-conn-{i}"), move || {
+                let mut buf = [0u8; 1];
+                if s.read_exact(&mut buf).is_ok() {
+                    s.write_all(&vec![0u8; 1_000_000]).unwrap();
+                }
+            });
+        }
+    });
+
+    let net3 = net.clone();
+    let done = net.runtime().signal();
+    let done2 = Arc::clone(&done);
+    net.spawn("client-b", move || {
+        let mut c = net3.connect("client", "server", 80).unwrap();
+        c.write_all(b"x").unwrap();
+        let mut got = vec![0u8; 1_000_000];
+        c.read_exact(&mut got).unwrap();
+        done2.set();
+    });
+
+    let _g = net.enter();
+    let mut c = net.connect("client", "server", 80).unwrap();
+    c.write_all(b"x").unwrap();
+    let mut got = vec![0u8; 1_000_000];
+    c.read_exact(&mut got).unwrap();
+    assert!(done.wait(Some(Duration::from_secs(60))));
+    let elapsed = net.now();
+    assert!(elapsed >= Duration::from_millis(1900), "{elapsed:?}: link not shared?");
+}
+
+/// A TLS-like handshake (3 RTTs) delays connection establishment by exactly
+/// the extra round trips — the §2.2 cost the paper rejects SPDY over.
+#[test]
+fn tls_handshake_costs_extra_round_trips() {
+    let delay = Duration::from_millis(10);
+    let net = SimNet::new();
+    net.add_host("client");
+    net.add_host("server");
+    net.set_link(
+        "client",
+        "server",
+        LinkSpec { delay, ..Default::default() }.with_tls_handshake(),
+    );
+    let listener = net.bind("server", 443).unwrap();
+    net.spawn("server", move || {
+        let _ = listener.accept_sim();
+    });
+    let _g = net.enter();
+    let _c = net.connect("client", "server", 443).unwrap();
+    assert_eq!(net.now(), Duration::from_millis(60), "3 RTTs instead of 1");
+}
+
+/// With Nagle + delayed ACK, back-to-back small writes serialize on the
+/// delayed-ACK timer; with TCP_NODELAY (the default) they leave immediately.
+/// This is the §2.2 pipelining pathology.
+#[test]
+fn nagle_with_delayed_ack_stalls_small_writes() {
+    fn send_time(nagle: bool) -> Duration {
+        let delay = Duration::from_millis(5);
+        let base = LinkSpec { delay, ..Default::default() };
+        let net = SimNet::new();
+        net.add_host("client");
+        net.add_host("server");
+        net.set_link("client", "server", if nagle { base.with_nagle() } else { base });
+        let listener = net.bind("server", 80).unwrap();
+        net.spawn("server", move || {
+            let (mut s, _) = listener.accept_sim().unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let _g = net.enter();
+        let mut c = net.connect("client", "server", 80).unwrap();
+        let t0 = net.now();
+        for _ in 0..4 {
+            c.write_all(&[0u8; 100]).unwrap(); // 4 sub-MSS writes
+        }
+        net.now() - t0
+    }
+    let plain = send_time(false);
+    let nagled = send_time(true);
+    assert_eq!(plain, Duration::ZERO, "NODELAY writes must not block");
+    // Each held write waits for the previous segment's delayed ACK:
+    // ≥ 3 × (40 ms timer + RTT).
+    assert!(
+        nagled >= Duration::from_millis(3 * 50),
+        "nagle+delayed-ack must stall sub-MSS writes, got {nagled:?}"
+    );
+}
+
+/// Nagle never delays MSS-sized (bulk) traffic.
+#[test]
+fn nagle_does_not_penalize_bulk_writes() {
+    fn bulk_time(nagle: bool) -> Duration {
+        let delay = Duration::from_millis(5);
+        let base = LinkSpec { delay, ..Default::default() };
+        let net = SimNet::new();
+        net.add_host("client");
+        net.add_host("server");
+        net.set_link("client", "server", if nagle { base.with_nagle() } else { base });
+        let listener = net.bind("server", 80).unwrap();
+        let done = net.runtime().signal();
+        let done2 = Arc::clone(&done);
+        net.spawn("server", move || {
+            let (mut s, _) = listener.accept_sim().unwrap();
+            let mut sink = vec![0u8; 1 << 20];
+            let mut got = 0;
+            while got < 1 << 20 {
+                match s.read(&mut sink[got..]) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => got += n,
+                }
+            }
+            done2.set();
+        });
+        let _g = net.enter();
+        let mut c = net.connect("client", "server", 80).unwrap();
+        let t0 = net.now();
+        c.write_all(&vec![7u8; 1 << 20]).unwrap();
+        done.wait(None);
+        net.now() - t0
+    }
+    let plain = bulk_time(false);
+    let nagled = bulk_time(true);
+    // The trailing partial segment may cost one delayed ACK, nothing more.
+    assert!(
+        nagled <= plain + Duration::from_millis(50),
+        "bulk transfer must be unaffected by nagle: {plain:?} vs {nagled:?}"
+    );
+}

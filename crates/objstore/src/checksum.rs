@@ -1,0 +1,5 @@
+//! Checksums used by the storage layer — shared implementation lives in
+//! [`ioapi::checksum`] so the davix client can verify Metalink hashes with
+//! the same code that generates them server-side.
+
+pub use ioapi::checksum::{adler32, crc32, to_hex};

@@ -1,0 +1,319 @@
+//! The analysis job: histograms and the event loop used to reproduce the
+//! paper's §3 evaluation ("a High Energy analysis job based on ROOT reading
+//! a fraction or the totality of ~12 000 particle events").
+
+use crate::cache::{TreeCache, TreeCacheOptions};
+use crate::reader::TreeReader;
+use netsim::Runtime;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fixed-bin 1-D histogram (what HEP analyses fill).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Entries below range.
+    pub underflow: u64,
+    /// Entries above range.
+    pub overflow: u64,
+    entries: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// `n` bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Histogram {
+        assert!(hi > lo && n > 0, "bad histogram range");
+        Histogram { lo, hi, bins: vec![0; n], underflow: 0, overflow: 0, entries: 0, sum: 0.0 }
+    }
+
+    /// Fill one value.
+    pub fn fill(&mut self, x: f64) {
+        self.entries += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total entries (including under/overflow).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Mean of filled values.
+    pub fn mean(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            self.sum / self.entries as f64
+        }
+    }
+
+    /// Bin contents.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.bins
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Job parameters.
+#[derive(Debug, Clone)]
+pub struct AnalysisJob {
+    /// Fraction of events to process (1.0 = all; the paper also ran
+    /// fractional selections). Selection is a deterministic stride.
+    pub fraction: f64,
+    /// Modelled CPU cost per processed event (virtual time under
+    /// simulation); calibrated so the LAN job lands near the paper's ~97 s.
+    pub per_event_cpu: Duration,
+    /// Also read the calorimeter array (bulk of the bytes).
+    pub read_calorimeter: bool,
+}
+
+impl Default for AnalysisJob {
+    fn default() -> Self {
+        AnalysisJob {
+            fraction: 1.0,
+            per_event_cpu: Duration::ZERO,
+            read_calorimeter: true,
+        }
+    }
+}
+
+/// What a finished job reports.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Events actually processed.
+    pub events_processed: u64,
+    /// Invariant-mass histogram of opposite-charge pairs.
+    pub mass_histogram: Histogram,
+    /// Total calorimeter energy observed (checksum-like validation value).
+    pub cal_sum: i64,
+    /// Vectored windows loaded by the TreeCache.
+    pub windows_loaded: u64,
+}
+
+impl AnalysisJob {
+    /// Run the job over `reader` using the given cache configuration.
+    ///
+    /// The event loop mirrors a simple dilepton search: per event read the
+    /// kinematics, pair with the previous opposite-charge candidate, fill an
+    /// invariant-mass histogram; optionally sum calorimeter deposits.
+    pub fn run(
+        &self,
+        reader: Arc<TreeReader>,
+        cache_opts: TreeCacheOptions,
+        rt: &Arc<dyn Runtime>,
+    ) -> io::Result<JobReport> {
+        let schema = reader.schema().clone();
+        let idx = |name: &str| {
+            schema.index_of(name).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("missing branch {name}"))
+            })
+        };
+        let (px, py, pz, en, q) =
+            (idx("px")?, idx("py")?, idx("pz")?, idx("energy")?, idx("charge")?);
+        let cal = if self.read_calorimeter { Some(idx("cal")?) } else { None };
+        let cal_width = match schema.branches.get(cal.unwrap_or(0)).map(|b| b.kind) {
+            Some(crate::model::BranchKind::I16Array(n)) => n,
+            _ => 0,
+        };
+        let mut branches: Vec<usize> = vec![px, py, pz, en, q];
+        if let Some(c) = cal {
+            branches.push(c);
+        }
+        let mut cache = TreeCache::new(Arc::clone(&reader), &branches, cache_opts);
+
+        let stride = if self.fraction >= 1.0 {
+            1u64
+        } else if self.fraction <= 0.0 {
+            return Ok(JobReport {
+                events_processed: 0,
+                mass_histogram: Histogram::new(0.0, 200.0, 100),
+                cal_sum: 0,
+                windows_loaded: 0,
+            });
+        } else {
+            (1.0 / self.fraction).round().max(1.0) as u64
+        };
+
+        let mut histogram = Histogram::new(0.0, 200.0, 100);
+        let mut cal_sum: i64 = 0;
+        let mut processed = 0u64;
+        let mut prev: Option<(f32, f32, f32, f32, i8)> = None;
+
+        let mut ev = 0u64;
+        while ev < reader.n_events() {
+            let e = (
+                cache.f32_value(px, ev)?,
+                cache.f32_value(py, ev)?,
+                cache.f32_value(pz, ev)?,
+                cache.f32_value(en, ev)?,
+                cache.i8_value(q, ev)?,
+            );
+            if let Some(p) = prev {
+                if p.4 != e.4 {
+                    // Opposite charge: invariant mass of the pair.
+                    let e_tot = (p.3 + e.3) as f64;
+                    let px_t = (p.0 + e.0) as f64;
+                    let py_t = (p.1 + e.1) as f64;
+                    let pz_t = (p.2 + e.2) as f64;
+                    let m2 = e_tot * e_tot - (px_t * px_t + py_t * py_t + pz_t * pz_t);
+                    if m2 > 0.0 {
+                        histogram.fill(m2.sqrt());
+                    }
+                }
+            }
+            prev = Some(e);
+            if let Some(c) = cal {
+                for v in cache.i16_array(c, ev, cal_width)? {
+                    cal_sum += v as i64;
+                }
+            }
+            if !self.per_event_cpu.is_zero() {
+                rt.sleep(self.per_event_cpu);
+            }
+            processed += 1;
+            ev += stride;
+        }
+
+        Ok(JobReport {
+            events_processed: processed,
+            mass_histogram: histogram,
+            cal_sum,
+            windows_loaded: cache.windows_loaded(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Generator, Schema};
+    use crate::writer::{write_tree, WriterOptions};
+    use ioapi::MemFile;
+
+    fn reader(n_events: u64) -> Arc<TreeReader> {
+        let mut g = Generator::new(Schema::hep(8), 99);
+        let bytes = write_tree(
+            &mut g,
+            n_events,
+            &WriterOptions { events_per_basket: 100, compress: true },
+        );
+        Arc::new(TreeReader::open(Arc::new(MemFile::new(bytes))).unwrap())
+    }
+
+    fn rt() -> Arc<dyn Runtime> {
+        Arc::new(netsim::RealRuntime::new())
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.fill(-1.0);
+        h.fill(0.0);
+        h.fill(5.5);
+        h.fill(9.999);
+        h.fill(10.0);
+        h.fill(100.0);
+        assert_eq!(h.entries(), 6);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad histogram range")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(5.0, 5.0, 10);
+    }
+
+    #[test]
+    fn full_job_processes_all_events() {
+        let r = reader(1_000);
+        let job = AnalysisJob::default();
+        let report = job.run(r, TreeCacheOptions::default(), &rt()).unwrap();
+        assert_eq!(report.events_processed, 1_000);
+        assert!(report.mass_histogram.entries() > 300, "plenty of opposite-charge pairs");
+        assert_ne!(report.cal_sum, 0);
+    }
+
+    #[test]
+    fn fractional_job_strides() {
+        let r = reader(1_000);
+        let job = AnalysisJob { fraction: 0.1, ..Default::default() };
+        let report = job.run(r, TreeCacheOptions::default(), &rt()).unwrap();
+        assert_eq!(report.events_processed, 100);
+    }
+
+    #[test]
+    fn zero_fraction_is_empty() {
+        let r = reader(100);
+        let job = AnalysisJob { fraction: 0.0, ..Default::default() };
+        let report = job.run(r, TreeCacheOptions::default(), &rt()).unwrap();
+        assert_eq!(report.events_processed, 0);
+    }
+
+    #[test]
+    fn results_are_identical_with_and_without_cache() {
+        let r = reader(2_000);
+        let job = AnalysisJob::default();
+        let with = job
+            .run(Arc::clone(&r), TreeCacheOptions { enabled: true, ..Default::default() }, &rt())
+            .unwrap();
+        let without = job
+            .run(Arc::clone(&r), TreeCacheOptions { enabled: false, ..Default::default() }, &rt())
+            .unwrap();
+        assert_eq!(with.events_processed, without.events_processed);
+        assert_eq!(with.cal_sum, without.cal_sum);
+        assert_eq!(with.mass_histogram, without.mass_histogram);
+        assert!(with.windows_loaded > 0);
+        assert_eq!(without.windows_loaded, 0);
+    }
+
+    #[test]
+    fn kinematics_only_job_skips_calorimeter() {
+        let r = reader(500);
+        let job = AnalysisJob { read_calorimeter: false, ..Default::default() };
+        let report = job.run(r, TreeCacheOptions::default(), &rt()).unwrap();
+        assert_eq!(report.cal_sum, 0);
+        assert_eq!(report.events_processed, 500);
+    }
+
+    #[test]
+    fn per_event_cpu_advances_virtual_time() {
+        let net = netsim::SimNet::new();
+        net.add_host("h");
+        let rt: Arc<dyn Runtime> = net.runtime();
+        let r = reader(100);
+        let job = AnalysisJob {
+            per_event_cpu: Duration::from_millis(2),
+            read_calorimeter: false,
+            ..Default::default()
+        };
+        let _g = net.enter();
+        let t0 = net.now();
+        job.run(r, TreeCacheOptions::default(), &rt).unwrap();
+        assert_eq!(net.now() - t0, Duration::from_millis(200));
+    }
+}

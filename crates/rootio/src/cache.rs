@@ -1,0 +1,388 @@
+//! The TreeCache: vectored basket fetching with optional asynchronous
+//! prefetch of the next event window.
+//!
+//! This reproduces ROOT's `TTreeCache` role in the paper's Figure 3: the
+//! analysis asks for branch values event by event; the cache translates that
+//! into *one vectored read per event window* through
+//! [`RandomAccess::read_vec`]. When the source supports prefetch
+//! (xrdlite), the *next* window is requested asynchronously while the
+//! application processes the current one — the latency-hiding that gives the
+//! baseline protocol its WAN edge in Figure 4.
+
+use crate::reader::TreeReader;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+/// Cache tuning.
+#[derive(Debug, Clone)]
+pub struct TreeCacheOptions {
+    /// Events per fetch window (how many events' baskets are gathered into
+    /// one vectored read). ROOT sizes its cache in bytes; we size in events
+    /// for determinism.
+    pub window_events: u64,
+    /// Master switch: `false` = no gathering, every basket is fetched with
+    /// its own scalar read on demand (the pre-TTreeCache world; ablation A2).
+    pub enabled: bool,
+    /// Ask the source to prefetch the following window asynchronously
+    /// (only effective when the source [`supports_prefetch`]).
+    ///
+    /// [`supports_prefetch`]: RandomAccess::supports_prefetch
+    pub prefetch: bool,
+}
+
+impl Default for TreeCacheOptions {
+    fn default() -> Self {
+        TreeCacheOptions { window_events: 2_000, enabled: true, prefetch: false }
+    }
+}
+
+/// Basket cache for a set of branches over one tree.
+pub struct TreeCache {
+    reader: Arc<TreeReader>,
+    branches: Vec<usize>,
+    opts: TreeCacheOptions,
+    /// Decompressed columns by basket id.
+    cached: HashMap<usize, Arc<Vec<u8>>>,
+    /// First event of the currently loaded window (`u64::MAX` = none).
+    window_start: u64,
+    /// Fetch-window statistics.
+    windows_loaded: u64,
+    prefetches_issued: u64,
+}
+
+impl TreeCache {
+    /// Build a cache over `branches` (indices into the schema).
+    pub fn new(reader: Arc<TreeReader>, branches: &[usize], opts: TreeCacheOptions) -> TreeCache {
+        TreeCache {
+            reader,
+            branches: branches.to_vec(),
+            opts,
+            cached: HashMap::new(),
+            window_start: u64::MAX,
+            windows_loaded: 0,
+            prefetches_issued: 0,
+        }
+    }
+
+    /// Convenience: resolve branch names.
+    pub fn for_branches(
+        reader: Arc<TreeReader>,
+        names: &[&str],
+        opts: TreeCacheOptions,
+    ) -> io::Result<TreeCache> {
+        let mut branches = Vec::with_capacity(names.len());
+        for n in names {
+            branches.push(reader.schema().index_of(n).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("no branch {n:?}"))
+            })?);
+        }
+        Ok(TreeCache::new(reader, &branches, opts))
+    }
+
+    /// Number of vectored window loads performed.
+    pub fn windows_loaded(&self) -> u64 {
+        self.windows_loaded
+    }
+
+    /// Number of async prefetches issued.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetches_issued
+    }
+
+    /// The baskets needed for events `[start, start+window)` of the selected
+    /// branches, as `(basket_id, offset, len)`, offset-sorted.
+    fn window_baskets(&self, start: u64) -> Vec<(usize, u64, usize)> {
+        let end = (start + self.opts.window_events).min(self.reader.n_events());
+        let per = self.reader.events_per_basket() as u64;
+        let mut out = Vec::new();
+        let mut ev = (start / per) * per;
+        while ev < end {
+            for &b in &self.branches {
+                if let Ok(basket) = self.reader.basket_for(b, ev) {
+                    let info = self.reader.baskets()[basket];
+                    out.push((basket, info.offset, info.len as usize));
+                }
+            }
+            ev += per;
+        }
+        out.sort_by_key(|&(_, off, _)| off);
+        out
+    }
+
+    /// Load the window containing `event`; optionally prefetch the next one.
+    fn load_window(&mut self, event: u64) -> io::Result<()> {
+        let start = (event / self.opts.window_events) * self.opts.window_events;
+        let needed = self.window_baskets(start);
+        let missing: Vec<(usize, u64, usize)> =
+            needed.iter().filter(|(b, _, _)| !self.cached.contains_key(b)).copied().collect();
+        if !missing.is_empty() {
+            let frags: Vec<(u64, usize)> =
+                missing.iter().map(|&(_, off, len)| (off, len)).collect();
+            let blobs = self.reader.source().read_vec(&frags)?;
+            self.windows_loaded += 1;
+            for ((basket, _, _), blob) in missing.iter().zip(blobs) {
+                let col = self.reader.decode_basket(*basket, &blob)?;
+                self.cached.insert(*basket, Arc::new(col));
+            }
+        }
+        // Evict baskets wholly before this window.
+        let reader = &self.reader;
+        self.cached.retain(|&basket, _| {
+            let info = reader.baskets()[basket];
+            info.first_event + info.n_events as u64 > start
+        });
+        self.window_start = start;
+
+        // Async prefetch of the next window.
+        if self.opts.prefetch && self.reader.source().supports_prefetch() {
+            let next = start + self.opts.window_events;
+            if next < self.reader.n_events() {
+                let next_frags: Vec<(u64, usize)> = self
+                    .window_baskets(next)
+                    .into_iter()
+                    .filter(|(b, _, _)| !self.cached.contains_key(b))
+                    .map(|(_, off, len)| (off, len))
+                    .collect();
+                if !next_frags.is_empty() {
+                    self.reader.source().prefetch_vec(&next_frags);
+                    self.prefetches_issued += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The decompressed column holding `event` of `branch`, plus the event's
+    /// index within it.
+    pub fn column(&mut self, branch: usize, event: u64) -> io::Result<(Arc<Vec<u8>>, usize)> {
+        let basket = self.reader.basket_for(branch, event)?;
+        if !self.cached.contains_key(&basket) {
+            if self.opts.enabled {
+                self.load_window(event)?;
+            } else {
+                let col = self.reader.read_basket(basket)?;
+                // Unbounded growth guard for the no-cache mode: keep only
+                // the most recent basket per branch.
+                let reader = &self.reader;
+                let this_branch = reader.baskets()[basket].branch;
+                self.cached.retain(|&b, _| reader.baskets()[b].branch != this_branch);
+                self.cached.insert(basket, Arc::new(col));
+            }
+        }
+        let col = Arc::clone(self.cached.get(&basket).expect("just inserted"));
+        let info = self.reader.baskets()[basket];
+        Ok((col, (event - info.first_event) as usize))
+    }
+
+    /// Read an `f32` branch value.
+    pub fn f32_value(&mut self, branch: usize, event: u64) -> io::Result<f32> {
+        let (col, i) = self.column(branch, event)?;
+        Ok(f32::from_le_bytes(col[i * 4..i * 4 + 4].try_into().unwrap()))
+    }
+
+    /// Read an `i8` branch value.
+    pub fn i8_value(&mut self, branch: usize, event: u64) -> io::Result<i8> {
+        let (col, i) = self.column(branch, event)?;
+        Ok(col[i] as i8)
+    }
+
+    /// Read a `u16` branch value.
+    pub fn u16_value(&mut self, branch: usize, event: u64) -> io::Result<u16> {
+        let (col, i) = self.column(branch, event)?;
+        Ok(u16::from_le_bytes(col[i * 2..i * 2 + 2].try_into().unwrap()))
+    }
+
+    /// Read an `i16` array branch value (length `n`).
+    pub fn i16_array(&mut self, branch: usize, event: u64, n: usize) -> io::Result<Vec<i16>> {
+        let (col, i) = self.column(branch, event)?;
+        let bytes = &col[i * 2 * n..(i + 1) * 2 * n];
+        Ok(bytes.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Generator, Schema};
+    use crate::writer::{write_tree, WriterOptions};
+    use ioapi::{IoStats, IoStatsSnapshot, MemFile, RandomAccess};
+    use parking_lot::Mutex;
+
+    /// A MemFile wrapper that counts read_vec/read_at calls and can emulate
+    /// prefetch support.
+    struct CountingSource {
+        mem: MemFile,
+        stats: IoStats,
+        prefetched: Mutex<Vec<Vec<(u64, usize)>>>,
+        claims_prefetch: bool,
+    }
+
+    impl RandomAccess for CountingSource {
+        fn size(&self) -> io::Result<u64> {
+            self.mem.size()
+        }
+        fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+            self.stats.record_read(buf.len() as u64, 1);
+            self.mem.read_at(off, buf)
+        }
+        fn read_vec(&self, frags: &[(u64, usize)]) -> io::Result<Vec<Vec<u8>>> {
+            self.stats.record_vector_read(0, 1);
+            self.mem.read_vec(frags)
+        }
+        fn prefetch_vec(&self, frags: &[(u64, usize)]) {
+            self.prefetched.lock().push(frags.to_vec());
+        }
+        fn supports_prefetch(&self) -> bool {
+            self.claims_prefetch
+        }
+        fn stats(&self) -> IoStatsSnapshot {
+            self.stats.snapshot()
+        }
+    }
+
+    fn tree(claims_prefetch: bool) -> (Arc<TreeReader>, Arc<CountingSource>, Schema) {
+        let schema = Schema::hep(8);
+        let mut g = Generator::new(schema.clone(), 21);
+        let bytes = write_tree(
+            &mut g,
+            2_000,
+            &WriterOptions { events_per_basket: 100, compress: true },
+        );
+        let src = Arc::new(CountingSource {
+            mem: MemFile::new(bytes),
+            stats: IoStats::default(),
+            prefetched: Mutex::new(Vec::new()),
+            claims_prefetch,
+        });
+        let reader = Arc::new(TreeReader::open(src.clone() as Arc<dyn RandomAccess>).unwrap());
+        (reader, src, schema)
+    }
+
+    #[test]
+    fn values_match_generator() {
+        let (reader, _src, schema) = tree(false);
+        let mut cache = TreeCache::for_branches(
+            Arc::clone(&reader),
+            &["px", "energy", "charge", "nhits"],
+            TreeCacheOptions::default(),
+        )
+        .unwrap();
+        let mut g = Generator::new(schema.clone(), 21);
+        let batch = g.batch(2_000);
+        let (px, e, q, nh) = (
+            schema.index_of("px").unwrap(),
+            schema.index_of("energy").unwrap(),
+            schema.index_of("charge").unwrap(),
+            schema.index_of("nhits").unwrap(),
+        );
+        for ev in [0u64, 1, 99, 100, 101, 999, 1000, 1999] {
+            assert_eq!(cache.f32_value(px, ev).unwrap(), batch.f32_at(px, ev as usize));
+            assert_eq!(cache.f32_value(e, ev).unwrap(), batch.f32_at(e, ev as usize));
+            assert_eq!(cache.i8_value(q, ev).unwrap(), batch.i8_at(q, ev as usize));
+            assert_eq!(cache.u16_value(nh, ev).unwrap(), batch.u16_at(nh, ev as usize));
+        }
+    }
+
+    #[test]
+    fn enabled_cache_gathers_windows_into_vector_reads() {
+        let (reader, src, _schema) = tree(false);
+        let mut cache = TreeCache::for_branches(
+            Arc::clone(&reader),
+            &["px", "py", "pz", "energy"],
+            TreeCacheOptions { window_events: 500, enabled: true, prefetch: false },
+        )
+        .unwrap();
+        let px = reader.schema().index_of("px").unwrap();
+        for ev in 0..2_000u64 {
+            cache.f32_value(px, ev).unwrap();
+        }
+        let s = src.stats();
+        // 2000 events / 500-event windows = 4 vectored loads (plus the 3
+        // open()-time scalar reads).
+        assert_eq!(s.vector_reads, 4);
+        assert_eq!(cache.windows_loaded(), 4);
+        assert!(s.reads <= 4, "open-time reads only, got {}", s.reads);
+    }
+
+    #[test]
+    fn disabled_cache_reads_each_basket_individually() {
+        let (reader, src, _schema) = tree(false);
+        let before = src.stats();
+        let mut cache = TreeCache::for_branches(
+            Arc::clone(&reader),
+            &["px", "py"],
+            TreeCacheOptions { enabled: false, ..Default::default() },
+        )
+        .unwrap();
+        let px = reader.schema().index_of("px").unwrap();
+        let py = reader.schema().index_of("py").unwrap();
+        for ev in 0..2_000u64 {
+            cache.f32_value(px, ev).unwrap();
+            cache.f32_value(py, ev).unwrap();
+        }
+        let s = src.stats().since(&before);
+        // 20 baskets per branch × 2 branches = 40 scalar reads, no readv.
+        assert_eq!(s.vector_reads, 0);
+        assert_eq!(s.reads, 40);
+    }
+
+    #[test]
+    fn prefetch_issued_for_next_window_when_supported() {
+        let (reader, src, _schema) = tree(true);
+        let mut cache = TreeCache::for_branches(
+            Arc::clone(&reader),
+            &["px"],
+            TreeCacheOptions { window_events: 500, enabled: true, prefetch: true },
+        )
+        .unwrap();
+        let px = reader.schema().index_of("px").unwrap();
+        cache.f32_value(px, 0).unwrap();
+        let prefetched = src.prefetched.lock();
+        assert_eq!(prefetched.len(), 1, "window 0 load should prefetch window 1");
+        assert!(!prefetched[0].is_empty());
+        drop(prefetched);
+        assert_eq!(cache.prefetches_issued(), 1);
+    }
+
+    #[test]
+    fn prefetch_not_issued_when_unsupported() {
+        let (reader, src, _schema) = tree(false);
+        let mut cache = TreeCache::for_branches(
+            Arc::clone(&reader),
+            &["px"],
+            TreeCacheOptions { window_events: 500, enabled: true, prefetch: true },
+        )
+        .unwrap();
+        let px = reader.schema().index_of("px").unwrap();
+        cache.f32_value(px, 0).unwrap();
+        assert!(src.prefetched.lock().is_empty());
+    }
+
+    #[test]
+    fn sparse_access_still_correct() {
+        let (reader, _src, schema) = tree(false);
+        let mut cache = TreeCache::for_branches(
+            Arc::clone(&reader),
+            &["cal"],
+            TreeCacheOptions { window_events: 300, ..Default::default() },
+        )
+        .unwrap();
+        let mut g = Generator::new(schema.clone(), 21);
+        let batch = g.batch(2_000);
+        let cal = schema.index_of("cal").unwrap();
+        // Stride through 10% of events.
+        for ev in (0..2_000u64).step_by(10) {
+            let got = cache.i16_array(cal, ev, 8).unwrap();
+            assert_eq!(got, batch.i16_array_at(cal, ev as usize, 8), "event {ev}");
+        }
+    }
+
+    #[test]
+    fn unknown_branch_is_error() {
+        let (reader, _src, _schema) = tree(false);
+        assert!(
+            TreeCache::for_branches(reader, &["nope"], TreeCacheOptions::default()).is_err()
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Block compression: LZSS with a 4 KiB window inside a CRC-checked frame.
+//!
+//! ROOT compresses each basket independently with zlib; we do the same with
+//! a self-contained LZSS so baskets stay independently decodable over
+//! random-access transports. Frames that do not shrink are stored raw.
+//!
+//! Frame layout (little-endian):
+//! ```text
+//! magic:u16 = 0x5A4C ("LZ")  method:u8 (0 raw | 1 lzss)  reserved:u8
+//! orig_len:u32  payload_len:u32  crc32(orig):u32  payload
+//! ```
+
+use std::io;
+
+const FRAME_MAGIC: u16 = 0x5A4C;
+/// Fixed frame header size in bytes.
+pub const FRAME_HEADER: usize = 16;
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18; // 4 bits of length: 3..=18
+
+/// CRC-32 (IEEE), table-driven; public so the container can frame raw
+/// blocks without re-implementing it.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Raw LZSS encode: token-grouped flag bytes, (offset, len) matches against
+/// a 4 KiB sliding window.
+fn lzss_encode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Chained hash table over 3-byte prefixes for match finding.
+    const HASH_SIZE: usize = 1 << 13;
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len().max(1)];
+    let hash = |a: u8, b: u8, c: u8| -> usize {
+        ((a as usize) << 6 ^ (b as usize) << 3 ^ (c as usize)) & (HASH_SIZE - 1)
+    };
+
+    let mut i = 0usize;
+    let mut flags_pos = 0usize;
+    let mut flags = 0u8;
+    let mut nflag = 0u8;
+    let mut pending: Vec<u8> = Vec::with_capacity(8 * 3);
+
+    let flush_group = |out: &mut Vec<u8>, flags: &mut u8, nflag: &mut u8, flags_pos: &mut usize, pending: &mut Vec<u8>| {
+        out[*flags_pos] = *flags;
+        out.extend_from_slice(pending);
+        pending.clear();
+        *flags = 0;
+        *nflag = 0;
+        *flags_pos = out.len();
+        out.push(0); // placeholder for next flag byte
+    };
+
+    out.push(0); // first flag placeholder
+    while i < input.len() {
+        // Find the longest match within the window.
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(input[i], input[i + 1], input[i + 2]);
+            let mut cand = head[h];
+            let mut steps = 0;
+            // Offsets are encoded in 12 bits: the maximum representable
+            // back-reference distance is WINDOW - 1 = 4095.
+            while cand != usize::MAX && i.saturating_sub(cand) < WINDOW && steps < 32 {
+                if cand < i {
+                    let max = MAX_MATCH.min(input.len() - i);
+                    let mut l = 0usize;
+                    while l < max && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                    }
+                }
+                cand = prev[cand];
+                steps += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Match token: flag bit 1; 12-bit offset, 4-bit (len - 3).
+            flags |= 1 << nflag;
+            let token = ((best_off as u16 & 0x0FFF) << 4) | ((best_len - MIN_MATCH) as u16 & 0x0F);
+            pending.extend_from_slice(&token.to_le_bytes());
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash(input[i], input[i + 1], input[i + 2]);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            pending.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash(input[i], input[i + 1], input[i + 2]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        nflag += 1;
+        if nflag == 8 {
+            flush_group(&mut out, &mut flags, &mut nflag, &mut flags_pos, &mut pending);
+        }
+    }
+    if nflag > 0 || !pending.is_empty() {
+        out[flags_pos] = flags;
+        out.extend_from_slice(&pending);
+    } else {
+        // Remove the unused trailing placeholder.
+        out.pop();
+    }
+    out
+}
+
+fn lzss_decode(input: &[u8], orig_len: usize) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(orig_len);
+    let mut i = 0usize;
+    while out.len() < orig_len {
+        if i >= input.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "lzss stream truncated"));
+        }
+        let flags = input[i];
+        i += 1;
+        for bit in 0..8 {
+            if out.len() >= orig_len {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if i + 2 > input.len() {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated match"));
+                }
+                let token = u16::from_le_bytes([input[i], input[i + 1]]);
+                i += 2;
+                let off = (token >> 4) as usize;
+                let len = (token & 0x0F) as usize + MIN_MATCH;
+                if off == 0 || off > out.len() {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "bad match offset"));
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                if i >= input.len() {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated literal"));
+                }
+                out.push(input[i]);
+                i += 1;
+            }
+        }
+    }
+    out.truncate(orig_len);
+    Ok(out)
+}
+
+/// Compress `input` into a framed block (raw storage if LZSS does not help).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let encoded = lzss_encode(input);
+    let (method, payload): (u8, &[u8]) =
+        if encoded.len() < input.len() { (1, &encoded) } else { (0, input) };
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.push(method);
+    out.push(0);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(input).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decompress a framed block, verifying length and CRC.
+pub fn decompress(frame: &[u8]) -> io::Result<Vec<u8>> {
+    if frame.len() < FRAME_HEADER {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "short codec frame"));
+    }
+    let magic = u16::from_le_bytes([frame[0], frame[1]]);
+    if magic != FRAME_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad codec magic"));
+    }
+    let method = frame[2];
+    let orig_len = u32::from_le_bytes(frame[4..8].try_into().unwrap()) as usize;
+    let payload_len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
+    let crc_expect = u32::from_le_bytes(frame[12..16].try_into().unwrap());
+    if frame.len() < FRAME_HEADER + payload_len {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "codec frame truncated"));
+    }
+    let payload = &frame[FRAME_HEADER..FRAME_HEADER + payload_len];
+    let out = match method {
+        0 => {
+            if payload_len != orig_len {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "raw frame length mismatch"));
+            }
+            payload.to_vec()
+        }
+        1 => lzss_decode(payload, orig_len)?,
+        m => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown codec method {m}"),
+            ))
+        }
+    };
+    if crc32(&out) != crc_expect {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "codec crc mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        for input in [
+            &b""[..],
+            b"a",
+            b"hello world hello world hello world",
+            b"abcabcabcabcabcabcabcabcabcabc",
+        ] {
+            let c = compress(input);
+            assert_eq!(decompress(&c).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let input: Vec<u8> = std::iter::repeat_n(&b"calorimeter-cell-0000 "[..], 200)
+            .flatten()
+            .copied()
+            .collect();
+        let c = compress(&input);
+        assert!(c.len() < input.len() / 2, "{} vs {}", c.len(), input.len());
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn sparse_data_compresses_well() {
+        // 80% zeros, like quantized calorimeter cells.
+        let mut input = vec![0u8; 10_000];
+        for i in (0..10_000).step_by(5) {
+            input[i] = (i % 251) as u8;
+        }
+        let c = compress(&input);
+        assert!(c.len() < input.len());
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn incompressible_data_stored_raw() {
+        // A linear-congruential byte stream has few 3-byte repeats.
+        let mut x = 12345u64;
+        let input: Vec<u8> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = compress(&input);
+        assert_eq!(c[2], 0, "raw method expected");
+        assert_eq!(c.len(), input.len() + FRAME_HEADER);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let input = b"some compressible compressible compressible payload".to_vec();
+        let mut c = compress(&input);
+        // flip a payload byte
+        let last = c.len() - 1;
+        c[last] ^= 0xFF;
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn garbage_frames_rejected() {
+        assert!(decompress(b"").is_err());
+        assert!(decompress(&[0u8; 16]).is_err());
+        let mut c = compress(b"valid data here");
+        c.truncate(10);
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn long_matches_and_window_boundaries() {
+        // A run longer than MAX_MATCH and data larger than the window.
+        let mut input = vec![7u8; 100];
+        input.extend((0..9000u32).flat_map(|i| (i % 100).to_le_bytes()));
+        input.extend(vec![7u8; 100]);
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests for the LZSS codec.
+
+use proptest::prelude::*;
+use rootio::codec::{compress, decompress};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes round-trip.
+    #[test]
+    fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Highly repetitive data (the adversarial case for window arithmetic:
+    /// long runs produce matches at every distance including the window
+    /// boundary) round-trips.
+    #[test]
+    fn roundtrip_repetitive(
+        seed in proptest::collection::vec(any::<u8>(), 1..64),
+        reps in 1usize..2000,
+    ) {
+        let take = seed.len() * (reps.min(8000 / seed.len().max(1)) + 1);
+        let data: Vec<u8> = seed.iter().cycle().take(take).copied().collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Sparse data (calorimeter-like) round-trips.
+    #[test]
+    fn roundtrip_sparse(
+        positions in proptest::collection::vec((0usize..16_000, any::<u8>()), 0..200),
+        len in 1usize..16_000,
+    ) {
+        let mut data = vec![0u8; len];
+        for (pos, val) in positions {
+            if pos < len {
+                data[pos] = val;
+            }
+        }
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    /// Truncating a frame anywhere must error, never panic or hang.
+    #[test]
+    fn truncation_is_an_error(data in proptest::collection::vec(any::<u8>(), 1..2000), cut in 0usize..100) {
+        let c = compress(&data);
+        let cut = cut % c.len();
+        let _ = decompress(&c[..cut]); // must not panic
+    }
+}

@@ -1,0 +1,236 @@
+//! The xrdlite server: frames in, frames out, over an [`ObjectStore`].
+//!
+//! Requests on one connection are handled *concurrently* (one runtime thread
+//! per in-flight request) and responses are **interleaved on the wire in
+//! chunks** by a per-connection [`FrameScheduler`] — matching XRootD's
+//! asynchronous server model with its own I/O scheduler, so a large read
+//! does not head-of-line block a small one on the same connection.
+
+use crate::mux::FrameScheduler;
+use crate::wire::{self, Frame, Op, PayloadReader, PayloadWriter, Status};
+use netsim::{BoxedStream, Listener, Runtime};
+use objstore::ObjectStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct XrdServerConfig {
+    /// Simulated storage latency per request.
+    pub process_delay: Duration,
+    /// Interleaving granularity: responses larger than this are split into
+    /// multiple partial frames scheduled round-robin across streams.
+    pub max_frame_payload: usize,
+}
+
+impl Default for XrdServerConfig {
+    fn default() -> Self {
+        XrdServerConfig { process_delay: Duration::ZERO, max_frame_payload: 64 * 1024 }
+    }
+}
+
+/// The server.
+pub struct XrdServer {
+    store: Arc<ObjectStore>,
+    cfg: XrdServerConfig,
+    stopping: Arc<AtomicBool>,
+    /// Requests served (all connections).
+    pub requests: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl XrdServer {
+    /// Create a server over `store`.
+    pub fn new(store: Arc<ObjectStore>, cfg: XrdServerConfig) -> Arc<XrdServer> {
+        Arc::new(XrdServer {
+            store,
+            cfg,
+            stopping: Arc::new(AtomicBool::new(false)),
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        })
+    }
+
+    /// Stop accepting new connections.
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+    }
+
+    /// Run the accept loop (returns immediately; work happens on runtime
+    /// threads).
+    pub fn serve(self: &Arc<Self>, listener: Box<dyn Listener>, rt: Arc<dyn Runtime>) {
+        let server = Arc::clone(self);
+        let rt2 = Arc::clone(&rt);
+        rt.spawn("xrd-accept", Box::new(move || {
+            let mut conn_id = 0u64;
+            loop {
+                if server.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (stream, _) = match listener.accept() {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                conn_id += 1;
+                server.connections.fetch_add(1, Ordering::Relaxed);
+                let server2 = Arc::clone(&server);
+                let rt3 = Arc::clone(&rt2);
+                rt2.spawn(
+                    &format!("xrd-conn-{conn_id}"),
+                    Box::new(move || server2.handle_connection(stream, &rt3)),
+                );
+            }
+        }));
+    }
+
+    fn handle_connection(self: Arc<Self>, mut stream: BoxedStream, rt: &Arc<dyn Runtime>) {
+        if wire::server_handshake(&mut stream).is_err() {
+            return;
+        }
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        // All responses funnel through one scheduler thread that interleaves
+        // them in chunks; request threads never touch the socket, so none of
+        // them can stall on the TCP window (and under simulation no thread
+        // ever blocks invisibly on a mutex held across a window-limited
+        // write).
+        let sched = FrameScheduler::spawn(
+            rt,
+            &format!("xrd-writer-{}", stream.peer()),
+            writer,
+            self.cfg.max_frame_payload,
+        );
+        let handles: Arc<Mutex<HashMap<u32, String>>> = Arc::new(Mutex::new(HashMap::new()));
+        let next_handle = Arc::new(AtomicU32::new(1));
+        let mut req_seq = 0u64;
+        loop {
+            let frame = match Frame::read_from(&mut stream) {
+                Ok(f) => f,
+                Err(_) => {
+                    // Connection closed: drain queued responses, then stop.
+                    sched.close();
+                    return;
+                }
+            };
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            req_seq += 1;
+            let server = Arc::clone(&self);
+            let sched = Arc::clone(&sched);
+            let handles = Arc::clone(&handles);
+            let next_handle = Arc::clone(&next_handle);
+            let rt2 = Arc::clone(rt);
+            // Concurrent handling: a slow (large) request must not block
+            // later small ones — this is the protocol's multiplexing.
+            rt.spawn(
+                &format!("xrd-req-{req_seq}"),
+                Box::new(move || {
+                    if !server.cfg.process_delay.is_zero() {
+                        rt2.sleep(server.cfg.process_delay);
+                    }
+                    let (status, payload) = server.dispatch(&frame, &handles, &next_handle);
+                    let _ = sched.submit(frame.stream_id, status as u8, payload);
+                }),
+            );
+        }
+    }
+
+    fn dispatch(
+        &self,
+        frame: &Frame,
+        handles: &Mutex<HashMap<u32, String>>,
+        next_handle: &AtomicU32,
+    ) -> (Status, Vec<u8>) {
+        let err = |msg: String| (Status::Error, msg.into_bytes());
+        let Some(op) = Op::from_u8(frame.code) else {
+            return err(format!("unknown op {}", frame.code));
+        };
+        match op {
+            Op::Open => {
+                let path = String::from_utf8_lossy(&frame.payload).into_owned();
+                match self.store.get(&path) {
+                    Some(meta) => {
+                        let h = next_handle.fetch_add(1, Ordering::Relaxed);
+                        handles.lock().insert(h, path);
+                        (
+                            Status::Ok,
+                            PayloadWriter::new().u32(h).u64(meta.data.len() as u64).build(),
+                        )
+                    }
+                    None => err(format!("no such file: {path}")),
+                }
+            }
+            Op::Stat => {
+                let path = String::from_utf8_lossy(&frame.payload).into_owned();
+                match self.store.get(&path) {
+                    Some(meta) => {
+                        (Status::Ok, PayloadWriter::new().u64(meta.data.len() as u64).build())
+                    }
+                    None => err(format!("no such file: {path}")),
+                }
+            }
+            Op::Read => {
+                let mut r = PayloadReader::new(&frame.payload);
+                let parsed = (|| -> std::io::Result<(u32, u64, u32)> {
+                    Ok((r.u32()?, r.u64()?, r.u32()?))
+                })();
+                let Ok((h, off, len)) = parsed else {
+                    return err("malformed READ".to_string());
+                };
+                let Some(path) = handles.lock().get(&h).cloned() else {
+                    return err(format!("bad handle {h}"));
+                };
+                let Some(meta) = self.store.get(&path) else {
+                    return err(format!("file vanished: {path}"));
+                };
+                let size = meta.data.len() as u64;
+                if off >= size {
+                    return (Status::Ok, Vec::new());
+                }
+                let end = (off + len as u64).min(size);
+                (Status::Ok, meta.data[off as usize..end as usize].to_vec())
+            }
+            Op::ReadV => {
+                let mut r = PayloadReader::new(&frame.payload);
+                let header = (|| -> std::io::Result<(u32, u16)> { Ok((r.u32()?, r.u16()?)) })();
+                let Ok((h, n)) = header else {
+                    return err("malformed READV".to_string());
+                };
+                let Some(path) = handles.lock().get(&h).cloned() else {
+                    return err(format!("bad handle {h}"));
+                };
+                let Some(meta) = self.store.get(&path) else {
+                    return err(format!("file vanished: {path}"));
+                };
+                let size = meta.data.len() as u64;
+                let mut out = Vec::new();
+                for _ in 0..n {
+                    let frag = (|| -> std::io::Result<(u64, u32)> { Ok((r.u64()?, r.u32()?)) })();
+                    let Ok((off, len)) = frag else {
+                        return err("malformed READV fragment".to_string());
+                    };
+                    if off + len as u64 > size {
+                        return err(format!("fragment {off}+{len} beyond size {size}"));
+                    }
+                    out.extend_from_slice(&meta.data[off as usize..(off + len as u64) as usize]);
+                }
+                (Status::Ok, out)
+            }
+            Op::Close => {
+                let mut r = PayloadReader::new(&frame.payload);
+                match r.u32() {
+                    Ok(h) => {
+                        handles.lock().remove(&h);
+                        (Status::Ok, Vec::new())
+                    }
+                    Err(_) => err("malformed CLOSE".to_string()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Binary framing: big-endian, fixed 8-byte header, length-delimited payload.
+//!
+//! ```text
+//! frame  := header payload
+//! header := stream_id:u16  op_or_status:u8  flags:u8  payload_len:u32
+//! ```
+//!
+//! Requests carry an op code; responses carry a status (0 = OK). A
+//! connection starts with a 6-byte handshake: magic `XRDL` + version `u16`.
+
+use std::io::{self, Read, Write};
+
+/// Connection magic.
+pub const MAGIC: &[u8; 4] = b"XRDL";
+/// Protocol version.
+pub const VERSION: u16 = 1;
+
+/// Maximum payload accepted in one frame (sanity bound).
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Flag bit on a response frame: more frames follow for this stream ID
+/// (a chunked response — XRootD's `kXR_oksofar`). The final frame of a
+/// response carries flags `0`.
+pub const FLAG_PARTIAL: u8 = 0b0000_0001;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Open a file by path → `handle:u32 size:u64`.
+    Open = 1,
+    /// `handle:u32 offset:u64 len:u32` → data.
+    Read = 2,
+    /// `handle:u32 n:u16 (offset:u64 len:u32)*n` → concatenated data.
+    ReadV = 3,
+    /// `handle:u32` → empty.
+    Close = 4,
+    /// Path → `size:u64`.
+    Stat = 5,
+}
+
+impl Op {
+    /// Parse an opcode byte.
+    pub fn from_u8(v: u8) -> Option<Op> {
+        match v {
+            1 => Some(Op::Open),
+            2 => Some(Op::Read),
+            3 => Some(Op::ReadV),
+            4 => Some(Op::Close),
+            5 => Some(Op::Stat),
+            _ => None,
+        }
+    }
+}
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success; payload is op-specific.
+    Ok = 0,
+    /// Failure; payload is a UTF-8 message.
+    Error = 1,
+}
+
+/// A decoded frame (request or response depending on direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Stream (request) identifier chosen by the client.
+    pub stream_id: u16,
+    /// Op code (client→server) or status (server→client).
+    pub code: u8,
+    /// Reserved flags byte.
+    pub flags: u8,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encode into a single buffer (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.payload.len());
+        out.extend_from_slice(&self.stream_id.to_be_bytes());
+        out.push(self.code);
+        out.push(self.flags);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Read one frame.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Frame> {
+        let mut header = [0u8; 8];
+        r.read_exact(&mut header)?;
+        let stream_id = u16::from_be_bytes([header[0], header[1]]);
+        let code = header[2];
+        let flags = header[3];
+        let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame payload {len} exceeds cap"),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(Frame { stream_id, code, flags, payload })
+    }
+
+    /// Write as one `write_all`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+}
+
+/// Client side of the handshake.
+pub fn client_handshake(stream: &mut (impl Read + Write)) -> io::Result<()> {
+    let mut hello = [0u8; 6];
+    hello[..4].copy_from_slice(MAGIC);
+    hello[4..].copy_from_slice(&VERSION.to_be_bytes());
+    stream.write_all(&hello)?;
+    let mut reply = [0u8; 6];
+    stream.read_exact(&mut reply)?;
+    if &reply[..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad handshake magic"));
+    }
+    Ok(())
+}
+
+/// Server side of the handshake.
+pub fn server_handshake(stream: &mut (impl Read + Write)) -> io::Result<()> {
+    let mut hello = [0u8; 6];
+    stream.read_exact(&mut hello)?;
+    if &hello[..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad handshake magic"));
+    }
+    let mut reply = [0u8; 6];
+    reply[..4].copy_from_slice(MAGIC);
+    reply[4..].copy_from_slice(&VERSION.to_be_bytes());
+    stream.write_all(&reply)
+}
+
+// ---- payload encoding helpers ----------------------------------------------
+
+/// Cursor-style reader over a payload.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "short payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u64.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Remaining bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Whether everything was consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Append-style payload writer.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Fresh empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a u16.
+    pub fn u16(mut self, v: u16) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a u32.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a u64.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame { stream_id: 513, code: 3, flags: 0, payload: vec![1, 2, 3, 4, 5] };
+        let mut wire = Vec::new();
+        f.write_to(&mut wire).unwrap();
+        let back = Frame::read_from(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&1u16.to_be_bytes());
+        header.push(2);
+        header.push(0);
+        header.extend_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        let err = Frame::read_from(&mut Cursor::new(header)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let f = Frame { stream_id: 1, code: 1, flags: 0, payload: vec![9; 100] };
+        let mut wire = f.encode();
+        wire.truncate(50);
+        let err = Frame::read_from(&mut Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn payload_reader_writer_roundtrip() {
+        let p = PayloadWriter::new().u32(7).u64(1 << 40).u16(3).bytes(b"xyz").build();
+        let mut r = PayloadReader::new(&p);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.u16().unwrap(), 3);
+        assert_eq!(r.rest(), b"xyz");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn payload_reader_bounds() {
+        let mut r = PayloadReader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+    }
+
+    #[test]
+    fn op_parse() {
+        assert_eq!(Op::from_u8(3), Some(Op::ReadV));
+        assert_eq!(Op::from_u8(99), None);
+    }
+
+    #[test]
+    fn handshake_roundtrip_over_pipe() {
+        // Emulate both sides over in-memory buffers.
+        let mut c2s = Vec::new();
+        {
+            // client hello
+            let mut hello = [0u8; 6];
+            hello[..4].copy_from_slice(MAGIC);
+            hello[4..].copy_from_slice(&VERSION.to_be_bytes());
+            c2s.extend_from_slice(&hello);
+        }
+        struct Duplex {
+            read: Cursor<Vec<u8>>,
+            wrote: Vec<u8>,
+        }
+        impl Read for Duplex {
+            fn read(&mut self, b: &mut [u8]) -> io::Result<usize> {
+                self.read.read(b)
+            }
+        }
+        impl Write for Duplex {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.wrote.extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut server_side = Duplex { read: Cursor::new(c2s), wrote: Vec::new() };
+        server_handshake(&mut server_side).unwrap();
+        let mut client_side = Duplex { read: Cursor::new(server_side.wrote), wrote: Vec::new() };
+        // client reads server reply after writing its hello
+        client_handshake(&mut client_side).unwrap();
+    }
+}

@@ -1,0 +1,61 @@
+//! Working with a DynaFed-style federation: namespace browsing over WebDAV,
+//! Metalink discovery, and redirect-following GETs.
+//!
+//! ```sh
+//! cargo run --example federation
+//! ```
+
+use bytes::Bytes;
+use davix::Config;
+use davix_repro::testbed::{Testbed, TestbedConfig, DATA_PATH, FED};
+use netsim::LinkSpec;
+
+fn main() {
+    let data: Vec<u8> = (0..50_000usize).map(|i| (i % 199) as u8).collect();
+    let tb = Testbed::start(TestbedConfig {
+        replicas: vec![
+            ("dpm1.cern.ch".to_string(), LinkSpec::lan()),
+            ("dpm2.cern.ch".to_string(), LinkSpec::pan_european()),
+        ],
+        data: Bytes::from(data.clone()),
+        with_federation: true,
+        ..Default::default()
+    });
+    let _g = tb.net.enter();
+    let client = tb.davix_client(Config::default());
+    let posix = client.posix();
+
+    // 1. Browse a storage namespace with PROPFIND (davix `opendir`).
+    println!("PROPFIND http://dpm1.cern.ch/data:");
+    for entry in posix.opendir("http://dpm1.cern.ch/data").unwrap() {
+        println!(
+            "  {}{:<20} {:>8} bytes",
+            if entry.is_dir { "d " } else { "- " },
+            entry.name,
+            entry.size
+        );
+    }
+
+    // 2. Fetch the Metalink the federation serves for the file.
+    let fed_meta_url = format!("http://{FED}/myfed{DATA_PATH}?metalink");
+    let xml = posix.get(&fed_meta_url).unwrap();
+    let doc = metalink::Metalink::parse(&String::from_utf8(xml).unwrap()).unwrap();
+    println!("\nMetalink for {DATA_PATH}:");
+    let f = &doc.files[0];
+    println!("  name: {}   size: {:?}", f.name, f.size);
+    for u in f.sorted_urls() {
+        println!("  replica (prio {}): {}", u.priority, u.url);
+    }
+
+    // 3. Plain GET on the federation URL: 302 → best replica, followed
+    //    transparently by the davix executor.
+    let got = posix.get(&tb.fed_url()).unwrap();
+    assert_eq!(got, data);
+    let m = client.metrics();
+    println!(
+        "\nGET {} -> {} bytes via redirect ({} redirect hops followed)",
+        tb.fed_url(),
+        got.len(),
+        m.redirects
+    );
+}

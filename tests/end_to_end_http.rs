@@ -1,0 +1,190 @@
+//! End-to-end integration: the davix client against the DPM-like storage
+//! node, over the simulated network *and* over real loopback TCP — the same
+//! client code on both transports.
+
+use bytes::Bytes;
+use davix::{Config, DavixClient};
+use davix_repro::testbed::{Testbed, TestbedConfig, DATA_PATH};
+use httpd::ServerConfig;
+use netsim::LinkSpec;
+use netsim::Listener as _;
+use objstore::{ObjectStore, RangeSupport, StorageNode, StorageOptions};
+use std::sync::Arc;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 31 + 7) % 251) as u8).collect()
+}
+
+#[test]
+fn sim_full_read_and_vectored_read() {
+    let data = payload(200_000);
+    let tb = Testbed::start(TestbedConfig {
+        data: Bytes::from(data.clone()),
+        ..Default::default()
+    });
+    let _g = tb.net.enter();
+    let client = tb.davix_client(Config::default());
+    let f = client.open(&tb.url(0)).unwrap();
+    assert_eq!(f.size_hint().unwrap(), data.len() as u64);
+
+    // Whole file via posix get.
+    let got = client.posix().get(&tb.url(0)).unwrap();
+    assert_eq!(got, data);
+
+    // Vectored.
+    let frags: Vec<(u64, usize)> = (0..100).map(|i| (i * 1997, 64)).collect();
+    let got = f.pread_vec(&frags).unwrap();
+    for (g, &(off, len)) in got.iter().zip(&frags) {
+        assert_eq!(g, &data[off as usize..off as usize + len]);
+    }
+}
+
+#[test]
+fn sim_namespace_operations() {
+    let tb = Testbed::start(TestbedConfig {
+        data: Bytes::from(payload(1000)),
+        ..Default::default()
+    });
+    let _g = tb.net.enter();
+    let client = tb.davix_client(Config::default());
+    let posix = client.posix();
+    let base = format!("http://{}", tb.hosts[0]);
+
+    // stat file and directory
+    let st = posix.stat(&tb.url(0)).unwrap();
+    assert_eq!(st.size, 1000);
+    assert!(!st.is_dir);
+    let st = posix.stat(&format!("{base}/data")).unwrap();
+    assert!(st.is_dir);
+
+    // mkdir, put, list, delete
+    posix.mkdir(&format!("{base}/data/run2")).unwrap();
+    posix.put(&format!("{base}/data/run2/a.root"), &b"aaa"[..]).unwrap();
+    posix.put(&format!("{base}/data/run2/b.root"), &b"bbbb"[..]).unwrap();
+    let entries = posix.opendir(&format!("{base}/data/run2")).unwrap();
+    let mut names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+    names.sort();
+    assert_eq!(names, vec!["a.root", "b.root"]);
+    let sizes: Vec<u64> = {
+        let mut es = entries.clone();
+        es.sort_by(|a, b| a.name.cmp(&b.name));
+        es.iter().map(|e| e.size).collect()
+    };
+    assert_eq!(sizes, vec![3, 4]);
+    posix.unlink(&format!("{base}/data/run2/a.root")).unwrap();
+    assert!(posix.stat(&format!("{base}/data/run2/a.root")).is_err());
+}
+
+#[test]
+fn sim_degraded_servers_still_serve_vectored_reads() {
+    for support in [RangeSupport::SingleRange, RangeSupport::None] {
+        let data = payload(50_000);
+        let tb = Testbed::start(TestbedConfig {
+            data: Bytes::from(data.clone()),
+            range_support: support,
+            ..Default::default()
+        });
+        let _g = tb.net.enter();
+        let client = tb.davix_client(Config::default());
+        let f = client.open(&tb.url(0)).unwrap();
+        let frags = [(5u64, 10usize), (30_000, 100), (49_990, 10)];
+        let got = f.pread_vec(&frags).unwrap();
+        for (g, &(off, len)) in got.iter().zip(&frags) {
+            assert_eq!(g, &data[off as usize..off as usize + len], "support {support:?}");
+        }
+    }
+}
+
+#[test]
+fn sim_session_recycling_across_many_requests() {
+    let data = payload(10_000);
+    let tb = Testbed::start(TestbedConfig { data: Bytes::from(data), ..Default::default() });
+    let _g = tb.net.enter();
+    let client = tb.davix_client(Config::default());
+    let f = client.open(&tb.url(0)).unwrap();
+    let mut buf = vec![0u8; 100];
+    for i in 0..50u64 {
+        f.pread(i * 100, &mut buf).unwrap();
+    }
+    let m = client.metrics();
+    assert_eq!(m.sessions_created, 1, "51 requests, one TCP connection");
+    assert!(m.reuse_ratio() > 0.9);
+}
+
+#[test]
+fn real_tcp_roundtrip_same_client_code() {
+    // Spin the same storage node on a real loopback socket.
+    let data = payload(100_000);
+    let store = Arc::new(ObjectStore::new());
+    store.put(DATA_PATH, Bytes::from(data.clone()));
+    let listener = netsim::TcpListenerWrap::bind("127.0.0.1:0").unwrap();
+    let port = listener.local_port();
+    let rt: Arc<dyn netsim::Runtime> = Arc::new(netsim::RealRuntime::new());
+    let _node = StorageNode::start(
+        store,
+        Box::new(listener),
+        rt.clone(),
+        StorageOptions::default(),
+        ServerConfig::default(),
+    );
+
+    let client = DavixClient::new(Arc::new(netsim::TcpConnector), rt, Config::default());
+    let url = format!("http://127.0.0.1:{port}{DATA_PATH}");
+    let f = client.open(&url).unwrap();
+    assert_eq!(f.size_hint().unwrap(), data.len() as u64);
+    let frags: Vec<(u64, usize)> = (0..32).map(|i| (i * 3000, 50)).collect();
+    let got = f.pread_vec(&frags).unwrap();
+    for (g, &(off, len)) in got.iter().zip(&frags) {
+        assert_eq!(g, &data[off as usize..off as usize + len]);
+    }
+    let m = client.metrics();
+    assert_eq!(m.sessions_created, 1);
+    assert!(m.vectored_requests >= 1);
+}
+
+#[test]
+fn sim_server_connection_caps_are_transparent() {
+    // Server kills connections every 3 requests; client recycles anyway.
+    let data = payload(5_000);
+    let tb = Testbed::start(TestbedConfig {
+        data: Bytes::from(data.clone()),
+        max_requests_per_conn: Some(3),
+        ..Default::default()
+    });
+    let _g = tb.net.enter();
+    let client = tb.davix_client(Config::default());
+    let f = client.open(&tb.url(0)).unwrap();
+    let mut buf = vec![0u8; 64];
+    for i in 0..20u64 {
+        let n = f.pread((i * 64) % 4000, &mut buf).unwrap();
+        assert_eq!(n, 64);
+    }
+    let m = client.metrics();
+    assert!(m.sessions_created >= 7, "server caps force reconnects");
+    assert_eq!(m.retries, 0, "close is advertised; no failed requests");
+}
+
+#[test]
+fn sim_latency_dominates_when_links_are_slow() {
+    // Sanity: the same workload takes longer on the WAN profile than on LAN,
+    // in virtual time.
+    let mut times = Vec::new();
+    for link in [LinkSpec::lan(), LinkSpec::wan()] {
+        let data = payload(10_000);
+        let tb = Testbed::start(TestbedConfig {
+            data: Bytes::from(data),
+            replicas: vec![("dpm1.cern.ch".to_string(), link)],
+            ..Default::default()
+        });
+        let _g = tb.net.enter();
+        let client = tb.davix_client(Config::default());
+        let f = client.open(&tb.url(0)).unwrap();
+        let t0 = tb.net.now();
+        let mut buf = vec![0u8; 100];
+        for i in 0..10u64 {
+            f.pread(i * 500, &mut buf).unwrap();
+        }
+        times.push(tb.net.now() - t0);
+    }
+    assert!(times[1] > times[0] * 10, "WAN {:?} vs LAN {:?}", times[1], times[0]);
+}
