@@ -6,7 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use httpwire::parse::{read_request_head, read_response_head, BodyLen, BodyReader, ChunkedWriter};
 use httpwire::range::{coalesce_fragments, format_range_header, parse_range_header};
-use httpwire::{ContentRange, Method, MultipartReader, MultipartWriter, RequestHead, ResponseHead, StatusCode};
+use httpwire::{
+    ContentRange, Method, MultipartReader, MultipartWriter, RequestHead, ResponseHead, StatusCode,
+};
 use std::io::{Cursor, Write};
 use std::sync::Arc;
 
@@ -78,9 +80,8 @@ fn bench_chunked(c: &mut Criterion) {
 fn bench_ranges(c: &mut Criterion) {
     let frags: Vec<(u64, usize)> = (0..64).map(|i| (i * 10_000, 1500)).collect();
     let header = format_range_header(&frags);
-    let scattered: Vec<(u64, usize)> = (0..1024)
-        .map(|i| (((i * 7919) % 100_000) as u64 * 100, 512))
-        .collect();
+    let scattered: Vec<(u64, usize)> =
+        (0..1024).map(|i| (((i * 7919) % 100_000) as u64 * 100, 512)).collect();
 
     let mut g = c.benchmark_group("ranges");
     g.bench_function("format_64", |b| b.iter(|| format_range_header(black_box(&frags))));
@@ -175,12 +176,7 @@ fn bench_xrd_wire(c: &mut Criterion) {
     for &(off, len) in &frags {
         payload = payload.u64(off).u32(len);
     }
-    let frame = xrdlite::wire::Frame {
-        stream_id: 42,
-        code: 3,
-        flags: 0,
-        payload: payload.build(),
-    };
+    let frame = xrdlite::wire::Frame { stream_id: 42, code: 3, flags: 0, payload: payload.build() };
     let encoded = frame.encode();
     let mut g = c.benchmark_group("xrd_wire");
     g.bench_function("encode_readv64", |b| b.iter(|| black_box(&frame).encode()));

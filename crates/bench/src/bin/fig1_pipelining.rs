@@ -137,7 +137,9 @@ fn main() {
         SMALL / 1024
     );
 
-    for (name, link) in [("LAN (2.5 ms RTT)", LinkSpec::lan()), ("WAN (150 ms RTT)", LinkSpec::wan())] {
+    for (name, link) in
+        [("LAN (2.5 ms RTT)", LinkSpec::lan()), ("WAN (150 ms RTT)", LinkSpec::wan())]
+    {
         let mut table = Table::new(&["strategy", "total (s)", "mean small latency (ms)"]);
         let (t, s) = run_serial(link);
         table.row(vec!["serial keep-alive".into(), secs(t), millis(s)]);

@@ -25,8 +25,14 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
-const N_REQ: usize = 256;
 const OBJ: usize = 256 * 1024;
+
+/// Requests per experiment; `DAVIX_BENCH_REQUESTS` shrinks it for CI smoke
+/// runs (the paper setup is 256). At least one request always runs so a
+/// zero knob cannot silently turn the smoke into a no-op.
+fn n_req() -> usize {
+    davix_bench::env_usize("DAVIX_BENCH_REQUESTS", 256).max(1)
+}
 
 fn testnet(link: LinkSpec) -> SimNet {
     let net = SimNet::new();
@@ -51,7 +57,7 @@ fn run_sequential(link: LinkSpec, fresh_conns: bool) -> (Duration, u64) {
     let client = DavixClient::new(net.connector("client"), net.runtime(), Config::default());
     let uri: httpwire::Uri = "http://server/obj".parse().unwrap();
     let t0 = net.now();
-    for _ in 0..N_REQ {
+    for _ in 0..n_req() {
         let mut req = PreparedRequest::get(uri.clone());
         if fresh_conns {
             // HTTP/1.0-style: ask the server to close after each response.
@@ -69,7 +75,7 @@ fn run_concurrent(link: LinkSpec, workers: usize, max_idle: usize) -> (Duration,
         net.runtime(),
         Config { max_idle_per_endpoint: max_idle, ..Config::default() },
     );
-    let remaining = Arc::new(Mutex::new(N_REQ));
+    let remaining = Arc::new(Mutex::new(n_req()));
     let done = net.runtime().signal();
     let live = Arc::new(Mutex::new(workers));
     for w in 0..workers {
@@ -104,7 +110,7 @@ fn run_concurrent(link: LinkSpec, workers: usize, max_idle: usize) -> (Duration,
 
 fn main() {
     println!("== Figure 2 / §2.2: session recycling vs connection-per-request ==");
-    println!("A: {N_REQ} sequential {} KiB GETs\n", OBJ / 1024);
+    println!("A: {} sequential {} KiB GETs\n", n_req(), OBJ / 1024);
 
     let mut table = Table::new(&[
         "link",
@@ -128,7 +134,7 @@ fn main() {
     }
     table.print();
 
-    println!("\nB: {N_REQ} GETs on GEANT, sweeping worker-thread concurrency\n");
+    println!("\nB: {} GETs on GEANT, sweeping worker-thread concurrency\n", n_req());
     let mut table = Table::new(&["workers", "time (s)", "conns created", "reuse ratio"]);
     for workers in [1usize, 2, 4, 8, 16] {
         let (t, conns, reuse) = run_concurrent(LinkSpec::pan_european(), workers, 16);

@@ -52,7 +52,9 @@ fn sweep() {
     println!("object: {} MiB, fragments of {} KiB\n", OBJ / 1024 / 1024, FRAG / 1024);
     let data = Bytes::from(vec![0x5Au8; OBJ]);
 
-    for (name, link) in [("LAN (2.5 ms RTT)", LinkSpec::lan()), ("WAN (150 ms RTT)", LinkSpec::wan())] {
+    for (name, link) in
+        [("LAN (2.5 ms RTT)", LinkSpec::lan()), ("WAN (150 ms RTT)", LinkSpec::wan())]
+    {
         println!("--- {name} ---");
         let mut table = Table::new(&[
             "fragments",
@@ -63,7 +65,12 @@ fn sweep() {
             "scalar reqs",
             "readv reqs",
         ]);
-        for n in [16usize, 64, 256, 1024] {
+        // `DAVIX_BENCH_MAX_FRAGMENTS` caps the sweep so CI can smoke the
+        // harness in seconds; the full paper sweep goes to 1024. The
+        // smallest size always runs so a too-low cap cannot silently turn
+        // the smoke into a no-op.
+        let cap = davix_bench::env_usize("DAVIX_BENCH_MAX_FRAGMENTS", 1024).max(16);
+        for n in [16usize, 64, 256, 1024].into_iter().filter(|&n| n <= cap) {
             let frags = fragments(n);
 
             // scalar sequential
@@ -140,8 +147,7 @@ fn insitu() {
         4_000,
         &WriterOptions { events_per_basket: 40, compress: true },
     );
-    let mut table =
-        Table::new(&["link", "cache on (s)", "cache off (s)", "reqs on", "reqs off"]);
+    let mut table = Table::new(&["link", "cache on (s)", "cache off (s)", "reqs on", "reqs off"]);
     for (name, link) in [("LAN", LinkSpec::lan()), ("WAN", LinkSpec::wan())] {
         let mut cells = vec![name.to_string()];
         let mut reqs = Vec::new();
@@ -158,12 +164,8 @@ fn insitu() {
                 ..Default::default()
             };
             let t0 = tb.net.now();
-            job.run(
-                reader,
-                TreeCacheOptions { enabled, window_events: 200, prefetch: false },
-                &rt,
-            )
-            .unwrap();
+            job.run(reader, TreeCacheOptions { enabled, window_events: 200, prefetch: false }, &rt)
+                .unwrap();
             cells.push(secs(tb.net.now() - t0));
             reqs.push(client.metrics().requests.to_string());
         }

@@ -40,8 +40,7 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { fraction: 1.0, reps: 3, events: 12_000, bw_scale: None, sweep: false };
+    let mut args = Args { fraction: 1.0, reps: 3, events: 12_000, bw_scale: None, sweep: false };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {

@@ -39,14 +39,8 @@ fn main() {
     println!("file: {} MiB; 3 replicas, 4 MB/s per replica link, 30 ms RTT\n", SIZE / 1024 / 1024);
     let data: Vec<u8> = (0..SIZE).map(|i| ((i / 13) % 256) as u8).collect();
 
-    let mut table = Table::new(&[
-        "streams",
-        "dead",
-        "time (s)",
-        "throughput (MB/s)",
-        "connections",
-        "ok",
-    ]);
+    let mut table =
+        Table::new(&["streams", "dead", "time (s)", "throughput (MB/s)", "connections", "ok"]);
 
     for (streams, dead) in [(1usize, 0usize), (2, 0), (3, 0), (6, 0), (3, 1)] {
         let tb = testbed(&data);
@@ -55,8 +49,7 @@ fn main() {
         }
         let _g = tb.net.enter();
         let client = tb.davix_client(Config::default().no_retry());
-        let replicas: Vec<httpwire::Uri> =
-            (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
+        let replicas: Vec<httpwire::Uri> = (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
         let t0 = tb.net.now();
         let result = multistream_download(
             &client,

@@ -64,6 +64,21 @@ impl Table {
     }
 }
 
+/// A `usize` knob from the environment, for CI smoke runs that want the
+/// harness exercised end-to-end with a tiny workload (`DAVIX_BENCH_*`
+/// variables; see each binary's header). Unset → `default`; set but
+/// unparsable → panic, so a typo in a CI smoke step cannot silently run
+/// the full paper-scale workload instead.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var_os(name) {
+        None => default,
+        Some(v) => v
+            .to_str()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("{name}={v:?} is not a valid unsigned integer")),
+    }
+}
+
 /// Mean and (population) standard deviation.
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
@@ -120,9 +135,7 @@ pub mod rawhttp {
         pub fn read_response(&mut self) -> std::io::Result<Vec<u8>> {
             let head = read_response_head(&mut self.reader).map_err(std::io::Error::from)?;
             let len = response_body_len(&Method::Get, &head);
-            BodyReader::new(&mut self.reader, len)
-                .read_all()
-                .map_err(std::io::Error::from)
+            BodyReader::new(&mut self.reader, len).read_all().map_err(std::io::Error::from)
         }
 
         /// Serial request/response on this connection.

@@ -230,9 +230,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
                     "--addr" => {
                         addr = rest
                             .get(i + 1)
-                            .ok_or_else(|| {
-                                CliError::Usage("--addr needs host:port".to_string())
-                            })?
+                            .ok_or_else(|| CliError::Usage("--addr needs host:port".to_string()))?
                             .clone();
                         i += 2;
                     }
@@ -261,14 +259,10 @@ pub fn parse_ranges(spec: &str) -> Result<Vec<(u64, usize)>, CliError> {
         let Some((a, b)) = part.split_once('-') else {
             return Err(CliError::Usage(format!("bad range {part:?} (want A-B)")));
         };
-        let first: u64 = a
-            .trim()
-            .parse()
-            .map_err(|_| CliError::Usage(format!("bad range start {a:?}")))?;
-        let last: u64 = b
-            .trim()
-            .parse()
-            .map_err(|_| CliError::Usage(format!("bad range end {b:?}")))?;
+        let first: u64 =
+            a.trim().parse().map_err(|_| CliError::Usage(format!("bad range start {a:?}")))?;
+        let last: u64 =
+            b.trim().parse().map_err(|_| CliError::Usage(format!("bad range end {b:?}")))?;
         if last < first {
             return Err(CliError::Usage(format!("range {part:?} ends before it starts")));
         }
@@ -287,7 +281,11 @@ pub fn real_client(cfg: Config) -> DavixClient {
 
 /// Execute `cmd`, writing human output to `out`. Returns the number of
 /// payload bytes written (0 for namespace commands).
-pub fn run_command(client: &DavixClient, cmd: &Command, out: &mut dyn Write) -> Result<u64, CliError> {
+pub fn run_command(
+    client: &DavixClient,
+    cmd: &Command,
+    out: &mut dyn Write,
+) -> Result<u64, CliError> {
     match cmd {
         Command::Get { url, output, ranges, failover, streams } => {
             let data = fetch(client, url, ranges, *failover, *streams)?;
@@ -436,13 +434,8 @@ pub fn start_server(
         ..Default::default()
     };
     let rt: Arc<dyn netsim::Runtime> = Arc::new(RealRuntime::new());
-    let node = StorageNode::start(
-        store,
-        Box::new(listener),
-        rt,
-        opts,
-        httpd::ServerConfig::default(),
-    );
+    let node =
+        StorageNode::start(store, Box::new(listener), rt, opts, httpd::ServerConfig::default());
     Ok((node, local, loaded))
 }
 
@@ -477,15 +470,9 @@ mod tests {
 
     #[test]
     fn parse_get_all_options() {
-        let cmd = parse_args(&args(&[
-            "get",
-            "http://h/p",
-            "-o",
-            "out.bin",
-            "--ranges",
-            "0-9,100-199",
-        ]))
-        .unwrap();
+        let cmd =
+            parse_args(&args(&["get", "http://h/p", "-o", "out.bin", "--ranges", "0-9,100-199"]))
+                .unwrap();
         assert_eq!(
             cmd,
             Command::Get {
@@ -608,12 +595,8 @@ mod tests {
         let up = tmp.join("up.bin");
         std::fs::write(&up, vec![9u8; 1000]).unwrap();
         let mut out = Vec::new();
-        run_command(
-            &client,
-            &Command::Put { file: up, url: format!("{base}/up.bin") },
-            &mut out,
-        )
-        .unwrap();
+        run_command(&client, &Command::Put { file: up, url: format!("{base}/up.bin") }, &mut out)
+            .unwrap();
         let mut out = Vec::new();
         run_command(&client, &Command::Stat { url: format!("{base}/up.bin") }, &mut out).unwrap();
         let stat_line = String::from_utf8(out).unwrap();
@@ -647,12 +630,8 @@ mod tests {
         assert!(listing.contains("sub"), "{listing}");
 
         // mkdir then ls shows it
-        run_command(
-            &client,
-            &Command::Mkdir { url: format!("{base}/newdir/") },
-            &mut Vec::new(),
-        )
-        .unwrap();
+        run_command(&client, &Command::Mkdir { url: format!("{base}/newdir/") }, &mut Vec::new())
+            .unwrap();
         let mut out = Vec::new();
         run_command(&client, &Command::Ls { url: format!("{base}/"), long: false }, &mut out)
             .unwrap();
@@ -702,13 +681,7 @@ mod tests {
         let mut out = Vec::new();
         run_command(
             &client,
-            &Command::Get {
-                url,
-                output: None,
-                ranges: vec![],
-                failover: false,
-                streams: Some(3),
-            },
+            &Command::Get { url, output: None, ranges: vec![], failover: false, streams: Some(3) },
             &mut out,
         )
         .unwrap();

@@ -2,7 +2,9 @@
 //! ([`davix_cli`]); this file parses arguments, runs the command and maps
 //! errors to exit codes.
 
-use davix_cli::{exit_code, parse_args, real_client, run_command, start_server, CliError, Command, USAGE};
+use davix_cli::{
+    exit_code, parse_args, real_client, run_command, start_server, CliError, Command, USAGE,
+};
 use std::io::Write;
 
 fn main() {

@@ -75,10 +75,7 @@ impl DavixError {
     /// Whether another *replica* could plausibly serve the request
     /// (fail-over policy): anything but caller errors and permission walls.
     pub fn is_failover_candidate(&self) -> bool {
-        !matches!(
-            self,
-            DavixError::InvalidArgument(_) | DavixError::PermissionDenied(_)
-        )
+        !matches!(self, DavixError::InvalidArgument(_) | DavixError::PermissionDenied(_))
     }
 }
 
@@ -180,7 +177,9 @@ mod tests {
 
     #[test]
     fn failover_candidates() {
-        assert!(DavixError::from_status(StatusCode::SERVICE_UNAVAILABLE, "x").is_failover_candidate());
+        assert!(
+            DavixError::from_status(StatusCode::SERVICE_UNAVAILABLE, "x").is_failover_candidate()
+        );
         // A 404 on one replica *is* a fail-over candidate: another replica
         // may hold the file (that is the whole point of §2.4).
         assert!(DavixError::from_status(StatusCode::NOT_FOUND, "x").is_failover_candidate());

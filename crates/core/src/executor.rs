@@ -168,11 +168,7 @@ impl HttpExecutor {
                         }
                         continue;
                     }
-                    return Ok(HttpResponse {
-                        head: resp.head,
-                        body: resp.body,
-                        final_uri: uri,
-                    });
+                    return Ok(HttpResponse { head: resp.head, body: resp.body, final_uri: uri });
                 }
                 Err(TryError { error, stale }) => {
                     if stale && stale_retries < MAX_STALE_RETRIES {
@@ -182,8 +178,7 @@ impl HttpExecutor {
                         stale_retries += 1;
                         continue;
                     }
-                    let retryable =
-                        error.is_retryable() && req.method.is_idempotent();
+                    let retryable = error.is_retryable() && req.method.is_idempotent();
                     if retryable && attempts < self.cfg.retry.retries {
                         attempts += 1;
                         Metrics::bump(&self.metrics.retries);
@@ -204,12 +199,14 @@ impl HttpExecutor {
         self.execute(req)?.expect_success(context)
     }
 
-    fn try_once(&self, req: &PreparedRequest, uri: &Uri) -> std::result::Result<RawResponse, TryError> {
+    fn try_once(
+        &self,
+        req: &PreparedRequest,
+        uri: &Uri,
+    ) -> std::result::Result<RawResponse, TryError> {
         let ep = Endpoint::of(uri);
-        let mut session = self
-            .pool
-            .acquire(&ep)
-            .map_err(|error| TryError { error, stale: false })?;
+        let mut session =
+            self.pool.acquire(&ep).map_err(|error| TryError { error, stale: false })?;
         let reused = session.reused;
 
         // Serialize head + body into one buffer → one transport write → the
@@ -254,8 +251,8 @@ impl HttpExecutor {
         };
         Metrics::add(&self.metrics.bytes_in, body.len() as u64);
 
-        let keep = rhead.headers.keep_alive(rhead.version == Version::Http11)
-            && framing != BodyLen::Close;
+        let keep =
+            rhead.headers.keep_alive(rhead.version == Version::Http11) && framing != BodyLen::Close;
         self.pool.release(session, keep);
         Ok(RawResponse { head: rhead, body })
     }
@@ -361,9 +358,8 @@ mod tests {
         );
         let _g = net.enter();
         let ex = executor(&net, Config::default());
-        let resp = ex
-            .execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get")
-            .unwrap();
+        let resp =
+            ex.execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get").unwrap();
         assert_eq!(resp.body, b"via-redirect");
         assert_eq!(resp.final_uri.host, "s2");
         assert_eq!(ex.metrics().snapshot().redirects, 1);
@@ -401,8 +397,7 @@ mod tests {
         let _g = net.enter();
         let ex = executor(&net, Config::default().no_retry());
         for _ in 0..3 {
-            ex.execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get")
-                .unwrap();
+            ex.execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get").unwrap();
         }
         // Connection-per-request server: the response advertises close, so
         // davix should never even try to recycle (no stale retries burned).
@@ -432,9 +427,8 @@ mod tests {
                 ..Config::default()
             },
         );
-        let resp = ex
-            .execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get")
-            .unwrap();
+        let resp =
+            ex.execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get").unwrap();
         assert_eq!(resp.body, b"ok");
         assert_eq!(ex.metrics().snapshot().retries, 2);
     }
@@ -463,7 +457,9 @@ mod tests {
         let err = ex
             .execute_expect(&PreparedRequest::get("http://s/f".parse().unwrap()), "get")
             .unwrap_err();
-        assert!(matches!(err, DavixError::Http { status, .. } if status == StatusCode::INTERNAL_SERVER_ERROR));
+        assert!(
+            matches!(err, DavixError::Http { status, .. } if status == StatusCode::INTERNAL_SERVER_ERROR)
+        );
     }
 
     #[test]

@@ -57,12 +57,11 @@ impl std::fmt::Debug for DavFile {
 impl DavFile {
     /// Open (HEAD) a remote file, learning its size.
     pub(crate) fn open(inner: Arc<ClientInner>, uri: Uri) -> Result<DavFile> {
-        let resp = inner
-            .executor
-            .execute_expect(&PreparedRequest::head(uri.clone()), "stat")?;
-        let size = resp.head.headers.content_length().ok_or_else(|| {
-            DavixError::Protocol(format!("{uri}: HEAD without Content-Length"))
-        })?;
+        let resp = inner.executor.execute_expect(&PreparedRequest::head(uri.clone()), "stat")?;
+        let size =
+            resp.head.headers.content_length().ok_or_else(|| {
+                DavixError::Protocol(format!("{uri}: HEAD without Content-Length"))
+            })?;
         let etag = resp.head.headers.get("etag").map(str::to_string);
         Ok(DavFile {
             inner,
@@ -111,9 +110,7 @@ impl DavFile {
                 }
             }
             StatusCode::RANGE_NOT_SATISFIABLE => &[],
-            status => {
-                return Err(DavixError::from_status(status, format!("pread {}", self.uri)))
-            }
+            status => return Err(DavixError::from_status(status, format!("pread {}", self.uri))),
         };
         let n = data.len().min(buf.len());
         buf[..n].copy_from_slice(&data[..n]);
@@ -207,10 +204,9 @@ impl DavFile {
             StatusCode::PARTIAL_CONTENT => {
                 let ct = resp.head.headers.get("content-type").unwrap_or("");
                 if let Some(boundary) = boundary_from_content_type(ct) {
-                    let parts =
-                        MultipartReader::new(std::io::Cursor::new(resp.body), &boundary)
-                            .read_all_parts()
-                            .map_err(DavixError::from)?;
+                    let parts = MultipartReader::new(std::io::Cursor::new(resp.body), &boundary)
+                        .read_all_parts()
+                        .map_err(DavixError::from)?;
                     Ok(parts
                         .into_iter()
                         .map(|p| Chunk { first: p.range.first, data: p.data })

@@ -121,11 +121,7 @@ impl DavPosix {
     /// Fetch a whole object.
     pub fn get(&self, url: &str) -> Result<Vec<u8>> {
         let uri = self.uri(url)?;
-        Ok(self
-            .inner
-            .executor
-            .execute_expect(&PreparedRequest::get(uri), "get")?
-            .body)
+        Ok(self.inner.executor.execute_expect(&PreparedRequest::get(uri), "get")?.body)
     }
 
     /// Store a whole object (PUT).
@@ -149,8 +145,7 @@ impl DavPosix {
                 from.host, to.host
             )));
         }
-        let req =
-            PreparedRequest::new(Method::Move, from).header("Destination", to.to_string());
+        let req = PreparedRequest::new(Method::Move, from).header("Destination", to.to_string());
         self.inner.executor.execute_expect(&req, "rename").map(|_| ())
     }
 }

@@ -94,15 +94,14 @@ impl ReplicaFile {
                 if st.file.is_none() {
                     let uri = match &st.replicas {
                         None => self.origin.clone(),
-                        Some(reps) => reps
-                            .get(st.current)
-                            .cloned()
-                            .ok_or_else(|| DavixError::AllReplicasFailed {
+                        Some(reps) => reps.get(st.current).cloned().ok_or_else(|| {
+                            DavixError::AllReplicasFailed {
                                 tried,
                                 last: Box::new(last_err.take().unwrap_or_else(|| {
                                     DavixError::Metalink("no replicas".to_string())
                                 })),
-                            })?,
+                            }
+                        })?,
                     };
                     match DavFile::open(Arc::clone(&self.inner), uri) {
                         Ok(f) => {
@@ -157,26 +156,22 @@ impl ReplicaFile {
                 Err(e) => {
                     return Err(DavixError::AllReplicasFailed {
                         tried,
-                        last: Box::new(
-                            last_err.take().unwrap_or(e),
-                        ),
+                        last: Box::new(last_err.take().unwrap_or(e)),
                     });
                 }
             }
         } else {
             st.current += 1;
         }
-        let exhausted = st
-            .replicas
-            .as_ref()
-            .map(|r| st.current >= r.len())
-            .unwrap_or(true);
+        let exhausted = st.replicas.as_ref().map(|r| st.current >= r.len()).unwrap_or(true);
         if exhausted {
             return Err(DavixError::AllReplicasFailed {
                 tried,
-                last: Box::new(last_err.take().unwrap_or_else(|| {
-                    DavixError::Metalink("replica list exhausted".to_string())
-                })),
+                last: Box::new(
+                    last_err.take().unwrap_or_else(|| {
+                        DavixError::Metalink("replica list exhausted".to_string())
+                    }),
+                ),
             });
         }
         Ok(())
@@ -208,10 +203,7 @@ pub struct ReplicaSet {
 impl ReplicaSet {
     /// The declared digest for `algo` (case-insensitive), if any.
     pub fn hash(&self, algo: &str) -> Option<&str> {
-        self.hashes
-            .iter()
-            .find(|(a, _)| a.eq_ignore_ascii_case(algo))
-            .map(|(_, v)| v.as_str())
+        self.hashes.iter().find(|(a, _)| a.eq_ignore_ascii_case(algo)).map(|(_, v)| v.as_str())
     }
 }
 
@@ -243,12 +235,9 @@ pub(crate) fn fetch_replica_set(inner: &Arc<ClientInner>, origin: &Uri) -> Resul
     let resp = inner.executor.execute_expect(&PreparedRequest::get(target), "metalink fetch")?;
     Metrics::bump(&inner.executor.metrics().metalinks_fetched);
     let text = String::from_utf8_lossy(&resp.body);
-    let doc =
-        metalink::Metalink::parse(&text).map_err(|e| DavixError::Metalink(e.to_string()))?;
-    let file = doc
-        .files
-        .first()
-        .ok_or_else(|| DavixError::Metalink("empty metalink".to_string()))?;
+    let doc = metalink::Metalink::parse(&text).map_err(|e| DavixError::Metalink(e.to_string()))?;
+    let file =
+        doc.files.first().ok_or_else(|| DavixError::Metalink("empty metalink".to_string()))?;
     let mut uris = Vec::new();
     for u in file.sorted_urls() {
         match u.url.parse::<Uri>() {

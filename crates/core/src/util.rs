@@ -33,8 +33,7 @@ where
     }
     let queue: Arc<Mutex<VecDeque<(usize, T)>>> =
         Arc::new(Mutex::new(items.into_iter().enumerate().collect()));
-    let results: Arc<Mutex<Vec<Option<R>>>> =
-        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let results: Arc<Mutex<Vec<Option<R>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
     let remaining = Arc::new(Mutex::new(n));
     let done = rt.signal();
     let f = Arc::new(f);

@@ -103,8 +103,7 @@ mod tests {
         ] {
             let r = h.handle(req);
             assert_eq!(r.status, StatusCode::OK);
-            let ml =
-                metalink::Metalink::parse(core::str::from_utf8(&r.body).unwrap()).unwrap();
+            let ml = metalink::Metalink::parse(core::str::from_utf8(&r.body).unwrap()).unwrap();
             assert_eq!(ml.files[0].urls.len(), 2);
         }
     }

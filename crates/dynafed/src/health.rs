@@ -30,25 +30,28 @@ impl HealthMonitor {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let rt2 = Arc::clone(&rt);
-        rt.spawn("dynafed-health", Box::new(move || {
-            let mut round = 0u32;
-            loop {
-                if stop2.load(Ordering::SeqCst) {
-                    return;
-                }
-                if let Some(max) = rounds {
-                    if round >= max {
+        rt.spawn(
+            "dynafed-health",
+            Box::new(move || {
+                let mut round = 0u32;
+                loop {
+                    if stop2.load(Ordering::SeqCst) {
                         return;
                     }
+                    if let Some(max) = rounds {
+                        if round >= max {
+                            return;
+                        }
+                    }
+                    round += 1;
+                    for (host, port) in catalog.hosts() {
+                        let alive = probe(connector.as_ref(), &host, port);
+                        catalog.mark_host(&host, alive);
+                    }
+                    rt2.sleep(interval);
                 }
-                round += 1;
-                for (host, port) in catalog.hosts() {
-                    let alive = probe(connector.as_ref(), &host, port);
-                    catalog.mark_host(&host, alive);
-                }
-                rt2.sleep(interval);
-            }
-        }));
+            }),
+        );
         HealthMonitor { stop }
     }
 
@@ -88,7 +91,11 @@ mod tests {
         let net = SimNet::new();
         net.add_host("fed");
         net.add_host("dpm1");
-        net.set_link("fed", "dpm1", LinkSpec { delay: Duration::from_millis(1), ..Default::default() });
+        net.set_link(
+            "fed",
+            "dpm1",
+            LinkSpec { delay: Duration::from_millis(1), ..Default::default() },
+        );
         let store = Arc::new(ObjectStore::new());
         store.put("/f", Bytes::from_static(b"x"));
         StorageNode::start(

@@ -172,26 +172,29 @@ impl HttpServer {
     pub fn serve(self: &Arc<Self>, listener: Box<dyn Listener>, rt: Arc<dyn Runtime>) {
         let server = Arc::clone(self);
         let rt2 = Arc::clone(&rt);
-        rt.spawn("httpd-accept", Box::new(move || {
-            let mut conn_id = 0u64;
-            loop {
-                if server.stopping.load(Ordering::SeqCst) {
-                    return;
+        rt.spawn(
+            "httpd-accept",
+            Box::new(move || {
+                let mut conn_id = 0u64;
+                loop {
+                    if server.stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let (stream, peer) = match listener.accept() {
+                        Ok(x) => x,
+                        Err(_) => return, // listener closed
+                    };
+                    conn_id += 1;
+                    server.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let server2 = Arc::clone(&server);
+                    let rt3 = Arc::clone(&rt2);
+                    rt2.spawn(
+                        &format!("httpd-conn-{conn_id}"),
+                        Box::new(move || server2.handle_connection(stream, peer, &rt3)),
+                    );
                 }
-                let (stream, peer) = match listener.accept() {
-                    Ok(x) => x,
-                    Err(_) => return, // listener closed
-                };
-                conn_id += 1;
-                server.stats.connections.fetch_add(1, Ordering::Relaxed);
-                let server2 = Arc::clone(&server);
-                let rt3 = Arc::clone(&rt2);
-                rt2.spawn(
-                    &format!("httpd-conn-{conn_id}"),
-                    Box::new(move || server2.handle_connection(stream, peer, &rt3)),
-                );
-            }
-        }));
+            }),
+        );
     }
 
     fn handle_connection(
@@ -239,11 +242,7 @@ impl HttpServer {
 
             let client_keep_alive =
                 head.headers.keep_alive(head.version == Version::Http11) && !self.cfg.http10;
-            let cap_hit = self
-                .cfg
-                .max_requests_per_conn
-                .map(|cap| served >= cap)
-                .unwrap_or(false);
+            let cap_hit = self.cfg.max_requests_per_conn.map(|cap| served >= cap).unwrap_or(false);
             let close = resp.close || !client_keep_alive || cap_hit;
 
             if self.write_response(&mut writer, &head, resp, close).is_err() {
@@ -327,7 +326,11 @@ mod tests {
         let net = SimNet::new();
         net.add_host("client");
         net.add_host("server");
-        net.set_link("client", "server", LinkSpec { delay: Duration::from_millis(1), bandwidth: None, ..Default::default() });
+        net.set_link(
+            "client",
+            "server",
+            LinkSpec { delay: Duration::from_millis(1), bandwidth: None, ..Default::default() },
+        );
         let rt = net.runtime() as Arc<dyn Runtime>;
         (net, rt)
     }

@@ -97,10 +97,7 @@ mod tests {
     fn parse_known_methods() {
         assert_eq!("GET".parse::<Method>().unwrap(), Method::Get);
         assert_eq!("PROPFIND".parse::<Method>().unwrap(), Method::Propfind);
-        assert_eq!(
-            "PATCH".parse::<Method>().unwrap(),
-            Method::Extension("PATCH".to_string())
-        );
+        assert_eq!("PATCH".parse::<Method>().unwrap(), Method::Extension("PATCH".to_string()));
     }
 
     #[test]

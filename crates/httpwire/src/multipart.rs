@@ -89,15 +89,8 @@ impl<W: Write> MultipartWriter<W> {
     }
 
     /// Exact body length of a multi-range response with the given parts.
-    pub fn body_length(
-        boundary: &str,
-        content_type: &str,
-        parts: &[ContentRange],
-    ) -> u64 {
-        parts
-            .iter()
-            .map(|r| Self::part_overhead(boundary, content_type, *r) + r.len())
-            .sum::<u64>()
+    pub fn body_length(boundary: &str, content_type: &str, parts: &[ContentRange]) -> u64 {
+        parts.iter().map(|r| Self::part_overhead(boundary, content_type, *r) + r.len()).sum::<u64>()
             + Self::final_overhead(boundary)
     }
 }
@@ -165,9 +158,7 @@ impl<R: BufRead> MultipartReader<R> {
                 break;
             }
             if self.started {
-                return Err(WireError::BadMultipart(format!(
-                    "expected boundary, got {line:?}"
-                )));
+                return Err(WireError::BadMultipart(format!("expected boundary, got {line:?}")));
             }
             // otherwise: preamble line, skip
         }
@@ -220,8 +211,11 @@ mod tests {
     fn build(parts: &[(u64, &[u8])], total: u64, boundary: &str) -> Vec<u8> {
         let mut w = MultipartWriter::new(Vec::new(), boundary);
         for (off, data) in parts {
-            let range =
-                ContentRange { first: *off, last: *off + data.len() as u64 - 1, total: Some(total) };
+            let range = ContentRange {
+                first: *off,
+                last: *off + data.len() as u64 - 1,
+                total: Some(total),
+            };
             w.write_part(CT, range, data).unwrap();
         }
         w.finish().unwrap()
@@ -230,8 +224,7 @@ mod tests {
     #[test]
     fn roundtrip_multiple_parts() {
         let body = build(&[(0, b"hello"), (100, b"world!"), (200, b"x")], 1000, "B0UND");
-        let parts =
-            MultipartReader::new(Cursor::new(body), "B0UND").read_all_parts().unwrap();
+        let parts = MultipartReader::new(Cursor::new(body), "B0UND").read_all_parts().unwrap();
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0].data, b"hello");
         assert_eq!(parts[0].range, ContentRange { first: 0, last: 4, total: Some(1000) });
@@ -268,9 +261,8 @@ mod tests {
     #[test]
     fn missing_content_range_is_error() {
         let body = b"\r\n--B\r\nContent-Type: text/plain\r\n\r\nabc\r\n--B--\r\n";
-        let err = MultipartReader::new(Cursor::new(body.to_vec()), "B")
-            .read_all_parts()
-            .unwrap_err();
+        let err =
+            MultipartReader::new(Cursor::new(body.to_vec()), "B").read_all_parts().unwrap_err();
         assert!(matches!(err, WireError::BadMultipart(_)));
     }
 
@@ -278,8 +270,7 @@ mod tests {
     fn truncated_part_is_eof() {
         let mut body = build(&[(0, b"hello")], 10, "B");
         body.truncate(body.len() - 20);
-        let err =
-            MultipartReader::new(Cursor::new(body), "B").read_all_parts().unwrap_err();
+        let err = MultipartReader::new(Cursor::new(body), "B").read_all_parts().unwrap_err();
         assert!(matches!(err, WireError::UnexpectedEof));
     }
 

@@ -28,9 +28,9 @@ fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option<String>
         // EOF mid-line.
         return Err(WireError::UnexpectedEof);
     }
-    String::from_utf8(buf).map(Some).map_err(|_| {
-        WireError::BadHeader("non-UTF-8 bytes in message head".to_string())
-    })
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| WireError::BadHeader("non-UTF-8 bytes in message head".to_string()))
 }
 
 /// Read header fields until the blank line.
@@ -41,9 +41,8 @@ fn read_headers<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<HeaderMap, 
         if line.is_empty() {
             return Ok(headers);
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| WireError::BadHeader(line.clone()))?;
+        let (name, value) =
+            line.split_once(':').ok_or_else(|| WireError::BadHeader(line.clone()))?;
         if name.is_empty() || name.contains(' ') {
             return Err(WireError::BadHeader(line.clone()));
         }
@@ -89,9 +88,7 @@ pub fn read_response_head<R: BufRead>(r: &mut R) -> Result<ResponseHead, WireErr
     let code = parts.next().ok_or_else(|| WireError::BadStartLine(start.clone()))?;
     let reason = parts.next().unwrap_or("").to_string();
     let version = Version::parse(v)?;
-    let code: u16 = code
-        .parse()
-        .map_err(|_| WireError::BadStartLine(start.clone()))?;
+    let code: u16 = code.parse().map_err(|_| WireError::BadStartLine(start.clone()))?;
     if !(100..600).contains(&code) {
         return Err(WireError::BadStartLine(start));
     }
@@ -145,10 +142,14 @@ pub fn response_body_len(req_method: &Method, head: &ResponseHead) -> BodyLen {
 
 enum BodyState {
     Done,
-    Fixed { remaining: u64 },
+    Fixed {
+        remaining: u64,
+    },
     /// `in_chunk` holds the unread bytes of the current chunk; `None` means
     /// we are positioned before the first size line.
-    Chunked { in_chunk: Option<u64> },
+    Chunked {
+        in_chunk: Option<u64>,
+    },
     Close,
 }
 
@@ -203,9 +204,8 @@ impl<'a, R: BufRead> BodyReader<'a, R> {
 
     fn read_chunk_size_line(&mut self) -> std::io::Result<u64> {
         let mut budget = 1024usize;
-        let line = read_line(self.inner, &mut budget)
-            .map_err(std::io::Error::from)?
-            .ok_or_else(|| {
+        let line =
+            read_line(self.inner, &mut budget).map_err(std::io::Error::from)?.ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof before chunk size")
             })?;
         let size_part = line.split(';').next().unwrap_or("").trim();
@@ -220,11 +220,10 @@ impl<'a, R: BufRead> BodyReader<'a, R> {
     fn skip_trailers(&mut self) -> std::io::Result<()> {
         let mut budget = 8192usize;
         loop {
-            let line = read_line(self.inner, &mut budget)
-                .map_err(std::io::Error::from)?
-                .ok_or_else(|| {
-                    std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof in trailers")
-                })?;
+            let line =
+                read_line(self.inner, &mut budget).map_err(std::io::Error::from)?.ok_or_else(
+                    || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof in trailers"),
+                )?;
             if line.is_empty() {
                 return Ok(());
             }
@@ -267,8 +266,7 @@ impl<R: BufRead> Read for BodyReader<'_, R> {
                                 "connection closed mid-chunk",
                             ));
                         }
-                        self.state =
-                            BodyState::Chunked { in_chunk: Some(remaining - n as u64) };
+                        self.state = BodyState::Chunked { in_chunk: Some(remaining - n as u64) };
                         return Ok(n);
                     }
                     at_boundary => {
@@ -353,9 +351,7 @@ mod tests {
 
     #[test]
     fn parse_simple_request() {
-        let r = req("GET /x?q=1 HTTP/1.1\r\nHost: h\r\nRange: bytes=0-9\r\n\r\n")
-            .unwrap()
-            .unwrap();
+        let r = req("GET /x?q=1 HTTP/1.1\r\nHost: h\r\nRange: bytes=0-9\r\n\r\n").unwrap().unwrap();
         assert_eq!(r.method, Method::Get);
         assert_eq!(r.path(), "/x");
         assert_eq!(r.query(), Some("q=1"));
@@ -390,7 +386,8 @@ mod tests {
 
     #[test]
     fn parse_response_with_spaced_reason() {
-        let mut c = Cursor::new(b"HTTP/1.1 206 Partial Content\r\nContent-Length: 3\r\n\r\nabc".to_vec());
+        let mut c =
+            Cursor::new(b"HTTP/1.1 206 Partial Content\r\nContent-Length: 3\r\n\r\nabc".to_vec());
         let r = read_response_head(&mut c).unwrap();
         assert_eq!(r.status, StatusCode::PARTIAL_CONTENT);
         assert_eq!(r.reason, "Partial Content");
@@ -418,16 +415,10 @@ mod tests {
             }
             h
         };
-        assert_eq!(
-            response_body_len(&Method::Head, &mk(200, Some("10"), None)),
-            BodyLen::None
-        );
+        assert_eq!(response_body_len(&Method::Head, &mk(200, Some("10"), None)), BodyLen::None);
         assert_eq!(response_body_len(&Method::Get, &mk(204, None, None)), BodyLen::None);
         assert_eq!(response_body_len(&Method::Get, &mk(304, Some("9"), None)), BodyLen::None);
-        assert_eq!(
-            response_body_len(&Method::Get, &mk(200, Some("10"), None)),
-            BodyLen::Fixed(10)
-        );
+        assert_eq!(response_body_len(&Method::Get, &mk(200, Some("10"), None)), BodyLen::Fixed(10));
         assert_eq!(
             response_body_len(&Method::Get, &mk(200, None, Some("chunked"))),
             BodyLen::Chunked

@@ -74,16 +74,14 @@ pub fn parse_range_header(value: &str) -> Result<Vec<RangeSpec>, WireError> {
         if part.is_empty() {
             return Err(WireError::BadRange(value.to_string()));
         }
-        let (a, b) = part
-            .split_once('-')
-            .ok_or_else(|| WireError::BadRange(value.to_string()))?;
+        let (a, b) = part.split_once('-').ok_or_else(|| WireError::BadRange(value.to_string()))?;
         let spec = match (a.is_empty(), b.is_empty()) {
-            (true, false) => RangeSpec::Suffix(
-                b.parse().map_err(|_| WireError::BadRange(value.to_string()))?,
-            ),
-            (false, true) => RangeSpec::From(
-                a.parse().map_err(|_| WireError::BadRange(value.to_string()))?,
-            ),
+            (true, false) => {
+                RangeSpec::Suffix(b.parse().map_err(|_| WireError::BadRange(value.to_string()))?)
+            }
+            (false, true) => {
+                RangeSpec::From(a.parse().map_err(|_| WireError::BadRange(value.to_string()))?)
+            }
             (false, false) => {
                 let a: u64 = a.parse().map_err(|_| WireError::BadRange(value.to_string()))?;
                 let b: u64 = b.parse().map_err(|_| WireError::BadRange(value.to_string()))?;
@@ -148,17 +146,16 @@ impl ContentRange {
             .trim()
             .strip_prefix("bytes ")
             .ok_or_else(|| WireError::BadRange(value.to_string()))?;
-        let (range, total) = rest
-            .split_once('/')
-            .ok_or_else(|| WireError::BadRange(value.to_string()))?;
+        let (range, total) =
+            rest.split_once('/').ok_or_else(|| WireError::BadRange(value.to_string()))?;
         let total = match total.trim() {
             "*" => None,
             t => Some(t.parse().map_err(|_| WireError::BadRange(value.to_string()))?),
         };
-        let (first, last) = range
-            .split_once('-')
-            .ok_or_else(|| WireError::BadRange(value.to_string()))?;
-        let first: u64 = first.trim().parse().map_err(|_| WireError::BadRange(value.to_string()))?;
+        let (first, last) =
+            range.split_once('-').ok_or_else(|| WireError::BadRange(value.to_string()))?;
+        let first: u64 =
+            first.trim().parse().map_err(|_| WireError::BadRange(value.to_string()))?;
         let last: u64 = last.trim().parse().map_err(|_| WireError::BadRange(value.to_string()))?;
         if first > last {
             return Err(WireError::BadRange(value.to_string()));

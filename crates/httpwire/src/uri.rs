@@ -107,9 +107,8 @@ impl FromStr for Uri {
     type Err = WireError;
 
     fn from_str(s: &str) -> Result<Self, WireError> {
-        let (scheme, rest) = s
-            .split_once("://")
-            .ok_or_else(|| WireError::BadUri(format!("{s}: missing scheme")))?;
+        let (scheme, rest) =
+            s.split_once("://").ok_or_else(|| WireError::BadUri(format!("{s}: missing scheme")))?;
         if scheme.is_empty() || !scheme.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'+') {
             return Err(WireError::BadUri(format!("{s}: bad scheme")));
         }
@@ -122,9 +121,8 @@ impl FromStr for Uri {
         }
         let (host, port) = match authority.rsplit_once(':') {
             Some((h, p)) => {
-                let port: u16 = p
-                    .parse()
-                    .map_err(|_| WireError::BadUri(format!("{s}: bad port {p:?}")))?;
+                let port: u16 =
+                    p.parse().map_err(|_| WireError::BadUri(format!("{s}: bad port {p:?}")))?;
                 (h, port)
             }
             None => (authority, default_port(scheme)),
@@ -133,13 +131,7 @@ impl FromStr for Uri {
             return Err(WireError::BadUri(format!("{s}: empty host")));
         }
         let (path, query) = split_query(target);
-        Ok(Uri {
-            scheme: scheme.to_string(),
-            host: host.to_string(),
-            port,
-            path,
-            query,
-        })
+        Ok(Uri { scheme: scheme.to_string(), host: host.to_string(), port, path, query })
     }
 }
 
@@ -152,7 +144,8 @@ impl fmt::Display for Uri {
 /// Which bytes may appear raw in a path segment (RFC 3986 unreserved plus
 /// the sub-delimiters commonly left unencoded in paths).
 fn is_path_safe(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~' | b'/' | b'+' | b',' | b'=' | b':' | b'@')
+    b.is_ascii_alphanumeric()
+        || matches!(b, b'-' | b'.' | b'_' | b'~' | b'/' | b'+' | b',' | b'=' | b':' | b'@')
 }
 
 /// Percent-encode a path (leaves `/` separators intact).

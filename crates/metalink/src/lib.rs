@@ -132,10 +132,7 @@ impl MetaFile {
 
     /// First hash with the given algorithm label.
     pub fn hash(&self, algo: &str) -> Option<&str> {
-        self.hashes
-            .iter()
-            .find(|h| h.algo.eq_ignore_ascii_case(algo))
-            .map(|h| h.value.as_str())
+        self.hashes.iter().find(|h| h.algo.eq_ignore_ascii_case(algo)).map(|h| h.value.as_str())
     }
 }
 
@@ -167,9 +164,11 @@ impl Metalink {
             let mut mf = MetaFile::new(name);
             if let Some(sz) = fe.find("size") {
                 let t = sz.text();
-                mf.size = Some(t.trim().parse().map_err(|_| {
-                    MetalinkError::Schema(format!("bad <size> {t:?}"))
-                })?);
+                mf.size = Some(
+                    t.trim()
+                        .parse()
+                        .map_err(|_| MetalinkError::Schema(format!("bad <size> {t:?}")))?,
+                );
             }
             for he in fe.find_all("hash") {
                 let algo = he.attr("type").unwrap_or("unknown").to_string();
@@ -181,9 +180,10 @@ impl Metalink {
                     return Err(MetalinkError::Schema("empty <url>".to_string()));
                 }
                 let priority = match ue.attr("priority") {
-                    Some(p) => p.trim().parse().map_err(|_| {
-                        MetalinkError::Schema(format!("bad priority {p:?}"))
-                    })?,
+                    Some(p) => p
+                        .trim()
+                        .parse()
+                        .map_err(|_| MetalinkError::Schema(format!("bad priority {p:?}")))?,
                     None => 999_999,
                 };
                 mf.urls.push(UrlRef {
@@ -273,10 +273,7 @@ mod tests {
 
     #[test]
     fn rejects_non_metalink_documents() {
-        assert!(matches!(
-            Metalink::parse("<html><body/></html>"),
-            Err(MetalinkError::Schema(_))
-        ));
+        assert!(matches!(Metalink::parse("<html><body/></html>"), Err(MetalinkError::Schema(_))));
         assert!(matches!(
             Metalink::parse("<metalink xmlns=\"x\"></metalink>"),
             Err(MetalinkError::Schema(_))

@@ -193,20 +193,21 @@ pub fn unescape(s: &str) -> Result<String, XmlError> {
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
-                let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
-                    XmlError::Syntax(0, format!("bad char ref &{ent};"))
-                })?;
-                out.push(char::from_u32(code).ok_or_else(|| {
-                    XmlError::Syntax(0, format!("invalid char ref &{ent};"))
-                })?);
+                let code = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| XmlError::Syntax(0, format!("bad char ref &{ent};")))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| XmlError::Syntax(0, format!("invalid char ref &{ent};")))?,
+                );
             }
             _ if ent.starts_with('#') => {
                 let code: u32 = ent[1..]
                     .parse()
                     .map_err(|_| XmlError::Syntax(0, format!("bad char ref &{ent};")))?;
-                out.push(char::from_u32(code).ok_or_else(|| {
-                    XmlError::Syntax(0, format!("invalid char ref &{ent};"))
-                })?);
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| XmlError::Syntax(0, format!("invalid char ref &{ent};")))?,
+                );
             }
             _ => return Err(XmlError::Syntax(0, format!("unknown entity &{ent};"))),
         }

@@ -26,9 +26,8 @@ fn hash_entry() -> impl Strategy<Value = Hash> {
 }
 
 fn url_ref() -> impl Strategy<Value = UrlRef> {
-    (url_like(), proptest::option::of("[a-z]{2}"), 1u32..1_000_000).prop_map(
-        |(url, location, priority)| UrlRef { url, location, priority },
-    )
+    (url_like(), proptest::option::of("[a-z]{2}"), 1u32..1_000_000)
+        .prop_map(|(url, location, priority)| UrlRef { url, location, priority })
 }
 
 fn meta_file() -> impl Strategy<Value = MetaFile> {

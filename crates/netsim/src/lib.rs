@@ -56,8 +56,8 @@
 //! assert!(net.now() >= Duration::from_millis(1)); // at least 2 LAN RTTs
 //! ```
 
-mod slab;
 pub mod sim;
+mod slab;
 pub mod tcp;
 pub mod transport;
 pub mod writeq;

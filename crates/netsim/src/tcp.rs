@@ -23,10 +23,8 @@ pub struct TcpStreamWrap {
 impl TcpStreamWrap {
     /// Wrap an already-connected socket.
     pub fn new(inner: TcpStream) -> Self {
-        let peer = inner
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "<unknown>".to_string());
+        let peer =
+            inner.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "<unknown>".to_string());
         TcpStreamWrap { inner, peer }
     }
 }
@@ -156,10 +154,7 @@ impl Runtime for RealRuntime {
     }
 
     fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
-        std::thread::Builder::new()
-            .name(name.to_string())
-            .spawn(f)
-            .expect("spawn thread");
+        std::thread::Builder::new().name(name.to_string()).spawn(f).expect("spawn thread");
     }
 
     fn signal(&self) -> Arc<dyn Signal> {

@@ -38,11 +38,16 @@ use std::sync::Arc;
 ///   later pushes fail with [`io::ErrorKind::BrokenPipe`] carrying the
 ///   original error text;
 /// * [`close`](WriteQueue::close) lets the writer drain what is already
-///   queued and then exit.
+///   queued and then exit;
+/// * [`close_and_shutdown`](WriteQueue::close_and_shutdown) additionally
+///   half-closes the stream (FIN) after the drain, from the writer thread,
+///   so teardown never truncates a queued frame.
 pub struct WriteQueue {
     q: Mutex<VecDeque<Vec<u8>>>,
     avail: Arc<dyn Signal>,
     closed: AtomicBool,
+    /// Send FIN from the writer thread once it has drained and is exiting.
+    shutdown_on_exit: AtomicBool,
     dead: AtomicBool,
     dead_reason: Mutex<Option<String>>,
     /// Total buffers accepted by [`push`](WriteQueue::push).
@@ -62,6 +67,7 @@ impl WriteQueue {
             q: Mutex::new(VecDeque::new()),
             avail: rt.signal(),
             closed: AtomicBool::new(false),
+            shutdown_on_exit: AtomicBool::new(false),
             dead: AtomicBool::new(false),
             dead_reason: Mutex::new(None),
             pushed: AtomicU64::new(0),
@@ -78,13 +84,13 @@ impl WriteQueue {
                         Some(buf) => {
                             if let Err(e) = stream.write_all(&buf) {
                                 wq2.mark_dead(&e);
-                                return;
+                                return wq2.finish(&mut stream);
                             }
                             wq2.written.fetch_add(1, Ordering::Relaxed);
                         }
                         None => {
                             if wq2.closed.load(Ordering::Acquire) {
-                                return;
+                                return wq2.finish(&mut stream);
                             }
                             // Reset *before* the emptiness re-check so a
                             // producer's `set` between the check and `wait`
@@ -106,16 +112,23 @@ impl WriteQueue {
         self.dead.store(true, Ordering::Release);
     }
 
+    /// Writer-thread exit hook: sends FIN when
+    /// [`close_and_shutdown`](WriteQueue::close_and_shutdown) asked for it.
+    /// Runs after the drain (or after a write error), so a shutdown can
+    /// never truncate an already-queued buffer mid-frame.
+    fn finish(&self, stream: &mut BoxedStream) {
+        if self.shutdown_on_exit.load(Ordering::Acquire) {
+            let _ = stream.shutdown_write();
+        }
+    }
+
     /// Enqueue `buf` for writing. Fails if the queue is closed or the
     /// stream already errored; success does **not** guarantee delivery
     /// (a later write error is reported to subsequent pushes only).
     pub fn push(&self, buf: Vec<u8>) -> io::Result<()> {
         if self.dead.load(Ordering::Acquire) {
-            let reason = self
-                .dead_reason
-                .lock()
-                .clone()
-                .unwrap_or_else(|| "write queue dead".to_string());
+            let reason =
+                self.dead_reason.lock().clone().unwrap_or_else(|| "write queue dead".to_string());
             return Err(io::Error::new(io::ErrorKind::BrokenPipe, reason));
         }
         if self.closed.load(Ordering::Acquire) {
@@ -131,6 +144,14 @@ impl WriteQueue {
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
         self.avail.set();
+    }
+
+    /// [`close`](WriteQueue::close), plus a half-close (FIN) of the stream
+    /// once the writer has drained and is exiting — connection teardown
+    /// that never cuts a queued frame in half.
+    pub fn close_and_shutdown(&self) {
+        self.shutdown_on_exit.store(true, Ordering::Release);
+        self.close();
     }
 
     /// Whether a write error has occurred.

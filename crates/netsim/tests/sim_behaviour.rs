@@ -11,11 +11,7 @@ fn two_hosts(delay: Duration, bandwidth: Option<u64>) -> SimNet {
     let net = SimNet::new();
     net.add_host("client");
     net.add_host("server");
-    net.set_link(
-        "client",
-        "server",
-        LinkSpec { delay, bandwidth, ..Default::default() },
-    );
+    net.set_link("client", "server", LinkSpec { delay, bandwidth, ..Default::default() });
     net
 }
 
@@ -81,10 +77,7 @@ fn slow_start_makes_cold_transfers_slower_than_warm() {
     read_back(&mut c);
     let warm = net.now() - t1;
 
-    assert!(
-        warm < cold,
-        "warm transfer ({warm:?}) should beat cold transfer ({cold:?})"
-    );
+    assert!(warm < cold, "warm transfer ({warm:?}) should beat cold transfer ({cold:?})");
     // Cold: ~RTT * log2(1 MB / 14.6 KB) ≈ 6 extra round trips.
     assert!(cold >= warm + Duration::from_millis(100), "cold={cold:?} warm={warm:?}");
 }
@@ -309,11 +302,7 @@ fn tls_handshake_costs_extra_round_trips() {
     let net = SimNet::new();
     net.add_host("client");
     net.add_host("server");
-    net.set_link(
-        "client",
-        "server",
-        LinkSpec { delay, ..Default::default() }.with_tls_handshake(),
-    );
+    net.set_link("client", "server", LinkSpec { delay, ..Default::default() }.with_tls_handshake());
     let listener = net.bind("server", 443).unwrap();
     net.spawn("server", move || {
         let _ = listener.accept_sim();

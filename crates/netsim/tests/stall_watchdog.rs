@@ -1,0 +1,25 @@
+//! The stall watchdog must keep catching real deadlocks now that
+//! sim-spawned daemon threads idling in `accept` are tolerated as
+//! quiescence (servers routinely outlive the scenario that spawned them).
+//!
+//! This is the discriminating case: a *foreground* thread — a test or
+//! bench main thread that entered the net — blocked in `accept` with no
+//! client ever coming must still abort with the stall dump instead of
+//! hanging forever. Costs one `STALL_TIMEOUT` (10 s) of real time, the
+//! price of exercising the watchdog at all.
+
+use netsim::{LinkSpec, SimNet};
+
+#[test]
+#[should_panic(expected = "simulation stalled")]
+fn foreground_accept_with_no_client_still_panics() {
+    let net = SimNet::new();
+    net.add_host("a");
+    net.add_host("b");
+    net.set_link("a", "b", LinkSpec::lan());
+    let listener = net.bind("b", 9).unwrap();
+    let _g = net.enter();
+    // No client will ever connect: this thread is not a sim-spawned
+    // daemon, so the all-accepts quiescence carve-out must not apply.
+    let _ = listener.accept_sim();
+}

@@ -99,9 +99,13 @@ impl StorageHandler {
         if self.opts.prefix.is_empty() {
             return Some(decoded);
         }
-        decoded
-            .strip_prefix(&self.opts.prefix)
-            .map(|rest| if rest.starts_with('/') { rest.to_string() } else { format!("/{rest}") })
+        decoded.strip_prefix(&self.opts.prefix).map(|rest| {
+            if rest.starts_with('/') {
+                rest.to_string()
+            } else {
+                format!("/{rest}")
+            }
+        })
     }
 
     /// WebDAV MOVE (RFC 4918 §9.9): rename `path` to the `Destination`
@@ -227,10 +231,7 @@ impl StorageHandler {
                     Err(_) => return Response::error(StatusCode::INTERNAL_SERVER_ERROR),
                 };
                 base(StatusCode::PARTIAL_CONTENT, body.into(), "application/octet-stream")
-                    .header(
-                        "Content-Type",
-                        format!("{MULTIPART_BYTERANGES}; boundary={boundary}"),
-                    )
+                    .header("Content-Type", format!("{MULTIPART_BYTERANGES}; boundary={boundary}"))
             }
         }
     }
@@ -343,10 +344,7 @@ mod tests {
     fn handler_with(range: RangeSupport) -> StorageHandler {
         let store = Arc::new(ObjectStore::new());
         store.put("/data/f.bin", Bytes::from((0u8..=255).collect::<Vec<u8>>()));
-        StorageHandler::new(
-            store,
-            StorageOptions { range_support: range, ..Default::default() },
-        )
+        StorageHandler::new(store, StorageOptions { range_support: range, ..Default::default() })
     }
 
     fn request(method: Method, target: &str, headers: &[(&str, &str)]) -> Request {
@@ -455,8 +453,14 @@ mod tests {
         let mut req = request(Method::Put, "/new/obj", &[]);
         req.body = b"v2".to_vec();
         assert_eq!(h.handle(req).status, StatusCode::NO_CONTENT, "overwrite is 204");
-        assert_eq!(h.handle(request(Method::Delete, "/new/obj", &[])).status, StatusCode::NO_CONTENT);
-        assert_eq!(h.handle(request(Method::Delete, "/new/obj", &[])).status, StatusCode::NOT_FOUND);
+        assert_eq!(
+            h.handle(request(Method::Delete, "/new/obj", &[])).status,
+            StatusCode::NO_CONTENT
+        );
+        assert_eq!(
+            h.handle(request(Method::Delete, "/new/obj", &[])).status,
+            StatusCode::NOT_FOUND
+        );
     }
 
     #[test]
@@ -467,10 +471,8 @@ mod tests {
         assert_eq!(r.status, StatusCode::MULTI_STATUS);
         let body = String::from_utf8(r.body.to_vec()).unwrap();
         let doc = metalink::xml::parse(&body).unwrap();
-        let hrefs: Vec<String> = doc
-            .find_all("response")
-            .map(|resp| resp.find("href").unwrap().text())
-            .collect();
+        let hrefs: Vec<String> =
+            doc.find_all("response").map(|resp| resp.find("href").unwrap().text()).collect();
         assert!(hrefs.contains(&"/data".to_string()));
         assert!(hrefs.contains(&"/data/f.bin".to_string()));
         assert!(hrefs.contains(&"/data/sub".to_string()));
@@ -525,11 +527,7 @@ mod tests {
         let r = h.handle(request(Method::Get, "/f?metalink", &[]));
         assert_eq!(r.status, StatusCode::OK);
         assert_eq!(r.headers.get("content-type"), Some(metalink::METALINK_CONTENT_TYPE));
-        let r = h.handle(request(
-            Method::Get,
-            "/f",
-            &[("Accept", "application/metalink4+xml")],
-        ));
+        let r = h.handle(request(Method::Get, "/f", &[("Accept", "application/metalink4+xml")]));
         assert_eq!(r.headers.get("content-type"), Some(metalink::METALINK_CONTENT_TYPE));
         // Without negotiation: plain bytes.
         let r = h.handle(request(Method::Get, "/f", &[]));
@@ -559,10 +557,7 @@ mod tests {
     fn too_many_ranges_rejected() {
         let store = Arc::new(ObjectStore::new());
         store.put("/f", Bytes::from(vec![0u8; 100_000]));
-        let h = StorageHandler::new(
-            store,
-            StorageOptions { max_ranges: 4, ..Default::default() },
-        );
+        let h = StorageHandler::new(store, StorageOptions { max_ranges: 4, ..Default::default() });
         let ranges: Vec<String> = (0..5).map(|i| format!("{}-{}", i * 10, i * 10 + 1)).collect();
         let header = format!("bytes={}", ranges.join(","));
         let r = h.handle(request(Method::Get, "/f", &[("Range", &header)]));
@@ -579,7 +574,10 @@ mod tests {
             &[("Destination", "http://node/data/g.bin")],
         ));
         assert_eq!(r.status, StatusCode::CREATED);
-        assert_eq!(h.handle(request(Method::Get, "/data/f.bin", &[])).status, StatusCode::NOT_FOUND);
+        assert_eq!(
+            h.handle(request(Method::Get, "/data/f.bin", &[])).status,
+            StatusCode::NOT_FOUND
+        );
         assert_eq!(h.handle(request(Method::Get, "/data/g.bin", &[])).status, StatusCode::OK);
         // Overwriting an existing destination → 204.
         h.store.put("/data/h.bin", Bytes::from_static(b"old"));

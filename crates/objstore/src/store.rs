@@ -121,8 +121,18 @@ impl ObjectStore {
             return true;
         }
         let prefix = format!("{path}/");
-        inner.objects.range(prefix.clone()..).next().map(|(k, _)| k.starts_with(&prefix)).unwrap_or(false)
-            || inner.dirs.range(prefix.clone()..).next().map(|k| k.starts_with(&prefix)).unwrap_or(false)
+        inner
+            .objects
+            .range(prefix.clone()..)
+            .next()
+            .map(|(k, _)| k.starts_with(&prefix))
+            .unwrap_or(false)
+            || inner
+                .dirs
+                .range(prefix.clone()..)
+                .next()
+                .map(|k| k.starts_with(&prefix))
+                .unwrap_or(false)
     }
 
     /// Immediate children of a directory: `(name, is_dir, size)`.

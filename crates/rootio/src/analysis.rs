@@ -66,12 +66,7 @@ impl Histogram {
 
     /// Index of the fullest bin.
     pub fn mode_bin(&self) -> usize {
-        self.bins
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| v)
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        self.bins.iter().enumerate().max_by_key(|(_, &v)| v).map(|(i, _)| i).unwrap_or(0)
     }
 }
 
@@ -90,11 +85,7 @@ pub struct AnalysisJob {
 
 impl Default for AnalysisJob {
     fn default() -> Self {
-        AnalysisJob {
-            fraction: 1.0,
-            per_event_cpu: Duration::ZERO,
-            read_calorimeter: true,
-        }
+        AnalysisJob { fraction: 1.0, per_event_cpu: Duration::ZERO, read_calorimeter: true }
     }
 }
 
@@ -213,11 +204,8 @@ mod tests {
 
     fn reader(n_events: u64) -> Arc<TreeReader> {
         let mut g = Generator::new(Schema::hep(8), 99);
-        let bytes = write_tree(
-            &mut g,
-            n_events,
-            &WriterOptions { events_per_basket: 100, compress: true },
-        );
+        let bytes =
+            write_tree(&mut g, n_events, &WriterOptions { events_per_basket: 100, compress: true });
         Arc::new(TreeReader::open(Arc::new(MemFile::new(bytes))).unwrap())
     }
 

@@ -244,11 +244,8 @@ mod tests {
     fn tree(claims_prefetch: bool) -> (Arc<TreeReader>, Arc<CountingSource>, Schema) {
         let schema = Schema::hep(8);
         let mut g = Generator::new(schema.clone(), 21);
-        let bytes = write_tree(
-            &mut g,
-            2_000,
-            &WriterOptions { events_per_basket: 100, compress: true },
-        );
+        let bytes =
+            write_tree(&mut g, 2_000, &WriterOptions { events_per_basket: 100, compress: true });
         let src = Arc::new(CountingSource {
             mem: MemFile::new(bytes),
             stats: IoStats::default(),
@@ -381,8 +378,6 @@ mod tests {
     #[test]
     fn unknown_branch_is_error() {
         let (reader, _src, _schema) = tree(false);
-        assert!(
-            TreeCache::for_branches(reader, &["nope"], TreeCacheOptions::default()).is_err()
-        );
+        assert!(TreeCache::for_branches(reader, &["nope"], TreeCacheOptions::default()).is_err());
     }
 }

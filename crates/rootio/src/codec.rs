@@ -60,7 +60,11 @@ fn lzss_encode(input: &[u8]) -> Vec<u8> {
     let mut nflag = 0u8;
     let mut pending: Vec<u8> = Vec::with_capacity(8 * 3);
 
-    let flush_group = |out: &mut Vec<u8>, flags: &mut u8, nflag: &mut u8, flags_pos: &mut usize, pending: &mut Vec<u8>| {
+    let flush_group = |out: &mut Vec<u8>,
+                       flags: &mut u8,
+                       nflag: &mut u8,
+                       flags_pos: &mut usize,
+                       pending: &mut Vec<u8>| {
         out[*flags_pos] = *flags;
         out.extend_from_slice(pending);
         pending.clear();
@@ -215,7 +219,10 @@ pub fn decompress(frame: &[u8]) -> io::Result<Vec<u8>> {
     let out = match method {
         0 => {
             if payload_len != orig_len {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "raw frame length mismatch"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "raw frame length mismatch",
+                ));
             }
             payload.to_vec()
         }
@@ -252,10 +259,8 @@ mod tests {
 
     #[test]
     fn compresses_repetitive_data() {
-        let input: Vec<u8> = std::iter::repeat_n(&b"calorimeter-cell-0000 "[..], 200)
-            .flatten()
-            .copied()
-            .collect();
+        let input: Vec<u8> =
+            std::iter::repeat_n(&b"calorimeter-cell-0000 "[..], 200).flatten().copied().collect();
         let c = compress(&input);
         assert!(c.len() < input.len() / 2, "{} vs {}", c.len(), input.len());
         assert_eq!(decompress(&c).unwrap(), input);

@@ -109,10 +109,7 @@ impl EventBatch {
     /// Borrow the `i16` array of event `i` in an array branch of width `n`.
     pub fn i16_array_at(&self, col: usize, i: usize, n: usize) -> Vec<i16> {
         let bytes = &self.columns[col][i * 2 * n..(i + 1) * 2 * n];
-        bytes
-            .chunks_exact(2)
-            .map(|c| i16::from_le_bytes(c.try_into().expect("2 bytes")))
-            .collect()
+        bytes.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().expect("2 bytes"))).collect()
     }
 }
 
@@ -141,12 +138,8 @@ impl Generator {
 
     /// Generate the next `n` events as a columnar batch.
     pub fn batch(&mut self, n: usize) -> EventBatch {
-        let mut columns: Vec<Vec<u8>> = self
-            .schema
-            .branches
-            .iter()
-            .map(|b| Vec::with_capacity(n * b.kind.width()))
-            .collect();
+        let mut columns: Vec<Vec<u8>> =
+            self.schema.branches.iter().map(|b| Vec::with_capacity(n * b.kind.width())).collect();
         let schema = self.schema.clone();
         for _ in 0..n {
             // Kinematics: momentum components ~ N(0, 20 GeV), mass ~ pion.

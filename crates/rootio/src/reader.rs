@@ -291,11 +291,8 @@ mod tests {
     fn uncompressed_files_read_back_too() {
         let schema = Schema::hep(4);
         let mut g = Generator::new(schema.clone(), 3);
-        let bytes = write_tree(
-            &mut g,
-            200,
-            &WriterOptions { events_per_basket: 100, compress: false },
-        );
+        let bytes =
+            write_tree(&mut g, 200, &WriterOptions { events_per_basket: 100, compress: false });
         let r = TreeReader::open(Arc::new(MemFile::new(bytes))).unwrap();
         let mut g2 = Generator::new(schema, 3);
         let batch = g2.batch(100);

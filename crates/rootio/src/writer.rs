@@ -81,8 +81,7 @@ pub fn write_tree(generator: &mut Generator, n_events: u64, opts: &WriterOptions
         let batch_n = opts.events_per_basket.min((n_events - first_event) as usize);
         let batch = generator.batch(batch_n);
         for (bi, col) in batch.columns.iter().enumerate() {
-            let blob =
-                if opts.compress { codec::compress(col) } else { codec_raw(col) };
+            let blob = if opts.compress { codec::compress(col) } else { codec_raw(col) };
             index.push(IndexEntry {
                 branch: bi as u16,
                 first_event,

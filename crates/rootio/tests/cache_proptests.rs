@@ -11,10 +11,11 @@ use std::sync::Arc;
 
 fn reader(seed: u64, events: u64, per_basket: usize, compress: bool) -> Arc<TreeReader> {
     let mut generator = Generator::new(Schema::hep(16), seed);
-    let file = rootio::write_tree(&mut generator, events, &WriterOptions {
-        events_per_basket: per_basket,
-        compress,
-    });
+    let file = rootio::write_tree(
+        &mut generator,
+        events,
+        &WriterOptions { events_per_basket: per_basket, compress },
+    );
     Arc::new(TreeReader::open(Arc::new(MemFile::new(file))).unwrap())
 }
 

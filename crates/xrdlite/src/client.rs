@@ -56,10 +56,7 @@ impl Slot {
 
     fn wait_take(&self) -> io::Result<Vec<u8>> {
         self.sig.wait(None);
-        self.data
-            .lock()
-            .take()
-            .unwrap_or_else(|| Err(io::Error::other("slot consumed twice")))
+        self.data.lock().take().unwrap_or_else(|| Err(io::Error::other("slot consumed twice")))
     }
 
     /// Wait and clone the payload without consuming it — for slots shared by
@@ -103,11 +100,8 @@ struct ClientInner {
 impl ClientInner {
     fn check_alive(&self) -> io::Result<()> {
         if self.dead.load(Ordering::SeqCst) {
-            let reason = self
-                .dead_reason
-                .lock()
-                .clone()
-                .unwrap_or_else(|| "connection closed".to_string());
+            let reason =
+                self.dead_reason.lock().clone().unwrap_or_else(|| "connection closed".to_string());
             return Err(io::Error::new(io::ErrorKind::BrokenPipe, reason));
         }
         Ok(())
@@ -177,11 +171,34 @@ enum PendingKind {
     Background { lens: Vec<usize>, slots: Vec<Arc<Slot>> },
 }
 
+/// Half-closes the connection when the last user-facing handle (the client
+/// or any file opened through it) is dropped.
+///
+/// The reader thread owns its own stream clone, so without this nudge the
+/// connection — and the server's per-connection threads — would outlive
+/// every handle and park forever in the simulator. The guard is shared by
+/// [`XrdClient`] and every [`XrdFile`], not by [`ClientInner`]: the reader
+/// thread keeps `ClientInner` alive, so a teardown tied to it would never
+/// run.
+struct ConnGuard {
+    writeq: Arc<WriteQueue>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        // The writer thread drains any still-queued frames, then sends FIN
+        // → the server's connection threads exit and close their side →
+        // our reader thread sees EOF and exits too.
+        self.writeq.close_and_shutdown();
+    }
+}
+
 /// A connected xrdlite client. One TCP connection, arbitrarily many
 /// concurrent requests (multiplexed by stream ID).
 pub struct XrdClient {
     inner: Arc<ClientInner>,
     opts: XrdClientOptions,
+    guard: Arc<ConnGuard>,
 }
 
 impl XrdClient {
@@ -210,58 +227,60 @@ impl XrdClient {
         // Reader thread: reassembles chunked responses and routes each
         // completed payload to its pending entry.
         let inner2 = Arc::clone(&inner);
-        rt.spawn("xrd-reader", Box::new(move || {
-            let mut stream = stream;
-            let mut reasm = Reassembler::new();
-            loop {
-                let frame = match Frame::read_from(&mut stream) {
-                    Ok(f) => f,
-                    Err(e) => {
-                        inner2.fail_all(&format!("connection lost: {e}"));
+        rt.spawn(
+            "xrd-reader",
+            Box::new(move || {
+                let mut stream = stream;
+                let mut reasm = Reassembler::new();
+                loop {
+                    let frame = match Frame::read_from(&mut stream) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            inner2.fail_all(&format!("connection lost: {e}"));
+                            return;
+                        }
+                    };
+                    let stream_id = frame.stream_id;
+                    let Some((code, payload)) = reasm.push(frame) else { continue };
+                    let entry = inner2.pending.lock().remove(&stream_id);
+                    let Some(entry) = entry else { continue };
+                    let result = if code == Status::Ok as u8 {
+                        Ok(payload)
+                    } else {
+                        Err(io::Error::other(String::from_utf8_lossy(&payload).into_owned()))
+                    };
+                    match entry {
+                        Pending::Sync(slot) => slot.fill(result),
+                        Pending::Background { lens, slots } => match result {
+                            Ok(payload) => {
+                                let mut off = 0usize;
+                                for (len, slot) in lens.iter().zip(&slots) {
+                                    if off + len <= payload.len() {
+                                        slot.fill(Ok(payload[off..off + len].to_vec()));
+                                    } else {
+                                        slot.fill(Err(io::Error::new(
+                                            io::ErrorKind::UnexpectedEof,
+                                            "short readv payload",
+                                        )));
+                                    }
+                                    off += len;
+                                }
+                            }
+                            Err(e) => {
+                                for slot in &slots {
+                                    slot.fill(Err(io::Error::new(e.kind(), e.to_string())));
+                                }
+                            }
+                        },
+                    }
+                    if inner2.dead.load(Ordering::SeqCst) {
                         return;
                     }
-                };
-                let stream_id = frame.stream_id;
-                let Some((code, payload)) = reasm.push(frame) else { continue };
-                let entry = inner2.pending.lock().remove(&stream_id);
-                let Some(entry) = entry else { continue };
-                let result = if code == Status::Ok as u8 {
-                    Ok(payload)
-                } else {
-                    Err(io::Error::other(
-                        String::from_utf8_lossy(&payload).into_owned(),
-                    ))
-                };
-                match entry {
-                    Pending::Sync(slot) => slot.fill(result),
-                    Pending::Background { lens, slots } => match result {
-                        Ok(payload) => {
-                            let mut off = 0usize;
-                            for (len, slot) in lens.iter().zip(&slots) {
-                                if off + len <= payload.len() {
-                                    slot.fill(Ok(payload[off..off + len].to_vec()));
-                                } else {
-                                    slot.fill(Err(io::Error::new(
-                                        io::ErrorKind::UnexpectedEof,
-                                        "short readv payload",
-                                    )));
-                                }
-                                off += len;
-                            }
-                        }
-                        Err(e) => {
-                            for slot in &slots {
-                                slot.fill(Err(io::Error::new(e.kind(), e.to_string())));
-                            }
-                        }
-                    },
                 }
-                if inner2.dead.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-        }));
-        Ok(XrdClient { inner, opts })
+            }),
+        );
+        let guard = Arc::new(ConnGuard { writeq: Arc::clone(&inner.writeq) });
+        Ok(XrdClient { inner, opts, guard })
     }
 
     /// Open a remote file.
@@ -279,6 +298,7 @@ impl XrdClient {
             seg_cache: Mutex::new(SegCache::default()),
             frag_cache: Mutex::new(HashMap::new()),
             last_seq_end: Mutex::new(None),
+            _guard: Arc::clone(&self.guard),
         })
     }
 
@@ -319,6 +339,9 @@ pub struct XrdFile {
     frag_cache: Mutex<HashMap<(u64, u32), Arc<Slot>>>,
     /// End offset of the last sequential read (read-ahead trigger).
     last_seq_end: Mutex<Option<u64>>,
+    /// Keeps the connection open while this file is alive, even if the
+    /// [`XrdClient`] itself has been dropped.
+    _guard: Arc<ConnGuard>,
 }
 
 impl XrdFile {
@@ -413,11 +436,7 @@ impl XrdFile {
         let lens: Vec<usize> = frags.iter().map(|&(_, l)| l).collect();
         if self
             .inner
-            .send(
-                Op::ReadV,
-                self.readv_payload(frags),
-                PendingKind::Background { lens, slots },
-            )
+            .send(Op::ReadV, self.readv_payload(frags), PendingKind::Background { lens, slots })
             .is_err()
         {
             // Connection died; remove the placeholders so readers fall back

@@ -65,26 +65,29 @@ impl XrdServer {
     pub fn serve(self: &Arc<Self>, listener: Box<dyn Listener>, rt: Arc<dyn Runtime>) {
         let server = Arc::clone(self);
         let rt2 = Arc::clone(&rt);
-        rt.spawn("xrd-accept", Box::new(move || {
-            let mut conn_id = 0u64;
-            loop {
-                if server.stopping.load(Ordering::SeqCst) {
-                    return;
+        rt.spawn(
+            "xrd-accept",
+            Box::new(move || {
+                let mut conn_id = 0u64;
+                loop {
+                    if server.stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let (stream, _) = match listener.accept() {
+                        Ok(x) => x,
+                        Err(_) => return,
+                    };
+                    conn_id += 1;
+                    server.connections.fetch_add(1, Ordering::Relaxed);
+                    let server2 = Arc::clone(&server);
+                    let rt3 = Arc::clone(&rt2);
+                    rt2.spawn(
+                        &format!("xrd-conn-{conn_id}"),
+                        Box::new(move || server2.handle_connection(stream, &rt3)),
+                    );
                 }
-                let (stream, _) = match listener.accept() {
-                    Ok(x) => x,
-                    Err(_) => return,
-                };
-                conn_id += 1;
-                server.connections.fetch_add(1, Ordering::Relaxed);
-                let server2 = Arc::clone(&server);
-                let rt3 = Arc::clone(&rt2);
-                rt2.spawn(
-                    &format!("xrd-conn-{conn_id}"),
-                    Box::new(move || server2.handle_connection(stream, &rt3)),
-                );
-            }
-        }));
+            }),
+        );
     }
 
     fn handle_connection(self: Arc<Self>, mut stream: BoxedStream, rt: &Arc<dyn Runtime>) {

@@ -25,8 +25,7 @@ fn main() {
     let _g = tb.net.enter();
 
     // Metalinks come from the DynaFed federation.
-    let cfg = Config::default()
-        .with_metalink_base(format!("http://{FED}/myfed").parse().unwrap());
+    let cfg = Config::default().with_metalink_base(format!("http://{FED}/myfed").parse().unwrap());
     let client = tb.davix_client(cfg);
 
     let file = client.open_failover(&tb.url(0)).expect("open");
@@ -47,8 +46,9 @@ fn main() {
     println!("read ok from {} (failed over again)", file.current_uri().host);
 
     let m = client.metrics();
-    println!("\nmetrics: {} fail-overs, {} metalink fetches, {} retries", m.failovers, m.metalinks_fetched, m.retries);
     println!(
-        "the paper's guarantee holds: reads succeed while ≥1 replica lives (§2.4)"
+        "\nmetrics: {} fail-overs, {} metalink fetches, {} retries",
+        m.failovers, m.metalinks_fetched, m.retries
     );
+    println!("the paper's guarantee holds: reads succeed while ≥1 replica lives (§2.4)");
 }

@@ -26,10 +26,7 @@ fn main() {
     );
     println!("tree file: {} events, {} bytes on disk\n", n_events, bytes.len());
 
-    let job = AnalysisJob {
-        per_event_cpu: Duration::from_micros(500),
-        ..Default::default()
-    };
+    let job = AnalysisJob { per_event_cpu: Duration::from_micros(500), ..Default::default() };
 
     println!("{:<28} {:>14} {:>14}", "link", "davix/HTTP", "xrdlite");
     for (name, link) in paper_links(0.01) {
@@ -47,10 +44,7 @@ fn main() {
             let (source, cache_opts): (Arc<dyn RandomAccess>, TreeCacheOptions) = match proto {
                 "davix" => {
                     let client = tb.davix_client(Config::default());
-                    (
-                        Arc::new(client.open(&tb.url(0)).unwrap()),
-                        TreeCacheOptions::default(),
-                    )
+                    (Arc::new(client.open(&tb.url(0)).unwrap()), TreeCacheOptions::default())
                 }
                 _ => {
                     let xrd = tb.xrd_client(0, xrdlite::XrdClientOptions::default()).unwrap();

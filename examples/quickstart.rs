@@ -48,7 +48,11 @@ fn main() {
     println!("\nclient metrics:");
     println!("  requests:          {}", m.requests);
     println!("  sessions created:  {}", m.sessions_created);
-    println!("  sessions reused:   {} (reuse ratio {:.0}%)", m.sessions_reused, m.reuse_ratio() * 100.0);
+    println!(
+        "  sessions reused:   {} (reuse ratio {:.0}%)",
+        m.sessions_reused,
+        m.reuse_ratio() * 100.0
+    );
     println!("  vectored requests: {}", m.vectored_requests);
     println!("  bytes in:          {}", m.bytes_in);
     assert_eq!(m.sessions_created, 1, "keep-alive keeps one connection");

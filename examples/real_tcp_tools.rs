@@ -64,7 +64,10 @@ fn main() {
         &mut out,
     )
     .expect("put");
-    print!("\n$ davix put histogram.bin …/results/histogram.bin\n{}", String::from_utf8_lossy(&out));
+    print!(
+        "\n$ davix put histogram.bin …/results/histogram.bin\n{}",
+        String::from_utf8_lossy(&out)
+    );
 
     // davix ls -l /
     let mut out = Vec::new();

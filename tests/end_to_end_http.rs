@@ -18,10 +18,8 @@ fn payload(n: usize) -> Vec<u8> {
 #[test]
 fn sim_full_read_and_vectored_read() {
     let data = payload(200_000);
-    let tb = Testbed::start(TestbedConfig {
-        data: Bytes::from(data.clone()),
-        ..Default::default()
-    });
+    let tb =
+        Testbed::start(TestbedConfig { data: Bytes::from(data.clone()), ..Default::default() });
     let _g = tb.net.enter();
     let client = tb.davix_client(Config::default());
     let f = client.open(&tb.url(0)).unwrap();
@@ -41,10 +39,8 @@ fn sim_full_read_and_vectored_read() {
 
 #[test]
 fn sim_namespace_operations() {
-    let tb = Testbed::start(TestbedConfig {
-        data: Bytes::from(payload(1000)),
-        ..Default::default()
-    });
+    let tb =
+        Testbed::start(TestbedConfig { data: Bytes::from(payload(1000)), ..Default::default() });
     let _g = tb.net.enter();
     let client = tb.davix_client(Config::default());
     let posix = client.posix();

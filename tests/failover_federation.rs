@@ -25,8 +25,7 @@ fn three_replica_testbed(data: &[u8]) -> Testbed {
 
 /// Fed-backed metalink config: davix asks the federation for replica lists.
 fn fed_config(_tb: &Testbed) -> Config {
-    Config::default()
-        .with_metalink_base(format!("http://{FED}/myfed").parse().unwrap())
+    Config::default().with_metalink_base(format!("http://{FED}/myfed").parse().unwrap())
 }
 
 #[test]
@@ -140,8 +139,7 @@ fn multistream_download_is_correct_and_spreads_load() {
     let tb = three_replica_testbed(&data);
     let _g = tb.net.enter();
     let client = tb.davix_client(Config::default());
-    let replicas: Vec<httpwire::Uri> =
-        (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
+    let replicas: Vec<httpwire::Uri> = (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
     let got = multistream_download(
         &client,
         &replicas,
@@ -152,10 +150,7 @@ fn multistream_download_is_correct_and_spreads_load() {
     // Load spread: every replica saw at least one connection.
     let stats = tb.net.stats();
     for host in &tb.hosts {
-        assert!(
-            stats.conns_per_host.get(host).copied().unwrap_or(0) >= 1,
-            "replica {host} unused"
-        );
+        assert!(stats.conns_per_host.get(host).copied().unwrap_or(0) >= 1, "replica {host} unused");
     }
 }
 
@@ -167,8 +162,7 @@ fn multistream_survives_replica_death_mid_download() {
     tb.net.set_host_down("dpm2.cern.ch", true);
     let _g = tb.net.enter();
     let client = tb.davix_client(Config::default().no_retry());
-    let replicas: Vec<httpwire::Uri> =
-        (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
+    let replicas: Vec<httpwire::Uri> = (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
     let got = multistream_download(
         &client,
         &replicas,
@@ -187,10 +181,8 @@ fn multistream_fails_cleanly_when_everything_is_dead() {
     }
     let _g = tb.net.enter();
     let client = tb.davix_client(Config::default().no_retry());
-    let replicas: Vec<httpwire::Uri> =
-        (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
-    let err = multistream_download(&client, &replicas, &MultistreamOptions::default())
-        .unwrap_err();
+    let replicas: Vec<httpwire::Uri> = (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
+    let err = multistream_download(&client, &replicas, &MultistreamOptions::default()).unwrap_err();
     assert!(matches!(err, DavixError::AllReplicasFailed { .. }));
 }
 

@@ -62,10 +62,8 @@ fn retry_backoff_spends_virtual_time() {
     tb.nodes[0].handler.fail_next(2);
     let _g = tb.net.enter();
     let backoff = Duration::from_millis(100);
-    let client = tb.davix_client(Config {
-        retry: RetryPolicy { retries: 2, backoff },
-        ..Config::default()
-    });
+    let client =
+        tb.davix_client(Config { retry: RetryPolicy { retries: 2, backoff }, ..Config::default() });
     let t0 = tb.net.now();
     client.open(&tb.url(0)).unwrap();
     // Two retries: backoff + 2*backoff doubling.
@@ -159,10 +157,8 @@ fn slow_server_hits_io_timeout() {
         ..Default::default()
     });
     let _g = tb.net.enter();
-    let client = tb.davix_client(Config {
-        io_timeout: Duration::from_secs(2),
-        ..Config::default()
-    });
+    let client =
+        tb.davix_client(Config { io_timeout: Duration::from_secs(2), ..Config::default() });
     let t0 = tb.net.now();
     let err = client.open(&tb.url(0)).unwrap_err();
     assert!(matches!(err, DavixError::Timeout(_)), "got {err}");

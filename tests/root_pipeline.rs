@@ -66,11 +66,7 @@ fn analysis_over_xrd_matches_local_analysis() {
     let remote_reader = Arc::new(TreeReader::open(file as Arc<dyn RandomAccess>).unwrap());
     let rt_sim: Arc<dyn netsim::Runtime> = tb.net.runtime();
     let remote = job
-        .run(
-            remote_reader,
-            TreeCacheOptions { prefetch: true, ..Default::default() },
-            &rt_sim,
-        )
+        .run(remote_reader, TreeCacheOptions { prefetch: true, ..Default::default() }, &rt_sim)
         .unwrap();
 
     assert_eq!(local.events_processed, remote.events_processed);

@@ -1,0 +1,34 @@
+//! Workspace smoke test: the one assertion every other target builds on.
+//!
+//! If this fails, the workspace wiring itself is broken — the testbed can
+//! no longer assemble a client, a storage node and a federation on the
+//! simulated network, or a plain GET no longer round-trips. CI runs it
+//! first; everything deeper (vectored I/O, fail-over, ROOT pipelines) lives
+//! in the other integration tests.
+
+use bytes::Bytes;
+use davix::Config;
+use davix_repro::testbed::{Testbed, TestbedConfig};
+
+#[test]
+fn testbed_serves_one_get_round_trip() {
+    let data: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+    let tb = Testbed::start(TestbedConfig {
+        data: Bytes::from(data.clone()),
+        with_federation: true,
+        ..Default::default()
+    });
+    let _g = tb.net.enter();
+
+    assert_eq!(tb.nodes.len(), 1, "one storage node");
+    assert!(tb.federation.is_some(), "federation running");
+
+    // One GET straight off the replica.
+    let client = tb.davix_client(Config::default());
+    let got = client.posix().get(&tb.url(0)).unwrap();
+    assert_eq!(got, data, "payload survives the round trip");
+
+    // And one through the federation front-end (redirect to the replica).
+    let got = client.posix().get(&tb.fed_url()).unwrap();
+    assert_eq!(got, data, "federated access resolves to the same bytes");
+}

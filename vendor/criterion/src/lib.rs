@@ -1,0 +1,218 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds without crates.io access, so the subset of the
+//! criterion API its microbenchmarks use is provided here: benchmark
+//! groups, [`Bencher::iter`]/[`Bencher::iter_batched`], throughput
+//! annotation, [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm-up followed by timed samples,
+//! reporting the median ns/iteration and derived throughput — which is
+//! enough to compare hot paths release-to-release and to smoke-test that
+//! benchmarks still run in CI. Set `CRITERION_MEASURE_MS` (per benchmark,
+//! default 300) to trade precision for speed; CI smoke jobs use a few ms.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from the standard library.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units processed per iteration, used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stand-in runs one setup per
+/// timed invocation regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to `bench_function`.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    measure: Duration,
+}
+
+impl Bencher {
+    fn new(measure: Duration) -> Bencher {
+        Bencher { samples_ns: Vec::new(), measure }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size targeting ~1ms per sample.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Hands the iteration count to `routine`, which returns the measured
+    /// total duration for that many iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = 64u64;
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let total = routine(iters);
+            self.samples_ns.push(total.as_nanos() as f64 / iters as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by the untimed `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work used to report throughput for subsequent
+    /// benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.criterion.measure);
+        f(&mut bencher);
+        let ns = bencher.median_ns();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+                format!("  {:>10.1} MiB/s", bytes as f64 / (ns / 1e9) / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  {:>10.1} Kelem/s", n as f64 / (ns / 1e9) / 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<28} {:>12.1} ns/iter{}", self.name, id, ns, rate);
+    }
+
+    /// Ends the group (reporting happens per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point; one per benchmark binary.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion { measure: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) the CLI arguments cargo-bench passes.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+
+    /// Prints the final summary (per-benchmark lines already printed).
+    pub fn final_summary(&self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}

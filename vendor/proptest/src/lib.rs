@@ -1,0 +1,513 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The workspace builds in a container without crates.io access, so the
+//! subset of proptest used by its property tests is reimplemented here:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`, integer
+//! range strategies, tuple strategies, [`collection::vec`], [`option::of`],
+//! [`bool::ANY`], [`arbitrary::any`], regex-derived string strategies
+//! (both bare `&str` patterns and [`string::string_regex`]) and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the test output instead of a minimized counterexample.
+//! - **Deterministic.** Each test's random stream is seeded from the test's
+//!   module path and case index, so runs are reproducible across machines.
+//! - The default case count is 64 (not 256); `#![proptest_config(...)]`
+//!   values are honored and the `PROPTEST_CASES` environment variable
+//!   overrides both.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` — strategies for arbitrary primitive values.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical uniform strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly ASCII with a sprinkling of wider code points, all valid.
+            match rng.next_u64() % 4 {
+                0..=2 => (0x20 + (rng.next_u64() % 0x5F)) as u8 as char,
+                _ => char::from_u32(0xA0 + (rng.next_u64() % 0x2000) as u32).unwrap_or('\u{FFFD}'),
+            }
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Some 3/4 of the time, matching the real crate's default weight.
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.new_value(rng))
+            }
+        }
+    }
+
+    /// Generates `None` or a `Some` drawn from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod string {
+    //! Strategies for strings matching a regular expression.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+
+    /// Error from [`string_regex`] for a pattern outside the supported
+    /// subset.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One node of the parsed pattern.
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        /// Alternation of sequences: `(a|bc|d)`.
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    /// A strategy generating strings matched by a regex.
+    ///
+    /// Supported syntax: literals, `\`-escapes, character classes with
+    /// ranges (`[A-Za-z0-9-]`, any Unicode scalar), groups, alternation and
+    /// the quantifiers `?`, `*`, `+`, `{n}`, `{n,}`, `{n,m}`. Unbounded
+    /// quantifiers generate up to 8 extra repetitions.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        root: Vec<Node>,
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        pattern: &'a str,
+    }
+
+    impl<'a> Parser<'a> {
+        fn err(&self, what: &str) -> Error {
+            Error(format!("{what} in {:?}", self.pattern))
+        }
+
+        fn parse_alternation(&mut self) -> Result<Vec<Vec<Node>>, Error> {
+            let mut alternatives = vec![self.parse_sequence()?];
+            while self.chars.peek() == Some(&'|') {
+                self.chars.next();
+                alternatives.push(self.parse_sequence()?);
+            }
+            Ok(alternatives)
+        }
+
+        fn parse_sequence(&mut self) -> Result<Vec<Node>, Error> {
+            let mut seq = Vec::new();
+            while let Some(&c) = self.chars.peek() {
+                if c == ')' || c == '|' {
+                    break;
+                }
+                let atom = self.parse_atom()?;
+                seq.push(self.parse_quantifier(atom)?);
+            }
+            Ok(seq)
+        }
+
+        fn parse_atom(&mut self) -> Result<Node, Error> {
+            match self.chars.next().expect("peeked") {
+                '(' => {
+                    let alternatives = self.parse_alternation()?;
+                    if self.chars.next() != Some(')') {
+                        return Err(self.err("unclosed group"));
+                    }
+                    Ok(Node::Group(alternatives))
+                }
+                '[' => self.parse_class(),
+                '\\' => {
+                    let c = self.chars.next().ok_or_else(|| self.err("trailing backslash"))?;
+                    Ok(match c {
+                        'd' => Node::Class(vec![('0', '9')]),
+                        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        's' => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+                        'n' => Node::Literal('\n'),
+                        't' => Node::Literal('\t'),
+                        'r' => Node::Literal('\r'),
+                        other => Node::Literal(other),
+                    })
+                }
+                '.' => Ok(Node::Class(vec![(' ', '~')])),
+                '^' | '$' => Err(self.err("anchors are unsupported")),
+                '?' | '*' | '+' => Err(self.err("dangling quantifier")),
+                c => Ok(Node::Literal(c)),
+            }
+        }
+
+        fn parse_class(&mut self) -> Result<Node, Error> {
+            let mut ranges: Vec<(char, char)> = Vec::new();
+            if self.chars.peek() == Some(&'^') {
+                return Err(self.err("negated classes are unsupported"));
+            }
+            loop {
+                let c = match self.chars.next() {
+                    None => return Err(self.err("unclosed character class")),
+                    Some(']') if !ranges.is_empty() => break,
+                    Some('\\') => {
+                        self.chars.next().ok_or_else(|| self.err("trailing backslash"))?
+                    }
+                    Some(c) => c,
+                };
+                // `a-z` range, unless `-` is the closing char (`[%-]`).
+                if self.chars.peek() == Some(&'-') {
+                    let mut ahead = self.chars.clone();
+                    ahead.next();
+                    match ahead.peek() {
+                        Some(&']') | None => ranges.push((c, c)),
+                        Some(_) => {
+                            self.chars.next();
+                            let hi = self.chars.next().expect("peeked");
+                            if hi < c {
+                                return Err(self.err("inverted class range"));
+                            }
+                            ranges.push((c, hi));
+                        }
+                    }
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            Ok(Node::Class(ranges))
+        }
+
+        fn parse_quantifier(&mut self, atom: Node) -> Result<Node, Error> {
+            let (min, max) = match self.chars.peek() {
+                Some('?') => (0, 1),
+                Some('*') => (0, 8),
+                Some('+') => (1, 9),
+                Some('{') => {
+                    self.chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        match self.chars.next() {
+                            Some('}') => break,
+                            Some(c) => spec.push(c),
+                            None => return Err(self.err("unclosed repetition")),
+                        }
+                    }
+                    let parse = |s: &str| s.trim().parse::<u32>().ok();
+                    let (min, max) = match spec.split_once(',') {
+                        None => {
+                            let n = parse(&spec).ok_or_else(|| self.err("bad repetition"))?;
+                            (n, n)
+                        }
+                        Some((lo, "")) => {
+                            let n = parse(lo).ok_or_else(|| self.err("bad repetition"))?;
+                            (n, n + 8)
+                        }
+                        Some((lo, hi)) => (
+                            parse(lo).ok_or_else(|| self.err("bad repetition"))?,
+                            parse(hi).ok_or_else(|| self.err("bad repetition"))?,
+                        ),
+                    };
+                    if max < min {
+                        return Err(self.err("inverted repetition"));
+                    }
+                    return Ok(Node::Repeat(Box::new(atom), min, max));
+                }
+                _ => return Ok(atom),
+            };
+            self.chars.next();
+            Ok(Node::Repeat(Box::new(atom), min, max))
+        }
+    }
+
+    fn generate(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            generate_one(node, rng, out);
+        }
+    }
+
+    fn generate_one(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1).sum();
+                let mut pick = rng.next_u64() % total.max(1);
+                for &(lo, hi) in ranges {
+                    let size = (hi as u64) - (lo as u64) + 1;
+                    if pick < size {
+                        // Skip the surrogate gap; everything the workspace
+                        // generates is far from it, but stay total anyway.
+                        let c = char::from_u32(lo as u32 + pick as u32).unwrap_or('\u{FFFD}');
+                        out.push(c);
+                        return;
+                    }
+                    pick -= size;
+                }
+            }
+            Node::Group(alternatives) => {
+                let pick = (rng.next_u64() % alternatives.len() as u64) as usize;
+                generate(&alternatives[pick], rng, out);
+            }
+            Node::Repeat(inner, min, max) => {
+                let span = (*max - *min + 1) as u64;
+                let n = *min + (rng.next_u64() % span) as u32;
+                for _ in 0..n {
+                    generate_one(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Parses `pattern` and returns a strategy generating matching strings.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut parser = Parser { chars: pattern.chars().peekable(), pattern };
+        let alternatives = parser.parse_alternation()?;
+        if parser.chars.next().is_some() {
+            return Err(Error(format!("unbalanced ')' in {pattern:?}")));
+        }
+        Ok(RegexGeneratorStrategy { root: vec![Node::Group(alternatives)] })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            generate(&self.root, rng, &mut out);
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the generated
+/// inputs on failure. Without shrinking this is equivalent to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("proptest assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("proptest assertion failed: {}: {}", stringify!($cond), format_args!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            panic!(
+                "proptest assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`"
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            panic!(
+                "proptest assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`: {}",
+                format_args!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            panic!("proptest assertion failed: `left != right`\n  both: `{left:?}`");
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            panic!(
+                "proptest assertion failed: `left != right`\n  both: `{left:?}`: {}",
+                format_args!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Skips the current case when its inputs are uninteresting. Without
+/// shrinking or rejection accounting, skipping is simply moving on.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($bind:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::resolved_cases(config.cases);
+            for case in 0..cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $bind = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}

@@ -1,0 +1,68 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real crate defaults to 256; 64 keeps the whole suite fast in
+        // debug CI builds while still exploring the input space. Override
+        // with PROPTEST_CASES.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The case count to actually run: `PROPTEST_CASES` env var, else the
+/// configured value.
+pub fn resolved_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// Deterministic xorshift64* RNG. Each test case gets its own stream seeded
+/// from the test's module path and the case index, so failures reproduce
+/// across runs and machines.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for case `case` of test `test_path`.
+    pub fn for_case(test_path: &str, case: u32) -> TestRng {
+        // FNV-1a over the path, then SplitMix64 with the case folded in.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        let mut z = h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TestRng { state: if z == 0 { 1 } else { z } }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
