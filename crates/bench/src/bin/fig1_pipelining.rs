@@ -17,11 +17,17 @@
 //!
 //! Metrics: total completion time and the mean completion time of the
 //! *small* requests (where HOL blocking hurts).
+//!
+//! CI smoke knobs: `DAVIX_BENCH_SMALL_OBJECTS` (count of small objects,
+//! default 63) and `DAVIX_BENCH_BIG_KIB` (big-object size in KiB, default
+//! 4096) shrink the workload so every strategy — including the davix pool,
+//! whose GETs now ride the streaming response path — runs end-to-end on
+//! every push.
 
 use bytes::Bytes;
 use davix::{Config, DavixClient, PreparedRequest};
 use davix_bench::rawhttp::{pipelined_batch, RawConn};
-use davix_bench::{millis, secs, Table};
+use davix_bench::{env_usize, millis, secs, Table};
 use httpd::ServerConfig;
 use netsim::{LinkSpec, Runtime as _, SimNet};
 use objstore::{ObjectStore, StorageNode, StorageOptions};
@@ -29,9 +35,15 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
-const N_SMALL: usize = 63;
 const SMALL: usize = 16 * 1024;
-const BIG: usize = 4 * 1024 * 1024;
+
+fn n_small() -> usize {
+    env_usize("DAVIX_BENCH_SMALL_OBJECTS", 63)
+}
+
+fn big() -> usize {
+    env_usize("DAVIX_BENCH_BIG_KIB", 4096) * 1024
+}
 
 fn testnet(link: LinkSpec) -> (SimNet, Vec<String>) {
     let net = SimNet::new();
@@ -40,8 +52,8 @@ fn testnet(link: LinkSpec) -> (SimNet, Vec<String>) {
     net.set_link("client", "server", link);
     let store = Arc::new(ObjectStore::new());
     let mut targets = vec!["/obj/big".to_string()];
-    store.put("/obj/big", Bytes::from(vec![1u8; BIG]));
-    for i in 0..N_SMALL {
+    store.put("/obj/big", Bytes::from(vec![1u8; big()]));
+    for i in 0..n_small() {
         let path = format!("/obj/small{i}");
         store.put(&path, Bytes::from(vec![2u8; SMALL]));
         targets.push(path);
@@ -131,9 +143,9 @@ fn mean_dur(xs: &[Duration]) -> Duration {
 fn main() {
     println!("== Figure 1 / §2.2: pipelining head-of-line blocking vs pool dispatch ==");
     println!(
-        "workload: 1 × {} MiB + {} × {} KiB GETs (big first)\n",
-        BIG / 1024 / 1024,
-        N_SMALL,
+        "workload: 1 × {} KiB + {} × {} KiB GETs (big first)\n",
+        big() / 1024,
+        n_small(),
         SMALL / 1024
     );
 

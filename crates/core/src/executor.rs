@@ -1,16 +1,25 @@
 //! Request execution: pool checkout → write → parse → recycle, plus the
 //! retry and redirect policies.
+//!
+//! Two consumption models share one wire path:
+//!
+//! * [`HttpExecutor::execute_streaming`] returns a [`ResponseStream`] that
+//!   owns the pooled session and yields body bytes incrementally — nothing
+//!   proportional to the body is ever buffered;
+//! * [`HttpExecutor::execute`] is a thin collect-to-`Vec` wrapper over it
+//!   for callers that want the whole body in memory.
 
 use crate::config::Config;
 use crate::error::{DavixError, Result};
 use crate::metrics::Metrics;
-use crate::pool::{Endpoint, SessionPool};
+use crate::pool::{Endpoint, Session, SessionPool};
 use bytes::Bytes;
-use httpwire::parse::{read_response_head, response_body_len, BodyLen, BodyReader};
-use httpwire::{HeaderMap, Method, RequestHead, ResponseHead, Uri, Version, WireError};
+use httpwire::parse::{read_response_head, response_body_len, BodyFraming, BodyLen};
+use httpwire::{HeaderMap, Method, RequestHead, ResponseHead, StatusCode, Uri, Version, WireError};
 use netsim::{Connector, Runtime};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A request ready for execution.
 #[derive(Debug, Clone)]
@@ -93,6 +102,16 @@ pub struct HttpExecutor {
 /// closes between our keep-alive checkout and our write).
 const MAX_STALE_RETRIES: u32 = 3;
 
+/// Ceiling on one exponential-backoff sleep. Doubling per attempt overflows
+/// `Duration` quickly for large configured backoffs/retry counts; anything a
+/// server has not recovered from after a minute is unlikely to be fixed by
+/// waiting longer.
+const MAX_RETRY_BACKOFF: Duration = Duration::from_secs(60);
+
+/// Don't trust `Content-Length` for more than this much up-front `Vec`
+/// capacity when collecting a body (a lying header must not OOM the client).
+const MAX_BODY_PREALLOC: u64 = 1 << 20;
+
 impl HttpExecutor {
     /// Build an executor (and its pool) from transport + config.
     pub fn new(
@@ -133,42 +152,98 @@ impl HttpExecutor {
         &self.pool
     }
 
-    /// Execute with redirects and retries per configuration.
+    /// Execute with redirects and retries per configuration, collecting the
+    /// whole body into memory. Thin wrapper over
+    /// [`execute_streaming`](Self::execute_streaming) for callers that want
+    /// a `Vec` (error pages, PROPFIND bodies, small objects); large-body
+    /// paths should stream instead.
     pub fn execute(&self, req: &PreparedRequest) -> Result<HttpResponse> {
-        let mut uri = req.uri.clone();
-        let mut redirects = 0u32;
+        // One retry budget shared between head-stage failures (inside
+        // `execute_streaming_with_budget`) and body-collect failures (here),
+        // exactly like the pre-streaming executor's single counter — the
+        // two loops must not multiply the configured budget.
         let mut attempts = 0u32;
-        let mut stale_retries = 0u32;
         loop {
-            match self.try_once(req, &uri) {
-                Ok(resp) => {
-                    if resp.head.status.is_redirect() {
-                        if let Some(loc) = resp.head.headers.get("location") {
-                            redirects += 1;
-                            if redirects > self.cfg.max_redirects {
-                                return Err(DavixError::RedirectLoop(self.cfg.max_redirects));
-                            }
-                            Metrics::bump(&self.metrics.redirects);
-                            uri = uri.resolve_location(loc).map_err(DavixError::from)?;
-                            attempts = 0;
-                            continue;
-                        }
-                    }
-                    // 5xx on an idempotent request: retry within budget (the
-                    // server may recover — matches libdavix's behaviour).
-                    if resp.head.status.is_server_error()
+            let stream = self.execute_streaming_with_budget(req, &mut attempts)?;
+            match stream.into_response() {
+                Ok(resp) => return Ok(resp),
+                Err(error) => {
+                    // The head arrived but the body broke under us: retry the
+                    // whole exchange when that is safe.
+                    if error.is_retryable()
                         && req.method.is_idempotent()
                         && attempts < self.cfg.retry.retries
                     {
                         attempts += 1;
                         Metrics::bump(&self.metrics.retries);
-                        let backoff = self.cfg.retry.backoff * 2u32.saturating_pow(attempts - 1);
-                        if !backoff.is_zero() {
-                            self.rt.sleep(backoff);
-                        }
+                        self.backoff_sleep(attempts);
                         continue;
                     }
-                    return Ok(HttpResponse { head: resp.head, body: resp.body, final_uri: uri });
+                    return Err(error);
+                }
+            }
+        }
+    }
+
+    /// Execute with redirects and retries per configuration, returning the
+    /// response with its body **unread**. The returned [`ResponseStream`]
+    /// owns the pooled session: reading drains the body incrementally, and
+    /// the session goes back to the pool the moment the body completes (or
+    /// is dropped on the floor, non-reusable, if the stream is abandoned
+    /// half-way).
+    ///
+    /// Redirect and 5xx-retry responses are consumed internally; the stream
+    /// handed back is always the final hop's.
+    pub fn execute_streaming(&self, req: &PreparedRequest) -> Result<ResponseStream<'_>> {
+        self.execute_streaming_with_budget(req, &mut 0)
+    }
+
+    /// [`execute_streaming`](Self::execute_streaming) with the retry counter
+    /// owned by the caller, so `execute` (and the streaming read paths in
+    /// `file.rs`) can share one budget across the head stage and their own
+    /// body-read retries instead of multiplying it.
+    pub(crate) fn execute_streaming_with_budget(
+        &self,
+        req: &PreparedRequest,
+        attempts: &mut u32,
+    ) -> Result<ResponseStream<'_>> {
+        let mut uri = req.uri.clone();
+        let mut redirects = 0u32;
+        let mut stale_retries = 0u32;
+        loop {
+            match self.try_once(req, &uri) {
+                Ok(raw) => {
+                    let stream = self.make_stream(raw, uri.clone());
+                    if stream.head.status.is_redirect() {
+                        if let Some(loc) = stream.head.headers.get("location").map(str::to_string) {
+                            redirects += 1;
+                            if redirects > self.cfg.max_redirects {
+                                return Err(DavixError::RedirectLoop(self.cfg.max_redirects));
+                            }
+                            Metrics::bump(&self.metrics.redirects);
+                            // Consume the redirect body (so the session can
+                            // be recycled for the next hop) only when that
+                            // is worth anything; a broken body only costs us
+                            // the connection.
+                            stream.finish();
+                            uri = uri.resolve_location(&loc).map_err(DavixError::from)?;
+                            *attempts = 0;
+                            continue;
+                        }
+                    }
+                    // 5xx on an idempotent request: retry within budget (the
+                    // server may recover — matches libdavix's behaviour).
+                    if stream.head.status.is_server_error()
+                        && req.method.is_idempotent()
+                        && *attempts < self.cfg.retry.retries
+                    {
+                        *attempts += 1;
+                        Metrics::bump(&self.metrics.retries);
+                        stream.finish();
+                        self.backoff_sleep(*attempts);
+                        continue;
+                    }
+                    return Ok(stream);
                 }
                 Err(TryError { error, stale }) => {
                     if stale && stale_retries < MAX_STALE_RETRIES {
@@ -179,13 +254,10 @@ impl HttpExecutor {
                         continue;
                     }
                     let retryable = error.is_retryable() && req.method.is_idempotent();
-                    if retryable && attempts < self.cfg.retry.retries {
-                        attempts += 1;
+                    if retryable && *attempts < self.cfg.retry.retries {
+                        *attempts += 1;
                         Metrics::bump(&self.metrics.retries);
-                        let backoff = self.cfg.retry.backoff * 2u32.saturating_pow(attempts - 1);
-                        if !backoff.is_zero() {
-                            self.rt.sleep(backoff);
-                        }
+                        self.backoff_sleep(*attempts);
                         continue;
                     }
                     return Err(error);
@@ -199,11 +271,48 @@ impl HttpExecutor {
         self.execute(req)?.expect_success(context)
     }
 
+    /// Sleep the exponential backoff for retry number `attempts` (1-based).
+    /// `checked_mul` + a ceiling keep any configured backoff/retry count
+    /// from overflowing `Duration` (which panics in `Duration * u32`).
+    pub(crate) fn backoff_sleep(&self, attempts: u32) {
+        let factor = 2u32.saturating_pow(attempts.saturating_sub(1));
+        let backoff = self
+            .cfg
+            .retry
+            .backoff
+            .checked_mul(factor)
+            .unwrap_or(MAX_RETRY_BACKOFF)
+            .min(MAX_RETRY_BACKOFF);
+        if !backoff.is_zero() {
+            self.rt.sleep(backoff);
+        }
+    }
+
+    fn make_stream(&self, raw: RawStream, final_uri: Uri) -> ResponseStream<'_> {
+        let keep_alive = raw.keep;
+        let mut stream = ResponseStream {
+            head: raw.head,
+            final_uri,
+            keep_alive,
+            executor: self,
+            session: Some(raw.session),
+            framing: BodyFraming::new(raw.framing),
+        };
+        // Bodyless responses (HEAD, 204, 304…) are already complete: the
+        // session goes straight back to the pool.
+        if stream.framing.is_done() {
+            stream.release(keep_alive);
+        }
+        stream
+    }
+
+    /// One request/response exchange: checkout, write, read the head — the
+    /// body stays on the wire for the [`ResponseStream`] to consume.
     fn try_once(
         &self,
         req: &PreparedRequest,
         uri: &Uri,
-    ) -> std::result::Result<RawResponse, TryError> {
+    ) -> std::result::Result<RawStream, TryError> {
         let ep = Endpoint::of(uri);
         let mut session =
             self.pool.acquire(&ep).map_err(|error| TryError { error, stale: false })?;
@@ -242,25 +351,178 @@ impl HttpExecutor {
             }
         };
         let framing = response_body_len(&req.method, &rhead);
-        let body = match BodyReader::new(&mut session.reader, framing).read_all() {
-            Ok(b) => b,
-            Err(e) => {
-                self.pool.release(session, false);
-                return Err(TryError { error: e.into(), stale: false });
-            }
-        };
-        Metrics::add(&self.metrics.bytes_in, body.len() as u64);
-
         let keep =
             rhead.headers.keep_alive(rhead.version == Version::Http11) && framing != BodyLen::Close;
-        self.pool.release(session, keep);
-        Ok(RawResponse { head: rhead, body })
+        Ok(RawStream { head: rhead, session, framing, keep })
     }
 }
 
-struct RawResponse {
+/// A response whose head has been parsed and whose body is still on the
+/// wire. Owns the pooled [`Session`] it arrived on.
+///
+/// Reading (via [`std::io::Read`]) enforces the HTTP framing and stops
+/// exactly at the message boundary. The session is returned to the pool:
+///
+/// * **reusable** the moment the body is fully drained, when the response
+///   allowed keep-alive;
+/// * **non-reusable** (connection dropped) if the stream is dropped with
+///   body bytes still unread — a half-read connection is mid-message and
+///   can never be recycled.
+pub struct ResponseStream<'a> {
     head: ResponseHead,
-    body: Vec<u8>,
+    final_uri: Uri,
+    keep_alive: bool,
+    executor: &'a HttpExecutor,
+    session: Option<Session>,
+    framing: BodyFraming,
+}
+
+impl std::fmt::Debug for ResponseStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseStream")
+            .field("status", &self.head.status)
+            .field("final_uri", &self.final_uri.to_string())
+            .field("drained", &self.framing.is_done())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResponseStream<'_> {
+    /// Status line + headers.
+    pub fn head(&self) -> &ResponseHead {
+        &self.head
+    }
+
+    /// Response status.
+    pub fn status(&self) -> StatusCode {
+        self.head.status
+    }
+
+    /// URI that actually served the response (after redirects).
+    pub fn final_uri(&self) -> &Uri {
+        &self.final_uri
+    }
+
+    /// Whether the body has been fully consumed (and the session returned
+    /// to the pool).
+    pub fn is_drained(&self) -> bool {
+        self.framing.is_done()
+    }
+
+    /// Error out unless the status is 2xx. The body (an error page) is left
+    /// unread; dropping it discards the connection, which is fine for an
+    /// error path.
+    pub fn expect_success(self, context: &str) -> Result<Self> {
+        if self.head.status.is_success() {
+            Ok(self)
+        } else {
+            Err(DavixError::from_status(
+                self.head.status,
+                format!("{context} ({})", self.final_uri),
+            ))
+        }
+    }
+
+    /// Consume the stream in whichever way is cheapest: drain the body when
+    /// doing so can return the session to the pool (keep-alive allowed),
+    /// otherwise drop the connection immediately — reading a
+    /// `Connection: close` (possibly close-delimited, unbounded) body to
+    /// EOF would buy nothing.
+    pub fn finish(mut self) {
+        if self.keep_alive {
+            let _ = self.drain();
+        } else {
+            self.release(false);
+        }
+    }
+
+    /// Read and discard the rest of the body. Returns the bytes discarded.
+    pub fn drain(&mut self) -> Result<u64> {
+        let mut sink = [0u8; 8192];
+        let mut total = 0u64;
+        loop {
+            match self.read(&mut sink) {
+                Ok(0) => return Ok(total),
+                Ok(n) => total += n as u64,
+                Err(e) => return Err(body_read_error(e)),
+            }
+        }
+    }
+
+    /// Collect the rest of the body into a `Vec`, consuming the stream.
+    pub fn into_response(mut self) -> Result<HttpResponse> {
+        let mut body = Vec::new();
+        if let Some(n) = self.head.headers.content_length() {
+            body.reserve(n.min(MAX_BODY_PREALLOC) as usize);
+        }
+        Read::read_to_end(&mut self, &mut body).map_err(body_read_error)?;
+        Metrics::record_max(&self.executor.metrics.peak_body_buffer, body.len() as u64);
+        Ok(HttpResponse {
+            head: std::mem::replace(&mut self.head, ResponseHead::new(StatusCode(200))),
+            body,
+            final_uri: self.final_uri.clone(),
+        })
+    }
+
+    fn release(&mut self, reusable: bool) {
+        if let Some(session) = self.session.take() {
+            self.executor.pool.release(session, reusable);
+        }
+    }
+}
+
+impl Read for ResponseStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let Some(session) = self.session.as_mut() else {
+            return Ok(0); // fully drained earlier (session already pooled)
+        };
+        match self.framing.read(&mut session.reader, buf) {
+            Ok(n) => {
+                if n > 0 {
+                    Metrics::add(&self.executor.metrics.bytes_in, n as u64);
+                    Metrics::add(&self.executor.metrics.bytes_streamed, n as u64);
+                }
+                if self.framing.is_done() {
+                    let keep = self.keep_alive;
+                    self.release(keep);
+                }
+                Ok(n)
+            }
+            Err(e) => {
+                // Framing violated or transport died: the connection is no
+                // longer positioned at a message boundary.
+                self.release(false);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for ResponseStream<'_> {
+    fn drop(&mut self) {
+        // Still holding the session here means body bytes are unread: the
+        // connection is mid-message and must not be recycled.
+        self.release(false);
+    }
+}
+
+/// Map a body-framing I/O error into the same taxonomy the buffered path
+/// used: truncation/corruption is a protocol fault (not retryable), real
+/// transport errors stay connection/timeout faults (retryable).
+pub(crate) fn body_read_error(e: std::io::Error) -> DavixError {
+    match e.kind() {
+        std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::InvalidData => {
+            DavixError::Protocol(e.to_string())
+        }
+        _ => DavixError::from(e),
+    }
+}
+
+struct RawStream {
+    head: ResponseHead,
+    session: Session,
+    framing: BodyLen,
+    keep: bool,
 }
 
 struct TryError {

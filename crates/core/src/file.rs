@@ -15,14 +15,15 @@
 use crate::client::ClientInner;
 use crate::config::RangePolicy;
 use crate::error::{DavixError, Result};
-use crate::executor::PreparedRequest;
+use crate::executor::{body_read_error, PreparedRequest, ResponseStream};
 use crate::metrics::Metrics;
 use crate::util::parallel_map;
 use httpwire::multipart::{boundary_from_content_type, MultipartReader};
 use httpwire::range::{coalesce_fragments, format_range_header};
-use httpwire::{ContentRange, StatusCode, Uri};
+use httpwire::{ContentRange, ResponseHead, StatusCode, Uri};
 use ioapi::{IoStats, IoStatsSnapshot, RandomAccess};
 use parking_lot::Mutex;
+use std::io::Read;
 use std::sync::Arc;
 
 /// Stat result for a remote file.
@@ -90,32 +91,58 @@ impl DavFile {
 
     /// Positional read of up to `buf.len()` bytes at `offset`. Returns bytes
     /// read; 0 at EOF.
+    ///
+    /// The body streams straight from the pooled connection into `buf` —
+    /// no intermediate buffer proportional to the read size is allocated.
+    /// A `206` whose `Content-Range` does not match the requested window is
+    /// rejected as [`DavixError::Protocol`] rather than trusted: a
+    /// misbehaving server must fail loudly, not yield wrong bytes at the
+    /// right offsets.
     pub fn pread(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
         if buf.is_empty() || offset >= self.size {
             return Ok(0);
         }
         let want = buf.len().min((self.size - offset) as usize);
-        let range = format_range_header(&[(offset, want)]);
-        let req = PreparedRequest::get(self.uri.clone()).header("Range", range);
-        let resp = self.inner.executor.execute(&req)?;
-        let data: &[u8] = match resp.head.status {
-            StatusCode::PARTIAL_CONTENT => &resp.body,
-            StatusCode::OK => {
-                // Server ignored Range: slice the full entity.
-                let end = (offset as usize + want).min(resp.body.len());
-                if offset as usize >= resp.body.len() {
-                    &[]
-                } else {
-                    &resp.body[offset as usize..end]
-                }
-            }
-            StatusCode::RANGE_NOT_SATISFIABLE => &[],
-            status => return Err(DavixError::from_status(status, format!("pread {}", self.uri))),
-        };
-        let n = data.len().min(buf.len());
-        buf[..n].copy_from_slice(&data[..n]);
+        let n = with_read_retries(&self.inner.executor, |attempts| {
+            self.pread_attempt(offset, buf, want, attempts)
+        })?;
         self.io.record_read(n as u64, 1);
         Ok(n)
+    }
+
+    fn pread_attempt(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        want: usize,
+        attempts: &mut u32,
+    ) -> Result<usize> {
+        let range = format_range_header(&[(offset, want)]);
+        let req = PreparedRequest::get(self.uri.clone()).header("Range", range);
+        let mut resp = self.inner.executor.execute_streaming_with_budget(&req, attempts)?;
+        match resp.status() {
+            StatusCode::PARTIAL_CONTENT => {
+                validated_content_range(resp.head(), offset, want, "pread")?;
+                read_exact_stream(&mut resp, &mut buf[..want], "pread")?;
+                Ok(want)
+            }
+            StatusCode::OK => {
+                // Server ignored Range (200 + full entity): skip to the
+                // offset and read only the window — a bounded read, the
+                // rest of the entity is never pulled into memory.
+                Metrics::bump(&self.inner.executor.metrics().range_downgrades);
+                if skip_stream(&mut resp, offset)? < offset {
+                    Ok(0) // entity shorter than our stat said: EOF
+                } else {
+                    read_some(&mut resp, &mut buf[..want])
+                }
+            }
+            StatusCode::RANGE_NOT_SATISFIABLE => {
+                resp.finish(); // tiny error body; keep the session if we can
+                Ok(0)
+            }
+            status => Err(DavixError::from_status(status, format!("pread {}", self.uri))),
+        }
     }
 
     /// Sequential read from the cursor position.
@@ -194,37 +221,90 @@ impl DavFile {
         )
     }
 
-    /// One multi-range GET; decode whichever shape the server chose.
+    /// One multi-range GET; decode whichever shape the server chose,
+    /// incrementally off the wire.
     fn fetch_multirange(&self, wire: &[(u64, usize)]) -> Result<Vec<Chunk>> {
+        with_read_retries(&self.inner.executor, |attempts| self.multirange_attempt(wire, attempts))
+    }
+
+    fn multirange_attempt(&self, wire: &[(u64, usize)], attempts: &mut u32) -> Result<Vec<Chunk>> {
         let range = format_range_header(wire);
         let req = PreparedRequest::get(self.uri.clone()).header("Range", range);
         Metrics::bump(&self.inner.executor.metrics().vectored_requests);
-        let resp = self.inner.executor.execute(&req)?;
-        match resp.head.status {
+        // Everything we asked for lives inside this span; anything a part
+        // claims outside it is a lie (and a lying length must not drive an
+        // allocation either — hence the part limit).
+        let span_first = wire.iter().map(|&(o, _)| o).min().unwrap_or(0);
+        let span_end = wire.iter().map(|&(o, l)| o + l as u64).max().unwrap_or(0);
+        let mut resp = self.inner.executor.execute_streaming_with_budget(&req, attempts)?;
+        match resp.status() {
             StatusCode::PARTIAL_CONTENT => {
-                let ct = resp.head.headers.get("content-type").unwrap_or("");
-                if let Some(boundary) = boundary_from_content_type(ct) {
-                    let parts = MultipartReader::new(std::io::Cursor::new(resp.body), &boundary)
-                        .read_all_parts()
-                        .map_err(DavixError::from)?;
-                    Ok(parts
-                        .into_iter()
-                        .map(|p| Chunk { first: p.range.first, data: p.data })
-                        .collect())
+                let ct = resp.head().headers.get("content-type").unwrap_or("").to_string();
+                if let Some(boundary) = boundary_from_content_type(&ct) {
+                    // Decode parts as they arrive: at most one part's payload
+                    // is resident beyond its final Chunk, never the whole
+                    // multipart body.
+                    let mut chunks = Vec::new();
+                    {
+                        let mut parts =
+                            MultipartReader::new(std::io::BufReader::new(&mut resp), &boundary)
+                                .with_part_limit(span_end - span_first);
+                        while let Some(p) = parts.next_part().map_err(DavixError::from)? {
+                            // A part claiming bytes outside the requested
+                            // span, or touching none of the requested
+                            // windows, would plant wrong bytes at offsets the
+                            // caller trusts. (Parts *within* the span are
+                            // allowed to straddle windows: servers may
+                            // coalesce ranges across small gaps.)
+                            let in_span = p.range.first >= span_first && p.range.last < span_end;
+                            let touches_a_window = wire
+                                .iter()
+                                .any(|&(o, l)| p.range.first < o + l as u64 && p.range.last >= o);
+                            if !in_span || !touches_a_window {
+                                return Err(DavixError::Protocol(format!(
+                                    "{}: multipart part Content-Range {} outside the requested \
+                                     ranges",
+                                    self.uri, p.range
+                                )));
+                            }
+                            chunks.push(Chunk { first: p.range.first, data: p.data });
+                        }
+                    }
+                    resp.finish(); // consume any epilogue → session reusable
+                    Ok(chunks)
                 } else {
-                    // Single range back: the server merged everything.
-                    let cr = resp
-                        .head
-                        .headers
-                        .get("content-range")
-                        .ok_or_else(|| {
-                            DavixError::Protocol("206 without Content-Range".to_string())
-                        })
-                        .and_then(|v| ContentRange::parse(v).map_err(DavixError::from))?;
-                    Ok(vec![Chunk { first: cr.first, data: resp.body }])
+                    // Single range back: the server merged everything. Check
+                    // it actually covers every range we asked for before
+                    // trusting a byte of it (`off + len - 1` compared against
+                    // the inclusive `cr.last` — no overflowable sums of
+                    // server-controlled values).
+                    let cr = parse_content_range(resp.head(), "readv")?;
+                    for &(off, len) in wire {
+                        if off < cr.first || off + len as u64 - 1 > cr.last {
+                            return Err(DavixError::Protocol(format!(
+                                "{}: merged Content-Range {cr} does not cover requested \
+                                 range {off}+{len}",
+                                self.uri
+                            )));
+                        }
+                    }
+                    // Allocate only the span we asked for, never the span the
+                    // server *claims* — a lying Content-Range must not be able
+                    // to force a huge allocation. Anything past the last
+                    // requested byte stays unread.
+                    let max_end = wire.iter().map(|&(o, l)| o + l as u64).max().unwrap_or(cr.first);
+                    let mut data = vec![0u8; (max_end - cr.first) as usize];
+                    read_exact_stream(&mut resp, &mut data, "readv")?;
+                    Ok(vec![Chunk { first: cr.first, data }])
                 }
             }
-            StatusCode::OK => Ok(vec![Chunk { first: 0, data: resp.body }]),
+            StatusCode::OK => {
+                // Server ignored Range entirely: stream the entity once,
+                // keeping only the requested windows (the tail past the last
+                // window is never read).
+                Metrics::bump(&self.inner.executor.metrics().range_downgrades);
+                read_windows(&mut resp, wire)
+            }
             status => Err(DavixError::from_status(status, format!("readv {}", self.uri))),
         }
     }
@@ -240,14 +320,38 @@ impl DavFile {
             wire.to_vec(),
             self.inner.cfg.vector_fallback_parallelism,
             move |(off, len): (u64, usize)| -> Result<Chunk> {
-                let range = format_range_header(&[(off, len)]);
-                let req = PreparedRequest::get(uri.clone()).header("Range", range);
-                let resp = inner.executor.execute(&req)?;
-                match resp.head.status {
-                    StatusCode::PARTIAL_CONTENT => Ok(Chunk { first: off, data: resp.body }),
-                    StatusCode::OK => Ok(Chunk { first: 0, data: resp.body }),
-                    status => Err(DavixError::from_status(status, format!("pread {off}+{len}"))),
-                }
+                with_read_retries(&inner.executor, |attempts| {
+                    let range = format_range_header(&[(off, len)]);
+                    let req = PreparedRequest::get(uri.clone()).header("Range", range);
+                    let mut resp = inner.executor.execute_streaming_with_budget(&req, attempts)?;
+                    let mut data = vec![0u8; len];
+                    match resp.status() {
+                        StatusCode::PARTIAL_CONTENT => {
+                            validated_content_range(resp.head(), off, len, "pread")?;
+                            read_exact_stream(&mut resp, &mut data, "pread")?;
+                        }
+                        StatusCode::OK => {
+                            // Full-entity reply to a range request: without
+                            // streaming, every parallel fragment would pull
+                            // the whole file (N× amplification). Skip to the
+                            // window, read it, drop the rest on the floor.
+                            Metrics::bump(&inner.executor.metrics().range_downgrades);
+                            if skip_stream(&mut resp, off)? < off {
+                                return Err(DavixError::Protocol(format!(
+                                    "entity ended before requested range {off}+{len}"
+                                )));
+                            }
+                            read_exact_stream(&mut resp, &mut data, "pread")?;
+                        }
+                        status => {
+                            return Err(DavixError::from_status(
+                                status,
+                                format!("pread {off}+{len}"),
+                            ))
+                        }
+                    }
+                    Ok(Chunk { first: off, data })
+                })
             },
         );
         results.into_iter().collect()
@@ -262,6 +366,124 @@ impl DavFile {
 struct Chunk {
     first: u64,
     data: Vec<u8>,
+}
+
+/// Run one read exchange with the executor's retry policy applied to *body*
+/// failures too, like the old buffered path: `op` gets the shared attempt
+/// counter (threaded into `execute_streaming_with_budget`, so head-stage and
+/// body-stage failures draw on one budget, never a multiplied one). Only
+/// retryable errors (transport resets, timeouts) re-run `op`; protocol
+/// faults — wrong `Content-Range`, short bodies — fail immediately. Every
+/// caller here issues GETs, which are idempotent by definition.
+fn with_read_retries<T>(
+    ex: &crate::executor::HttpExecutor,
+    mut op: impl FnMut(&mut u32) -> Result<T>,
+) -> Result<T> {
+    let mut attempts = 0u32;
+    loop {
+        match op(&mut attempts) {
+            Err(e) if e.is_retryable() && attempts < ex.config().retry.retries => {
+                attempts += 1;
+                Metrics::bump(&ex.metrics().retries);
+                ex.backoff_sleep(attempts);
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Parse a `Content-Range` header off a `206` head, or fail as a protocol
+/// error (a 206 without one is unframable).
+fn parse_content_range(head: &ResponseHead, what: &str) -> Result<ContentRange> {
+    head.headers
+        .get("content-range")
+        .ok_or_else(|| DavixError::Protocol(format!("{what}: 206 without Content-Range")))
+        .and_then(|v| ContentRange::parse(v).map_err(DavixError::from))
+}
+
+/// Parse **and validate** a single-range `206`'s `Content-Range` against the
+/// exact window that was requested. A shifted or resized range means the
+/// server would hand us wrong bytes at the right offsets — reject it.
+fn validated_content_range(
+    head: &ResponseHead,
+    offset: u64,
+    len: usize,
+    what: &str,
+) -> Result<ContentRange> {
+    let cr = parse_content_range(head, what)?;
+    if cr.first != offset || cr.len() != len as u64 {
+        return Err(DavixError::Protocol(format!(
+            "{what}: server answered Content-Range {cr} to a request for bytes {offset}-{}",
+            offset + len as u64 - 1
+        )));
+    }
+    Ok(cr)
+}
+
+/// Read until `buf` is full or the body ends; returns bytes read.
+fn read_some(r: &mut ResponseStream<'_>, buf: &mut [u8]) -> Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        match r.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(m) => n += m,
+            Err(e) => return Err(body_read_error(e)),
+        }
+    }
+    Ok(n)
+}
+
+/// Read exactly `buf.len()` bytes; a body that ends early is a protocol
+/// fault (it contradicts the server's own framing/Content-Range).
+fn read_exact_stream(r: &mut ResponseStream<'_>, buf: &mut [u8], what: &str) -> Result<()> {
+    let n = read_some(r, buf)?;
+    if n < buf.len() {
+        return Err(DavixError::Protocol(format!(
+            "{what}: body ended after {n} of {} declared bytes",
+            buf.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Discard up to `count` body bytes; returns how many were actually skipped
+/// (fewer only if the body ended first).
+fn skip_stream(r: &mut ResponseStream<'_>, count: u64) -> Result<u64> {
+    let mut scratch = [0u8; 8192];
+    let mut skipped = 0u64;
+    while skipped < count {
+        let want = scratch.len().min((count - skipped) as usize);
+        match r.read(&mut scratch[..want]) {
+            Ok(0) => break,
+            Ok(n) => skipped += n as u64,
+            Err(e) => return Err(body_read_error(e)),
+        }
+    }
+    Ok(skipped)
+}
+
+/// Pull only the requested windows out of a full-entity (`200`) body,
+/// reading the stream once, in offset order. `wire` must be disjoint (it is:
+/// [`coalesce_fragments`] merges overlaps); the tail past the last window is
+/// left unread.
+fn read_windows(resp: &mut ResponseStream<'_>, wire: &[(u64, usize)]) -> Result<Vec<Chunk>> {
+    let mut sorted: Vec<(u64, usize)> = wire.to_vec();
+    sorted.sort_unstable();
+    let mut chunks = Vec::with_capacity(sorted.len());
+    let mut pos = 0u64;
+    for (off, len) in sorted {
+        let gap = off.saturating_sub(pos);
+        if skip_stream(resp, gap)? < gap {
+            return Err(DavixError::Protocol(format!(
+                "entity ended before requested range {off}+{len}"
+            )));
+        }
+        let mut data = vec![0u8; len];
+        read_exact_stream(resp, &mut data, "readv")?;
+        pos = off + len as u64;
+        chunks.push(Chunk { first: off, data });
+    }
+    Ok(chunks)
 }
 
 impl RandomAccess for DavFile {

@@ -29,6 +29,34 @@
 //! same client runs over real TCP and over the simulated WLCG-style networks
 //! used by the benchmark harness.
 //!
+//! ## Streaming responses
+//!
+//! The executor has two consumption models sharing one wire path:
+//!
+//! * [`HttpExecutor::execute_streaming`] returns a [`ResponseStream`] —
+//!   the response head plus the *unread* body. The stream owns the pooled
+//!   session; reading (it implements [`std::io::Read`]) drains the body
+//!   incrementally with the HTTP framing enforced, and the session returns
+//!   to the pool the moment the body completes. Dropping a half-read
+//!   stream discards the connection (it is mid-message and can never be
+//!   recycled) — correctness is never traded for reuse.
+//! * [`HttpExecutor::execute`] is a thin collect-to-`Vec` wrapper over the
+//!   same path for small bodies (PROPFIND results, error pages).
+//!
+//! Every hot read path streams: `DavFile::pread` lands bytes straight in
+//! the caller's buffer, `pread_vec` decodes `multipart/byteranges` parts
+//! incrementally off the wire, and `multistream_download` streams each
+//! chunk into its final slot. A multi-GiB GET therefore costs the client a
+//! fixed-size buffer, not a multi-GiB allocation — see the
+//! `bytes_streamed` / `peak_body_buffer` counters in [`Metrics`].
+//!
+//! The read path is also *paranoid*: a `206` whose `Content-Range` does
+//! not match the requested window, or whose body ends short of what the
+//! range declares, fails as [`DavixError::Protocol`] instead of silently
+//! yielding wrong bytes at the right offsets. Servers that ignore `Range`
+//! and answer `200` + full entity are read only up to the requested window
+//! (counted in `Metrics::range_downgrades`).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -79,7 +107,7 @@ pub(crate) mod util;
 pub use client::DavixClient;
 pub use config::{Config, RangePolicy, RetryPolicy};
 pub use error::{DavixError, Result};
-pub use executor::{HttpExecutor, HttpResponse, PreparedRequest};
+pub use executor::{HttpExecutor, HttpResponse, PreparedRequest, ResponseStream};
 pub use file::DavFile;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use multistream::{multistream_download, multistream_download_verified, MultistreamOptions};

@@ -22,10 +22,21 @@ pub struct Metrics {
     pub bytes_in: AtomicU64,
     /// Request bytes sent (heads + bodies).
     pub bytes_out: AtomicU64,
+    /// Body bytes delivered through [`ResponseStream`](crate::ResponseStream)
+    /// reads (every response body flows through here, including the
+    /// collect-to-`Vec` path of [`HttpExecutor::execute`](crate::HttpExecutor::execute)).
+    pub bytes_streamed: AtomicU64,
+    /// High-water mark of any single collected body buffer, in bytes.
+    /// Stays 0 while every consumer streams — the Fig. 2/3 benches use this
+    /// to show the read path allocates nothing proportional to the body.
+    pub peak_body_buffer: AtomicU64,
     /// Multi-range (vectored) GETs issued.
     pub vectored_requests: AtomicU64,
     /// Vectored reads that had to fall back to per-fragment requests.
     pub vector_fallbacks: AtomicU64,
+    /// Range requests a server answered with `200` + the full entity
+    /// instead of `206` (the client then reads only the requested window).
+    pub range_downgrades: AtomicU64,
     /// Metalink documents fetched.
     pub metalinks_fetched: AtomicU64,
     /// Replica fail-overs performed.
@@ -49,6 +60,11 @@ impl Metrics {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise a high-water-mark gauge to at least `n`.
+    pub fn record_max(gauge: &AtomicU64, n: u64) {
+        gauge.fetch_max(n, Ordering::Relaxed);
+    }
+
     /// Plain-value copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         snapshot_fields!(
@@ -61,8 +77,11 @@ impl Metrics {
             sessions_discarded,
             bytes_in,
             bytes_out,
+            bytes_streamed,
+            peak_body_buffer,
             vectored_requests,
             vector_fallbacks,
+            range_downgrades,
             metalinks_fetched,
             failovers,
         )
@@ -81,14 +100,19 @@ pub struct MetricsSnapshot {
     pub sessions_discarded: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
+    pub bytes_streamed: u64,
+    pub peak_body_buffer: u64,
     pub vectored_requests: u64,
     pub vector_fallbacks: u64,
+    pub range_downgrades: u64,
     pub metalinks_fetched: u64,
     pub failovers: u64,
 }
 
 impl MetricsSnapshot {
     /// Counter-wise difference against an earlier snapshot.
+    /// `peak_body_buffer` is a high-water mark, not a counter: the newer
+    /// snapshot's value is kept as-is.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             requests: self.requests - earlier.requests,
@@ -99,8 +123,11 @@ impl MetricsSnapshot {
             sessions_discarded: self.sessions_discarded - earlier.sessions_discarded,
             bytes_in: self.bytes_in - earlier.bytes_in,
             bytes_out: self.bytes_out - earlier.bytes_out,
+            bytes_streamed: self.bytes_streamed - earlier.bytes_streamed,
+            peak_body_buffer: self.peak_body_buffer,
             vectored_requests: self.vectored_requests - earlier.vectored_requests,
             vector_fallbacks: self.vector_fallbacks - earlier.vector_fallbacks,
+            range_downgrades: self.range_downgrades - earlier.range_downgrades,
             metalinks_fetched: self.metalinks_fetched - earlier.metalinks_fetched,
             failovers: self.failovers - earlier.failovers,
         }

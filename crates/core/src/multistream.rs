@@ -33,12 +33,16 @@ impl Default for MultistreamOptions {
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<(u64, usize)>>,
-    out: Mutex<DownloadState>,
+    queue: Mutex<VecDeque<(usize, u64, usize)>>,
+    /// One slot per chunk. A worker that pops chunk `i` from the queue is
+    /// the only holder of `slots[i]`, so it can stream the body straight
+    /// into the slot's buffer while holding only that slot's (uncontended)
+    /// lock — no shared whole-file buffer, no copy through a scratch `Vec`.
+    slots: Vec<Mutex<Vec<u8>>>,
+    progress: Mutex<Progress>,
 }
 
-struct DownloadState {
-    buf: Vec<u8>,
+struct Progress {
     remaining_chunks: usize,
     failures: usize,
     fatal: Option<DavixError>,
@@ -80,11 +84,11 @@ pub fn multistream_download(
         last: Box::new(last_err.unwrap_or_else(|| DavixError::Metalink("unreachable".into()))),
     })?;
 
-    let mut chunks: VecDeque<(u64, usize)> = VecDeque::new();
+    let mut chunks: VecDeque<(usize, u64, usize)> = VecDeque::new();
     let mut off = 0u64;
     while off < size {
         let len = opts.chunk_size.min((size - off) as usize);
-        chunks.push_back((off, len));
+        chunks.push_back((chunks.len(), off, len));
         off += len as u64;
     }
     let n_chunks = chunks.len();
@@ -93,13 +97,9 @@ pub fn multistream_download(
     }
 
     let shared = Arc::new(Shared {
+        slots: (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect(),
         queue: Mutex::new(chunks),
-        out: Mutex::new(DownloadState {
-            buf: vec![0u8; size as usize],
-            remaining_chunks: n_chunks,
-            failures: 0,
-            fatal: None,
-        }),
+        progress: Mutex::new(Progress { remaining_chunks: n_chunks, failures: 0, fatal: None }),
     });
     let done = client.inner.executor.runtime().signal();
     let live_streams = Arc::new(Mutex::new(0usize));
@@ -123,17 +123,28 @@ pub fn multistream_download(
     }
 
     done.wait(None);
-    let mut st = shared.out.lock();
-    if let Some(e) = st.fatal.take() {
-        return Err(e);
+    {
+        let mut st = shared.progress.lock();
+        if let Some(e) = st.fatal.take() {
+            return Err(e);
+        }
+        if st.remaining_chunks > 0 {
+            return Err(DavixError::AllReplicasFailed {
+                tried: replicas.len(),
+                last: Box::new(DavixError::Metalink("all streams died".to_string())),
+            });
+        }
     }
-    if st.remaining_chunks > 0 {
-        return Err(DavixError::AllReplicasFailed {
-            tried: replicas.len(),
-            last: Box::new(DavixError::Metalink("all streams died".to_string())),
-        });
+    // Every slot is filled and no worker holds a lock any more: assemble the
+    // entity in chunk order (the only copy on this whole path). Each slot is
+    // taken (freed) right after it is copied, so resident memory peaks near
+    // one entity plus one chunk, not two entities.
+    let mut out = Vec::with_capacity(size as usize);
+    for slot in &shared.slots {
+        let chunk = std::mem::take(&mut *slot.lock());
+        out.extend_from_slice(&chunk);
     }
-    Ok(std::mem::take(&mut st.buf))
+    Ok(out)
 }
 
 /// Resolve `url`'s Metalink, multi-stream-download from its replicas, and
@@ -186,31 +197,35 @@ fn stream_worker(
     let file = DavFile::open(Arc::clone(&client.inner), uri).ok();
     loop {
         let chunk = shared.queue.lock().pop_front();
-        let Some((off, len)) = chunk else { break };
+        let Some((idx, off, len)) = chunk else { break };
+        // This worker popped chunk `idx`, so it owns `slots[idx]` until it
+        // finishes or requeues: the lock is uncontended and may be held
+        // across the network read. `pread` streams the part body straight
+        // into the slot — the chunk's final resting place — with no
+        // intermediate buffer.
         let result = match &file {
             Some(f) => {
-                let mut buf = vec![0u8; len];
-                f.pread(off, &mut buf).map(|n| {
-                    buf.truncate(n);
-                    buf
-                })
+                let mut slot = shared.slots[idx].lock();
+                slot.resize(len, 0);
+                f.pread(off, &mut slot[..])
             }
             None => Err(DavixError::Metalink("replica unreachable".to_string())),
         };
         match result {
-            Ok(data) if data.len() == len => {
-                let mut st = shared.out.lock();
-                st.buf[off as usize..off as usize + len].copy_from_slice(&data);
+            Ok(n) if n == len => {
+                let mut st = shared.progress.lock();
                 st.remaining_chunks -= 1;
                 if st.remaining_chunks == 0 {
                     done.set();
                 }
             }
             Ok(_) | Err(_) => {
-                // Chunk failed on this replica: requeue for other streams,
-                // then kill this stream (its replica is suspect).
+                // Chunk failed on this replica: clear the slot, requeue for
+                // other streams, then kill this stream (its replica is
+                // suspect).
+                shared.slots[idx].lock().clear();
                 let fatal = {
-                    let mut st = shared.out.lock();
+                    let mut st = shared.progress.lock();
                     st.failures += 1;
                     Metrics::bump(&client.inner.executor.metrics().failovers);
                     if st.failures > max_failures {
@@ -222,7 +237,7 @@ fn stream_worker(
                         false
                     }
                 };
-                shared.queue.lock().push_back((off, len));
+                shared.queue.lock().push_back((idx, off, len));
                 if fatal {
                     done.set();
                 }

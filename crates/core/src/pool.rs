@@ -113,6 +113,7 @@ impl SessionPool {
         let now = self.rt.now();
         {
             let mut idle = self.idle.lock();
+            let mut found = None;
             if let Some(stack) = idle.get_mut(ep) {
                 // LIFO: the most recently used session has the warmest cwnd.
                 while let Some(s) = stack.pop() {
@@ -120,11 +121,21 @@ impl SessionPool {
                         Metrics::bump(&self.metrics.sessions_reused);
                         let mut s = s;
                         s.reused = true;
-                        return Ok(s);
+                        found = Some(s);
+                        break;
                     }
                     Metrics::bump(&self.metrics.sessions_discarded);
                     // drop: connection closes (FIN) on drop of the streams
                 }
+                // Prune the entry once its stack empties: federation
+                // workloads touch many endpoints, and empty Vecs would
+                // otherwise accumulate in the map forever.
+                if stack.is_empty() {
+                    idle.remove(ep);
+                }
+            }
+            if let Some(s) = found {
+                return Ok(s);
             }
         }
         self.connect(ep)
@@ -161,7 +172,9 @@ impl SessionPool {
         let stack = idle.entry(session.endpoint.clone()).or_default();
         stack.push(session);
         if stack.len() > self.max_idle_per_endpoint {
-            // Evict the oldest (bottom of the LIFO stack).
+            // Evict the oldest (bottom of the LIFO stack). The stack can
+            // never empty here (we just pushed), so no pruning is needed on
+            // this path — `acquire` removes entries it drains.
             stack.remove(0);
             Metrics::bump(&self.metrics.sessions_discarded);
         }
@@ -170,6 +183,12 @@ impl SessionPool {
     /// Number of idle sessions currently pooled for an endpoint.
     pub fn idle_count(&self, ep: &Endpoint) -> usize {
         self.idle.lock().get(ep).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Number of endpoints with an entry in the idle map (drained endpoints
+    /// are pruned, so this tracks live keep-alive targets, not history).
+    pub fn endpoints_tracked(&self) -> usize {
+        self.idle.lock().len()
     }
 
     /// Drop every idle session.
@@ -258,6 +277,30 @@ mod tests {
         let s2 = pool.acquire(&ep).unwrap();
         assert!(!s2.reused, "stale session must not be recycled");
         assert_eq!(metrics.snapshot().sessions_discarded, 1);
+    }
+
+    #[test]
+    fn drained_endpoint_entries_are_pruned() {
+        let (net, pool, ep, _m) = setup();
+        let _g = net.enter();
+        let s = pool.acquire(&ep).unwrap();
+        pool.release(s, true);
+        assert_eq!(pool.endpoints_tracked(), 1);
+        // Recycling the only idle session empties the stack: the map entry
+        // must go with it, or federation workloads touching many endpoints
+        // grow the idle map without bound.
+        let s = pool.acquire(&ep).unwrap();
+        assert!(s.reused);
+        assert_eq!(pool.endpoints_tracked(), 0, "drained stack must be pruned");
+        pool.release(s, true);
+        assert_eq!(pool.endpoints_tracked(), 1);
+        // TTL expiry drains the stack the same way.
+        net.sleep(Duration::from_secs(11));
+        let s2 = pool.acquire(&ep).unwrap();
+        assert!(!s2.reused);
+        assert_eq!(pool.endpoints_tracked(), 0, "TTL-expired stack must be pruned");
+        pool.release(s2, false);
+        assert_eq!(pool.endpoints_tracked(), 0);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub use headers::HeaderMap;
 pub use message::{RequestHead, ResponseHead, Version};
 pub use method::Method;
 pub use multipart::{MultipartReader, MultipartWriter};
-pub use parse::{read_request_head, read_response_head, BodyLen, BodyReader, ChunkedWriter};
+pub use parse::{
+    read_request_head, read_response_head, BodyFraming, BodyLen, BodyReader, ChunkedWriter,
+};
 pub use range::{ContentRange, RangeSpec};
 pub use status::StatusCode;
 pub use uri::Uri;

@@ -115,12 +115,28 @@ pub struct MultipartReader<R: BufRead> {
     boundary: String,
     done: bool,
     started: bool,
+    max_part_len: Option<u64>,
 }
 
 impl<R: BufRead> MultipartReader<R> {
     /// Decode the body available from `r` using `boundary`.
     pub fn new(r: R, boundary: &str) -> Self {
-        MultipartReader { r, boundary: boundary.to_string(), done: false, started: false }
+        MultipartReader {
+            r,
+            boundary: boundary.to_string(),
+            done: false,
+            started: false,
+            max_part_len: None,
+        }
+    }
+
+    /// Refuse parts whose `Content-Range` declares more than `limit` bytes.
+    /// Part payloads are allocated from the length the *server* claims; a
+    /// client that knows how many bytes it asked for should cap it so a
+    /// lying header cannot force an enormous allocation.
+    pub fn with_part_limit(mut self, limit: u64) -> Self {
+        self.max_part_len = Some(limit);
+        self
     }
 
     fn read_line(&mut self) -> Result<String, WireError> {
@@ -180,6 +196,14 @@ impl<R: BufRead> MultipartReader<R> {
             .get("content-range")
             .ok_or_else(|| WireError::BadMultipart("part without Content-Range".to_string()))?;
         let range = ContentRange::parse(cr)?;
+        if let Some(cap) = self.max_part_len {
+            if range.len() > cap {
+                return Err(WireError::BadMultipart(format!(
+                    "part Content-Range {range} declares {} bytes, over the {cap}-byte limit",
+                    range.len()
+                )));
+            }
+        }
         let mut data = vec![0u8; range.len() as usize];
         std::io::Read::read_exact(&mut self.r, &mut data).map_err(|_| WireError::UnexpectedEof)?;
         // The CRLF after the payload belongs to the next delimiter.
@@ -256,6 +280,24 @@ mod tests {
         let parts = MultipartReader::new(Cursor::new(body), "EVIL").read_all_parts().unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].data, evil);
+    }
+
+    #[test]
+    fn part_limit_rejects_oversized_declared_ranges() {
+        // The payload allocation is sized by the *server's* Content-Range
+        // claim; a capped reader must refuse before allocating.
+        let body = build(&[(0, b"hello")], 100, "B");
+        let err = MultipartReader::new(Cursor::new(body.clone()), "B")
+            .with_part_limit(4)
+            .read_all_parts()
+            .unwrap_err();
+        assert!(matches!(err, WireError::BadMultipart(_)));
+        // At or under the limit decodes fine.
+        let parts = MultipartReader::new(Cursor::new(body), "B")
+            .with_part_limit(5)
+            .read_all_parts()
+            .unwrap();
+        assert_eq!(parts[0].data, b"hello");
     }
 
     #[test]

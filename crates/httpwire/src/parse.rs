@@ -153,100 +153,61 @@ enum BodyState {
     Close,
 }
 
-/// A body reader that enforces the message framing and stops exactly at the
-/// message boundary, leaving the underlying stream positioned at the next
-/// message (essential for keep-alive connections).
-pub struct BodyReader<'a, R: BufRead> {
-    inner: &'a mut R,
+/// The body-framing state machine, decoupled from any particular reader.
+///
+/// Each [`read`](BodyFraming::read) call pulls from whatever `BufRead` the
+/// caller hands in, enforcing the message framing and stopping exactly at
+/// the message boundary so the stream stays positioned at the next message
+/// (essential for keep-alive connections). Holding the state *by value*
+/// lets an owner of the underlying stream (e.g. a pooled session wrapped in
+/// a streaming response) drive the framing without a self-referential
+/// borrow; [`BodyReader`] remains the one-shot borrowing convenience.
+pub struct BodyFraming {
     state: BodyState,
 }
 
-impl<'a, R: BufRead> BodyReader<'a, R> {
-    /// Wrap `inner` for a body of the given length.
-    pub fn new(inner: &'a mut R, len: BodyLen) -> Self {
+impl BodyFraming {
+    /// Start framing a body of the given length.
+    pub fn new(len: BodyLen) -> Self {
         let state = match len {
             BodyLen::None => BodyState::Done,
             BodyLen::Fixed(n) => BodyState::Fixed { remaining: n },
             BodyLen::Chunked => BodyState::Chunked { in_chunk: None },
             BodyLen::Close => BodyState::Close,
         };
-        BodyReader { inner, state }
+        BodyFraming { state }
     }
 
-    /// Read the whole body into a `Vec`.
-    pub fn read_all(mut self) -> Result<Vec<u8>, WireError> {
-        let mut out = Vec::new();
-        Read::read_to_end(&mut self, &mut out).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                WireError::UnexpectedEof
-            } else if e.kind() == std::io::ErrorKind::InvalidData {
-                WireError::BadChunk(e.to_string())
-            } else {
-                WireError::Io(e)
-            }
-        })?;
-        Ok(out)
+    /// Whether the body has been fully consumed (the underlying stream is
+    /// positioned at the next message). `Close`-delimited bodies only reach
+    /// this state once a read observes EOF.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, BodyState::Done)
     }
 
-    /// Consume and discard the rest of the body (so the connection can be
-    /// reused). Returns the number of bytes drained.
-    pub fn drain(mut self) -> Result<u64, WireError> {
-        let mut sink = [0u8; 8192];
-        let mut total = 0u64;
-        loop {
-            match Read::read(&mut self, &mut sink) {
-                Ok(0) => return Ok(total),
-                Ok(n) => total += n as u64,
-                Err(e) => return Err(WireError::Io(e)),
-            }
-        }
-    }
-
-    fn read_chunk_size_line(&mut self) -> std::io::Result<u64> {
-        let mut budget = 1024usize;
-        let line =
-            read_line(self.inner, &mut budget).map_err(std::io::Error::from)?.ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof before chunk size")
-            })?;
-        let size_part = line.split(';').next().unwrap_or("").trim();
-        u64::from_str_radix(size_part, 16).map_err(|_| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("bad chunk size line {line:?}"),
-            )
-        })
-    }
-
-    fn skip_trailers(&mut self) -> std::io::Result<()> {
-        let mut budget = 8192usize;
-        loop {
-            let line =
-                read_line(self.inner, &mut budget).map_err(std::io::Error::from)?.ok_or_else(
-                    || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof in trailers"),
-                )?;
-            if line.is_empty() {
-                return Ok(());
-            }
-        }
-    }
-}
-
-impl<R: BufRead> Read for BodyReader<'_, R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+    /// Read body bytes from `inner` into `buf`, honouring the framing.
+    /// `Ok(0)` (for non-empty `buf`) means the body is complete.
+    pub fn read<R: BufRead>(&mut self, inner: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
         if buf.is_empty() {
             return Ok(0);
         }
         loop {
             match &mut self.state {
                 BodyState::Done => return Ok(0),
-                BodyState::Close => return self.inner.read(buf),
+                BodyState::Close => {
+                    let n = inner.read(buf)?;
+                    if n == 0 {
+                        self.state = BodyState::Done;
+                    }
+                    return Ok(n);
+                }
                 BodyState::Fixed { remaining } => {
                     if *remaining == 0 {
                         self.state = BodyState::Done;
                         return Ok(0);
                     }
                     let want = buf.len().min(*remaining as usize);
-                    let n = self.inner.read(&mut buf[..want])?;
+                    let n = inner.read(&mut buf[..want])?;
                     if n == 0 {
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::UnexpectedEof,
@@ -254,12 +215,15 @@ impl<R: BufRead> Read for BodyReader<'_, R> {
                         ));
                     }
                     *remaining -= n as u64;
+                    if *remaining == 0 {
+                        self.state = BodyState::Done;
+                    }
                     return Ok(n);
                 }
                 BodyState::Chunked { in_chunk } => match *in_chunk {
                     Some(remaining) if remaining > 0 => {
                         let want = buf.len().min(remaining as usize);
-                        let n = self.inner.read(&mut buf[..want])?;
+                        let n = inner.read(&mut buf[..want])?;
                         if n == 0 {
                             return Err(std::io::Error::new(
                                 std::io::ErrorKind::UnexpectedEof,
@@ -273,7 +237,7 @@ impl<R: BufRead> Read for BodyReader<'_, R> {
                         // Consume the CRLF that follows a finished chunk.
                         if at_boundary == Some(0) {
                             let mut crlf = [0u8; 2];
-                            self.inner.read_exact(&mut crlf)?;
+                            inner.read_exact(&mut crlf)?;
                             if &crlf != b"\r\n" {
                                 return Err(std::io::Error::new(
                                     std::io::ErrorKind::InvalidData,
@@ -281,9 +245,9 @@ impl<R: BufRead> Read for BodyReader<'_, R> {
                                 ));
                             }
                         }
-                        let size = self.read_chunk_size_line()?;
+                        let size = read_chunk_size_line(inner)?;
                         if size == 0 {
-                            self.skip_trailers()?;
+                            skip_trailers(inner)?;
                             self.state = BodyState::Done;
                             return Ok(0);
                         }
@@ -292,6 +256,90 @@ impl<R: BufRead> Read for BodyReader<'_, R> {
                 },
             }
         }
+    }
+}
+
+fn read_chunk_size_line<R: BufRead>(inner: &mut R) -> std::io::Result<u64> {
+    let mut budget = 1024usize;
+    let line = read_line(inner, &mut budget).map_err(std::io::Error::from)?.ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof before chunk size")
+    })?;
+    let size_part = line.split(';').next().unwrap_or("").trim();
+    u64::from_str_radix(size_part, 16).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad chunk size line {line:?}"),
+        )
+    })
+}
+
+fn skip_trailers<R: BufRead>(inner: &mut R) -> std::io::Result<()> {
+    let mut budget = 8192usize;
+    loop {
+        let line =
+            read_line(inner, &mut budget).map_err(std::io::Error::from)?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof in trailers")
+            })?;
+        if line.is_empty() {
+            return Ok(());
+        }
+    }
+}
+
+/// Convert a framing-read error into the corresponding [`WireError`].
+pub(crate) fn wire_error_from_io(e: std::io::Error) -> WireError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        WireError::UnexpectedEof
+    } else if e.kind() == std::io::ErrorKind::InvalidData {
+        WireError::BadChunk(e.to_string())
+    } else {
+        WireError::Io(e)
+    }
+}
+
+/// A body reader that borrows a stream and enforces the message framing
+/// (see [`BodyFraming`] for the state machine and boundary guarantees).
+pub struct BodyReader<'a, R: BufRead> {
+    inner: &'a mut R,
+    framing: BodyFraming,
+}
+
+impl<'a, R: BufRead> BodyReader<'a, R> {
+    /// Wrap `inner` for a body of the given length.
+    pub fn new(inner: &'a mut R, len: BodyLen) -> Self {
+        BodyReader { inner, framing: BodyFraming::new(len) }
+    }
+
+    /// Whether the body has been fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.framing.is_done()
+    }
+
+    /// Read the whole body into a `Vec`.
+    pub fn read_all(mut self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        Read::read_to_end(&mut self, &mut out).map_err(wire_error_from_io)?;
+        Ok(out)
+    }
+
+    /// Consume and discard the rest of the body (so the connection can be
+    /// reused). Returns the number of bytes drained.
+    pub fn drain(mut self) -> Result<u64, WireError> {
+        let mut sink = [0u8; 8192];
+        let mut total = 0u64;
+        loop {
+            match Read::read(&mut self, &mut sink) {
+                Ok(0) => return Ok(total),
+                Ok(n) => total += n as u64,
+                Err(e) => return Err(wire_error_from_io(e)),
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Read for BodyReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.framing.read(self.inner, buf)
     }
 }
 
