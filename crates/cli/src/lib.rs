@@ -106,7 +106,8 @@ pub const USAGE: &str = "\
 davix — HTTP I/O tools (libdavix reproduction)
 
 USAGE:
-  davix get <url> [-o FILE] [--ranges A-B[,C-D…]] [--failover] [--streams N]
+  davix get <url> [-o FILE] [--ranges A-B[,C-D…]] [--strategy S]
+            [--failover] [--streams N]
   davix put <file|-> <url>
   davix ls [-l] <url>
   davix stat <url>
@@ -121,10 +122,13 @@ OPTIONS:
   -o FILE        write the download to FILE instead of stdout
   --ranges R     fetch only the given inclusive byte ranges, as one
                  vectored multi-range request (e.g. 0-1023,4096-8191)
-  --failover     resolve the resource's Metalink and fail over through
-                 its replicas on error
+  --strategy S   replica strategy: `direct` (no Metalink, the default),
+                 `failover` (one replica at a time, health-ranked
+                 fail-over) or `multistream` (parallel chunks from the
+                 healthiest replicas)
+  --failover     shorthand for --strategy failover
   --streams N    multi-stream download: N parallel streams across the
-                 Metalink replicas
+                 Metalink replicas (implies --strategy multistream)
   -l             long listing (type, size, name)
   --addr A       listen address for `serve` (default 127.0.0.1:8080)
   --root DIR     preload every file under DIR into the served namespace
@@ -144,9 +148,27 @@ pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
             let mut ranges = Vec::new();
             let mut failover = false;
             let mut streams = None;
+            let mut strategy: Option<String> = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
+                    "--strategy" => {
+                        let v = rest.get(i + 1).ok_or_else(|| {
+                            CliError::Usage("--strategy needs a name".to_string())
+                        })?;
+                        match v.as_str() {
+                            "direct" | "failover" | "multistream" => {
+                                strategy = Some(v.clone());
+                            }
+                            other => {
+                                return usage(&format!(
+                                    "unknown strategy {other:?} (want direct, failover or \
+                                     multistream)"
+                                ));
+                            }
+                        }
+                        i += 2;
+                    }
                     "-o" => {
                         let v = rest.get(i + 1).ok_or_else(|| {
                             CliError::Usage("-o needs a file argument".to_string())
@@ -187,6 +209,27 @@ pub fn parse_args(argv: &[String]) -> Result<Command, CliError> {
                 }
             }
             let Some(url) = url else { return usage("get needs a url") };
+            // `--strategy` is the declarative surface over the older flags.
+            match strategy.as_deref() {
+                Some("failover") => {
+                    if streams.is_some() {
+                        return usage("--strategy failover conflicts with --streams");
+                    }
+                    failover = true;
+                }
+                Some("multistream") => {
+                    if failover {
+                        return usage("--strategy multistream conflicts with --failover");
+                    }
+                    streams = Some(streams.unwrap_or(MultistreamOptions::default().streams));
+                }
+                Some("direct") => {
+                    if failover || streams.is_some() {
+                        return usage("--strategy direct conflicts with --failover/--streams");
+                    }
+                }
+                Some(_) | None => {}
+            }
             if streams.is_some() && (!ranges.is_empty() || failover) {
                 return usage("--streams cannot be combined with --ranges/--failover");
             }
@@ -491,6 +534,50 @@ mod tests {
             parse_args(&args(&["get", "http://h/p", "--streams", "3", "--failover"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_get_strategy_surface() {
+        // --strategy failover == --failover.
+        let cmd = parse_args(&args(&["get", "http://h/p", "--strategy", "failover"])).unwrap();
+        assert!(matches!(cmd, Command::Get { failover: true, streams: None, .. }));
+        // --strategy multistream picks the default stream count…
+        let cmd = parse_args(&args(&["get", "http://h/p", "--strategy", "multistream"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Get { failover: false, streams: Some(n), .. }
+                if n == MultistreamOptions::default().streams
+        ));
+        // …unless --streams overrides it.
+        let cmd = parse_args(&args(&[
+            "get",
+            "http://h/p",
+            "--strategy",
+            "multistream",
+            "--streams",
+            "6",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Get { streams: Some(6), .. }));
+        // direct is the default spelled out.
+        let cmd = parse_args(&args(&["get", "http://h/p", "--strategy", "direct"])).unwrap();
+        assert!(matches!(cmd, Command::Get { failover: false, streams: None, .. }));
+    }
+
+    #[test]
+    fn parse_get_strategy_conflicts_and_junk() {
+        for bad in [
+            &["get", "http://h/p", "--strategy", "warp"][..],
+            &["get", "http://h/p", "--strategy"][..],
+            &["get", "http://h/p", "--strategy", "failover", "--streams", "2"][..],
+            &["get", "http://h/p", "--strategy", "multistream", "--failover"][..],
+            &["get", "http://h/p", "--strategy", "direct", "--failover"][..],
+        ] {
+            assert!(
+                matches!(parse_args(&args(bad)), Err(CliError::Usage(_))),
+                "should reject: {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,22 @@ impl DavixClient {
         crate::replicas::fetch_replicas(&self.inner, &uri)
     }
 
+    /// A [`ReplicaScheduler`] over `replicas`, wired to this client's
+    /// runtime, metrics and health knobs. Share one between fail-over reads
+    /// and [`multistream_download_scheduled`] so both feed the same health
+    /// picture.
+    ///
+    /// [`ReplicaScheduler`]: crate::ReplicaScheduler
+    /// [`multistream_download_scheduled`]: crate::multistream_download_scheduled
+    pub fn replica_scheduler(&self, replicas: Vec<Uri>) -> Arc<crate::ReplicaScheduler> {
+        Arc::new(crate::ReplicaScheduler::from_config(
+            replicas,
+            Arc::clone(self.inner.executor.runtime()),
+            &self.inner.cfg,
+            Some(Arc::clone(self.inner.executor.metrics())),
+        ))
+    }
+
     /// As [`resolve_replicas`](Self::resolve_replicas), but keeping the
     /// Metalink's size and checksum metadata for download verification.
     pub fn resolve_replica_set(&self, url: &str) -> Result<crate::replicas::ReplicaSet> {

@@ -58,6 +58,20 @@ pub struct Config {
     /// `{base}{path}?metalink` (a federation service); `None` asks the
     /// resource's own origin (`{url}?metalink`).
     pub metalink_base: Option<Uri>,
+    /// Consecutive failures before the replica scheduler blacklists a
+    /// replica (§2.4 health scoring; see [`ReplicaScheduler`]).
+    ///
+    /// [`ReplicaScheduler`]: crate::ReplicaScheduler
+    pub replica_failure_threshold: u32,
+    /// How long a blacklisted replica sits out before becoming eligible
+    /// again (half-open: one success clears it, one failure re-blacklists).
+    pub replica_blacklist_cooldown: Duration,
+    /// EWMA smoothing factor for per-replica latency scoring, in `(0, 1]`
+    /// (weight of the newest sample).
+    pub replica_ewma_alpha: f64,
+    /// Maximum number of healthy replicas a `ReplicaFile::pread_vec` spreads
+    /// one fragment batch across (1 disables the fan-out).
+    pub replica_fanout: usize,
     /// `User-Agent` header.
     pub user_agent: String,
 }
@@ -75,6 +89,10 @@ impl Default for Config {
             vector_merge_gap: 512,
             vector_fallback_parallelism: 8,
             metalink_base: None,
+            replica_failure_threshold: 2,
+            replica_blacklist_cooldown: Duration::from_secs(5),
+            replica_ewma_alpha: 0.3,
+            replica_fanout: 2,
             user_agent: "davix-rs/0.1".to_string(),
         }
     }
@@ -96,6 +114,20 @@ impl Config {
     /// Point metalink discovery at a federation service.
     pub fn with_metalink_base(mut self, base: Uri) -> Self {
         self.metalink_base = Some(base);
+        self
+    }
+
+    /// Tune the replica scheduler's blacklist (failures before eviction and
+    /// the cooldown before a blacklisted replica is re-tried).
+    pub fn replica_blacklist(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.replica_failure_threshold = threshold;
+        self.replica_blacklist_cooldown = cooldown;
+        self
+    }
+
+    /// Cap how many healthy replicas one vectored read fans out across.
+    pub fn with_replica_fanout(mut self, fanout: usize) -> Self {
+        self.replica_fanout = fanout;
         self
     }
 }
@@ -121,5 +153,10 @@ mod tests {
         let base: Uri = "http://fed.cern.ch/myfed".parse().unwrap();
         let c = Config::default().with_metalink_base(base.clone());
         assert_eq!(c.metalink_base, Some(base));
+        let c =
+            Config::default().replica_blacklist(5, Duration::from_secs(1)).with_replica_fanout(4);
+        assert_eq!(c.replica_failure_threshold, 5);
+        assert_eq!(c.replica_blacklist_cooldown, Duration::from_secs(1));
+        assert_eq!(c.replica_fanout, 4);
     }
 }

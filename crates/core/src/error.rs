@@ -73,9 +73,20 @@ impl DavixError {
     }
 
     /// Whether another *replica* could plausibly serve the request
-    /// (fail-over policy): anything but caller errors and permission walls.
+    /// (fail-over policy): anything but caller errors, permission walls and
+    /// errors that already *are* the verdict of a full replica walk
+    /// ([`AllReplicasFailed`](Self::AllReplicasFailed) must not restart the
+    /// walk that produced it, and a
+    /// [`ChecksumMismatch`](Self::ChecksumMismatch) is computed over the
+    /// assembled download, not one replica's answer).
     pub fn is_failover_candidate(&self) -> bool {
-        !matches!(self, DavixError::InvalidArgument(_) | DavixError::PermissionDenied(_))
+        !matches!(
+            self,
+            DavixError::InvalidArgument(_)
+                | DavixError::PermissionDenied(_)
+                | DavixError::AllReplicasFailed { .. }
+                | DavixError::ChecksumMismatch { .. }
+        )
     }
 }
 
@@ -185,6 +196,20 @@ mod tests {
         assert!(DavixError::from_status(StatusCode::NOT_FOUND, "x").is_failover_candidate());
         assert!(!DavixError::from_status(StatusCode::FORBIDDEN, "x").is_failover_candidate());
         assert!(!DavixError::InvalidArgument("x".into()).is_failover_candidate());
+        // Terminal aggregates must not re-enter the fail-over loop that
+        // produced them (nested replica walks) or re-download on corruption
+        // detected over the *assembled* entity.
+        assert!(!DavixError::AllReplicasFailed {
+            tried: 2,
+            last: Box::new(DavixError::Timeout("t".into())),
+        }
+        .is_failover_candidate());
+        assert!(!DavixError::ChecksumMismatch {
+            algo: "crc32".into(),
+            expected: "aa".into(),
+            got: "bb".into(),
+        }
+        .is_failover_candidate());
     }
 
     #[test]

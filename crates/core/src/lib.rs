@@ -20,10 +20,10 @@
 //!    hundreds "virtually eliminates the need for I/O multiplexing" (§2.3,
 //!    Figure 3), with a graceful degradation ladder for servers with weaker
 //!    range support.
-//! 3. **Metalink resiliency** ([`replicas`], [`multistream`]): on failure,
-//!    fetch the resource's RFC 5854 Metalink and fail over through the
-//!    replica list; or *multi-stream* — download chunks from several
-//!    replicas in parallel (§2.4).
+//! 3. **Metalink resiliency** ([`replicas`], [`multistream`], [`scheduler`]):
+//!    on failure, fetch the resource's RFC 5854 Metalink and fail over
+//!    through the replica list; or *multi-stream* — download chunks from
+//!    several replicas in parallel (§2.4).
 //!
 //! Everything is written against the transport traits of [`netsim`], so the
 //! same client runs over real TCP and over the simulated WLCG-style networks
@@ -56,6 +56,42 @@
 //! yielding wrong bytes at the right offsets. Servers that ignore `Range`
 //! and answer `200` + full entity are read only up to the requested window
 //! (counted in `Metrics::range_downgrades`).
+//!
+//! ## Replica strategies and the health scheduler
+//!
+//! Both §2.4 strategies sit on one [`ReplicaScheduler`] that owns the
+//! replica list and a health score per replica — an EWMA of observed
+//! latency plus a consecutive-failure blacklist:
+//!
+//! * **Fail-over** ([`DavixClient::open_failover`] → [`ReplicaFile`]) is
+//!   the default: one replica serves all reads; on a replica-eligible error
+//!   the Metalink is resolved (once, with the origin filtered out wherever
+//!   it appears) and the operation moves to the scheduler's best surviving
+//!   replica. Pick it for random-access workloads (ROOT-style analysis
+//!   reads) where per-read latency matters and one replica's bandwidth is
+//!   enough. Once the replica set is known, `ReplicaFile::pread_vec`
+//!   spreads fragment batches over the top-[`Config::replica_fanout`]
+//!   healthy replicas.
+//! * **Multi-stream** ([`multistream_download`]) pulls whole entities as
+//!   parallel chunks from several replicas at once. Pick it for bulk
+//!   transfers where aggregate bandwidth beats per-request latency — at
+//!   the server-load price §2.4 warns about. Workers re-ask the scheduler
+//!   before every chunk, so a dying replica costs its in-flight chunk (the
+//!   worker respawns on the next-best replica, see
+//!   `Metrics::streams_respawned`) and a recovered one rejoins
+//!   mid-download.
+//!
+//! Health knobs live in [`Config`]: `replica_failure_threshold`
+//! consecutive failures blacklist a replica for
+//! `replica_blacklist_cooldown` (then half-open: one success clears it,
+//! one failure re-blacklists); `replica_ewma_alpha` smooths the latency
+//! signal. The scheduler can also probe actively
+//! ([`ReplicaScheduler::probe_once`] / `spawn_prober` — `OPTIONS` pings in
+//! the style of DynaFed's `HealthMonitor`) to evict dead replicas and
+//! readmit recovered ones without a caller paying for the discovery.
+//! Scheduler locks are held only to pick a replica or record an outcome —
+//! never across network I/O — so concurrent `pread`s on one `ReplicaFile`
+//! overlap fully.
 //!
 //! ## Quick start
 //!
@@ -102,6 +138,7 @@ pub mod multistream;
 pub mod pool;
 pub mod posix;
 pub mod replicas;
+pub mod scheduler;
 pub(crate) mod util;
 
 pub use client::DavixClient;
@@ -110,7 +147,14 @@ pub use error::{DavixError, Result};
 pub use executor::{HttpExecutor, HttpResponse, PreparedRequest, ResponseStream};
 pub use file::DavFile;
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use multistream::{multistream_download, multistream_download_verified, MultistreamOptions};
+pub use multistream::{
+    multistream_download, multistream_download_scheduled, multistream_download_verified,
+    multistream_download_with_report, ChunkCompletion, MultistreamOptions, MultistreamReport,
+};
 pub use pool::{Endpoint, SessionPool};
 pub use posix::{DavPosix, DirEntry, FileStat};
 pub use replicas::{ReplicaFile, ReplicaSet};
+pub use scheduler::{
+    probe_endpoint, ProberHandle, ReplicaHealthSnapshot, ReplicaId, ReplicaScheduler,
+    SchedulerKnobs,
+};

@@ -41,6 +41,13 @@ pub struct Metrics {
     pub metalinks_fetched: AtomicU64,
     /// Replica fail-overs performed.
     pub failovers: AtomicU64,
+    /// Replicas blacklisted by the scheduler (consecutive-failure eviction).
+    pub replicas_blacklisted: AtomicU64,
+    /// Active `OPTIONS` health probes sent to replicas.
+    pub replica_probes: AtomicU64,
+    /// Multistream workers that switched to another replica after theirs
+    /// failed (instead of dying and shrinking the stream pool).
+    pub streams_respawned: AtomicU64,
 }
 
 macro_rules! snapshot_fields {
@@ -84,6 +91,9 @@ impl Metrics {
             range_downgrades,
             metalinks_fetched,
             failovers,
+            replicas_blacklisted,
+            replica_probes,
+            streams_respawned,
         )
     }
 }
@@ -107,6 +117,9 @@ pub struct MetricsSnapshot {
     pub range_downgrades: u64,
     pub metalinks_fetched: u64,
     pub failovers: u64,
+    pub replicas_blacklisted: u64,
+    pub replica_probes: u64,
+    pub streams_respawned: u64,
 }
 
 impl MetricsSnapshot {
@@ -130,6 +143,9 @@ impl MetricsSnapshot {
             range_downgrades: self.range_downgrades - earlier.range_downgrades,
             metalinks_fetched: self.metalinks_fetched - earlier.metalinks_fetched,
             failovers: self.failovers - earlier.failovers,
+            replicas_blacklisted: self.replicas_blacklisted - earlier.replicas_blacklisted,
+            replica_probes: self.replica_probes - earlier.replica_probes,
+            streams_respawned: self.streams_respawned - earlier.streams_respawned,
         }
     }
 

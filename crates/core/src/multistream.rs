@@ -5,15 +5,25 @@
 //! fail-over resilience (a chunk that fails on one replica is retried on
 //! another), at the cost the paper is upfront about: higher server load
 //! (more connections per client).
+//!
+//! Replica choice is delegated to the same [`ReplicaScheduler`] the
+//! fail-over path uses: workers ask the scheduler which replica their slot
+//! should draw from before every chunk, so a stream whose replica dies is
+//! *respawned on the next-best replica* instead of permanently shrinking
+//! the worker pool, and a blacklisted replica that recovers (cooldown
+//! expiry or active probe) starts contributing chunks again mid-download.
+//! Every chunk completion feeds a latency sample back into the scores.
 
 use crate::client::DavixClient;
 use crate::error::{DavixError, Result};
 use crate::file::DavFile;
 use crate::metrics::Metrics;
+use crate::scheduler::{ReplicaId, ReplicaScheduler};
 use httpwire::Uri;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Tuning for [`multistream_download`].
 #[derive(Debug, Clone)]
@@ -32,6 +42,27 @@ impl Default for MultistreamOptions {
     }
 }
 
+/// One finished chunk: which replica served it, and when (runtime clock).
+#[derive(Debug, Clone)]
+pub struct ChunkCompletion {
+    /// Chunk index within the entity.
+    pub chunk: usize,
+    /// Replica that served it.
+    pub replica: Uri,
+    /// Runtime timestamp of completion (virtual time under simulation).
+    pub at: Duration,
+}
+
+/// What happened during a multi-stream download: the per-chunk completion
+/// timeline plus how often workers had to switch replica.
+#[derive(Debug, Clone, Default)]
+pub struct MultistreamReport {
+    /// Completion record per chunk, in completion order.
+    pub completions: Vec<ChunkCompletion>,
+    /// Times a worker abandoned its replica for the scheduler's next-best.
+    pub respawns: u64,
+}
+
 struct Shared {
     queue: Mutex<VecDeque<(usize, u64, usize)>>,
     /// One slot per chunk. A worker that pops chunk `i` from the queue is
@@ -40,6 +71,7 @@ struct Shared {
     /// lock — no shared whole-file buffer, no copy through a scratch `Vec`.
     slots: Vec<Mutex<Vec<u8>>>,
     progress: Mutex<Progress>,
+    report: Mutex<MultistreamReport>,
 }
 
 struct Progress {
@@ -49,38 +81,75 @@ struct Progress {
 }
 
 /// Download a whole entity from `replicas` using `opts.streams` parallel
-/// streams, round-robining streams over replicas. Returns the assembled
+/// streams spread over the healthiest replicas. Returns the assembled
 /// bytes.
-///
-/// Replicas that fail are abandoned by their streams; their chunks return to
-/// the queue for the surviving streams. The download fails only when every
-/// stream has died or the failure budget is exhausted.
 pub fn multistream_download(
     client: &DavixClient,
     replicas: &[Uri],
     opts: &MultistreamOptions,
 ) -> Result<Vec<u8>> {
-    if replicas.is_empty() {
+    multistream_download_with_report(client, replicas, opts).map(|(data, _)| data)
+}
+
+/// As [`multistream_download`], also returning the [`MultistreamReport`]
+/// (chunk completion timeline + replica switches) for benchmarks and
+/// diagnostics.
+pub fn multistream_download_with_report(
+    client: &DavixClient,
+    replicas: &[Uri],
+    opts: &MultistreamOptions,
+) -> Result<(Vec<u8>, MultistreamReport)> {
+    let scheduler = Arc::new(ReplicaScheduler::from_config(
+        replicas.to_vec(),
+        Arc::clone(client.inner.executor.runtime()),
+        &client.inner.cfg,
+        Some(Arc::clone(client.inner.executor.metrics())),
+    ));
+    multistream_download_scheduled(client, &scheduler, opts)
+}
+
+/// The core multi-stream engine, drawing replicas from a caller-provided
+/// [`ReplicaScheduler`] — share one scheduler between fail-over reads and
+/// multi-stream downloads and both feed (and benefit from) the same health
+/// picture.
+pub fn multistream_download_scheduled(
+    client: &DavixClient,
+    scheduler: &Arc<ReplicaScheduler>,
+    opts: &MultistreamOptions,
+) -> Result<(Vec<u8>, MultistreamReport)> {
+    if scheduler.is_empty() {
         return Err(DavixError::InvalidArgument("no replicas given".to_string()));
     }
     if opts.streams == 0 || opts.chunk_size == 0 {
         return Err(DavixError::InvalidArgument("streams and chunk_size must be > 0".to_string()));
     }
+    let rt = Arc::clone(client.inner.executor.runtime());
 
-    // Find the size from the first replica that answers.
+    // Find the size from the best replica that answers. Any failure on one
+    // replica — refused TCP, failed HEAD, bad size — moves on to the next
+    // and feeds the scheduler, instead of killing the whole download.
     let mut size = None;
+    let mut tried: Vec<ReplicaId> = Vec::new();
     let mut last_err = None;
-    for uri in replicas {
-        match DavFile::open(Arc::clone(&client.inner), uri.clone()) {
-            Ok(f) => {
-                size = Some(f.size_hint()?);
+    while let Some((id, uri)) = scheduler.pick_excluding(&tried) {
+        let t0 = rt.now();
+        match DavFile::open(Arc::clone(&client.inner), uri).and_then(|f| f.size_hint()) {
+            Ok(sz) => {
+                // A HEAD is liveness evidence plus an RTT bootstrap for the
+                // ranking, but no bandwidth signal — record it as a probe.
+                scheduler.record_probe(id, rt.now() - t0);
+                size = Some(sz);
                 break;
             }
-            Err(e) => last_err = Some(e),
+            Err(e) => {
+                scheduler.record_failure(id);
+                tried.push(id);
+                last_err = Some(e);
+            }
         }
     }
     let size = size.ok_or_else(|| DavixError::AllReplicasFailed {
-        tried: replicas.len(),
+        tried: tried.len(),
         last: Box::new(last_err.unwrap_or_else(|| DavixError::Metalink("unreachable".into()))),
     })?;
 
@@ -93,23 +162,23 @@ pub fn multistream_download(
     }
     let n_chunks = chunks.len();
     if n_chunks == 0 {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), MultistreamReport::default()));
     }
 
     let shared = Arc::new(Shared {
         slots: (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect(),
         queue: Mutex::new(chunks),
         progress: Mutex::new(Progress { remaining_chunks: n_chunks, failures: 0, fatal: None }),
+        report: Mutex::new(MultistreamReport::default()),
     });
     let done = client.inner.executor.runtime().signal();
     let live_streams = Arc::new(Mutex::new(0usize));
-    let rt = Arc::clone(client.inner.executor.runtime());
 
     let streams = opts.streams.min(n_chunks).max(1);
     *live_streams.lock() = streams;
     for s in 0..streams {
-        let uri = replicas[s % replicas.len()].clone();
         let client = client.clone();
+        let scheduler = Arc::clone(scheduler);
         let shared = Arc::clone(&shared);
         let done = Arc::clone(&done);
         let live = Arc::clone(&live_streams);
@@ -117,7 +186,7 @@ pub fn multistream_download(
         rt.spawn(
             &format!("davix-stream-{s}"),
             Box::new(move || {
-                stream_worker(client, uri, shared, &done, &live, max_failures);
+                stream_worker(client, s, scheduler, shared, &done, &live, max_failures);
             }),
         );
     }
@@ -130,7 +199,7 @@ pub fn multistream_download(
         }
         if st.remaining_chunks > 0 {
             return Err(DavixError::AllReplicasFailed {
-                tried: replicas.len(),
+                tried: scheduler.len(),
                 last: Box::new(DavixError::Metalink("all streams died".to_string())),
             });
         }
@@ -144,14 +213,20 @@ pub fn multistream_download(
         let chunk = std::mem::take(&mut *slot.lock());
         out.extend_from_slice(&chunk);
     }
-    Ok(out)
+    let report = std::mem::take(&mut *shared.report.lock());
+    Ok((out, report))
 }
 
 /// Resolve `url`'s Metalink, multi-stream-download from its replicas, and
 /// **verify the result against the Metalink checksum** when one is declared
 /// (§2.4 lists the checksum among the Metalink metadata; real davix checks
-/// it). `crc32` and `adler32` digests are understood; unknown algorithms are
-/// ignored. Returns [`DavixError::ChecksumMismatch`] on corruption.
+/// it). `crc32` and `adler32` digests are understood — matched
+/// case-insensitively, like [`ReplicaSet::hash`], so a Metalink declaring
+/// `Adler32` or `CRC32` is verified, not silently skipped. Unknown
+/// algorithms are ignored. Returns [`DavixError::ChecksumMismatch`] on
+/// corruption.
+///
+/// [`ReplicaSet::hash`]: crate::ReplicaSet::hash
 pub fn multistream_download_verified(
     client: &DavixClient,
     url: &str,
@@ -169,7 +244,7 @@ pub fn multistream_download_verified(
         }
     }
     for (algo, expected) in &set.hashes {
-        let got = match algo.as_str() {
+        let got = match algo.to_ascii_lowercase().as_str() {
             "crc32" => ioapi::checksum::to_hex(ioapi::checksum::crc32(&data)),
             "adler32" => ioapi::checksum::to_hex(ioapi::checksum::adler32(&data)),
             _ => continue, // unknown algorithm: cannot verify, skip
@@ -187,32 +262,86 @@ pub fn multistream_download_verified(
 
 fn stream_worker(
     client: DavixClient,
-    uri: Uri,
+    slot_idx: usize,
+    scheduler: Arc<ReplicaScheduler>,
     shared: Arc<Shared>,
     done: &Arc<dyn netsim::Signal>,
     live: &Arc<Mutex<usize>>,
     max_failures: usize,
 ) {
-    // Each stream opens its own DavFile → its own pooled connections.
-    let file = DavFile::open(Arc::clone(&client.inner), uri).ok();
+    let rt = Arc::clone(client.inner.executor.runtime());
+    // The worker's replica assignment is re-validated against the scheduler
+    // before every chunk: if the health picture moved (our replica got
+    // blacklisted, a better one recovered) the worker follows it. Open
+    // files are cached per replica so a benign rank flip between
+    // near-equal replicas costs nothing — only a *failure-driven* switch
+    // (a respawn) pays a fresh HEAD, and only those are counted as
+    // respawns.
+    let mut files: std::collections::HashMap<ReplicaId, DavFile> = std::collections::HashMap::new();
+    let mut current: Option<ReplicaId> = None;
+    let mut last_chunk_failed = false;
     loop {
+        if shared.progress.lock().fatal.is_some() {
+            break; // another stream exhausted the failure budget
+        }
         let chunk = shared.queue.lock().pop_front();
         let Some((idx, off, len)) = chunk else { break };
+
+        let Some((id, uri)) = scheduler.assign(slot_idx) else { break };
+        if current.is_some() && current != Some(id) && last_chunk_failed {
+            // Respawn: the worker abandons its failed replica for the
+            // scheduler's next-best instead of dying with it. (Every loop
+            // path below re-assigns `last_chunk_failed` before the next
+            // check, so no reset is needed here.)
+            Metrics::bump(&client.inner.executor.metrics().streams_respawned);
+            shared.report.lock().respawns += 1;
+        }
+        current = Some(id);
+        if let std::collections::hash_map::Entry::Vacant(slot) = files.entry(id) {
+            // A successful open records nothing (a HEAD answering is not
+            // evidence the reads will work — see `ReplicaFile::file_for`);
+            // the chunk read right after feeds the scheduler.
+            match DavFile::open(Arc::clone(&client.inner), uri.clone()) {
+                Ok(f) => {
+                    slot.insert(f);
+                }
+                Err(_) => {
+                    scheduler.record_failure(id);
+                    last_chunk_failed = true;
+                    shared.queue.lock().push_back((idx, off, len));
+                    if count_failure(&client, &scheduler, &shared, max_failures) {
+                        done.set();
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
+        let f = files.get(&id).expect("file ensured above");
+
         // This worker popped chunk `idx`, so it owns `slots[idx]` until it
         // finishes or requeues: the lock is uncontended and may be held
         // across the network read. `pread` streams the part body straight
         // into the slot — the chunk's final resting place — with no
         // intermediate buffer.
-        let result = match &file {
-            Some(f) => {
-                let mut slot = shared.slots[idx].lock();
-                slot.resize(len, 0);
-                f.pread(off, &mut slot[..])
-            }
-            None => Err(DavixError::Metalink("replica unreachable".to_string())),
+        let t0 = rt.now();
+        let result = {
+            let mut slot = shared.slots[idx].lock();
+            slot.resize(len, 0);
+            f.pread(off, &mut slot[..])
         };
         match result {
             Ok(n) if n == len => {
+                scheduler.record_success(id, rt.now() - t0);
+                last_chunk_failed = false;
+                {
+                    let mut rep = shared.report.lock();
+                    rep.completions.push(ChunkCompletion {
+                        chunk: idx,
+                        replica: uri.clone(),
+                        at: rt.now(),
+                    });
+                }
                 let mut st = shared.progress.lock();
                 st.remaining_chunks -= 1;
                 if st.remaining_chunks == 0 {
@@ -220,28 +349,19 @@ fn stream_worker(
                 }
             }
             Ok(_) | Err(_) => {
-                // Chunk failed on this replica: clear the slot, requeue for
-                // other streams, then kill this stream (its replica is
-                // suspect).
+                // Chunk failed on this replica: clear the slot, requeue it,
+                // drop the suspect file (its pooled sessions may be broken)
+                // and let the scheduler re-assign — this worker keeps
+                // running on whatever replica ranks best next time around.
                 shared.slots[idx].lock().clear();
-                let fatal = {
-                    let mut st = shared.progress.lock();
-                    st.failures += 1;
-                    Metrics::bump(&client.inner.executor.metrics().failovers);
-                    if st.failures > max_failures {
-                        st.fatal = Some(DavixError::Metalink(
-                            "multistream failure budget exhausted".to_string(),
-                        ));
-                        true
-                    } else {
-                        false
-                    }
-                };
+                scheduler.record_failure(id);
+                files.remove(&id);
+                last_chunk_failed = true;
                 shared.queue.lock().push_back((idx, off, len));
-                if fatal {
+                if count_failure(&client, &scheduler, &shared, max_failures) {
                     done.set();
+                    break;
                 }
-                break;
             }
         }
     }
@@ -252,4 +372,27 @@ fn stream_worker(
         // caller so it can report failure instead of hanging.
         done.set();
     }
+}
+
+/// Account one chunk failure against the shared budget; returns `true` when
+/// the budget is exhausted (fatal has been set).
+fn count_failure(
+    client: &DavixClient,
+    scheduler: &Arc<ReplicaScheduler>,
+    shared: &Arc<Shared>,
+    max_failures: usize,
+) -> bool {
+    let mut st = shared.progress.lock();
+    st.failures += 1;
+    Metrics::bump(&client.inner.executor.metrics().failovers);
+    if st.failures > max_failures && st.fatal.is_none() {
+        st.fatal = Some(DavixError::AllReplicasFailed {
+            tried: scheduler.len(),
+            last: Box::new(DavixError::Metalink(
+                "multistream failure budget exhausted".to_string(),
+            )),
+        });
+        return true;
+    }
+    st.fatal.is_some()
 }

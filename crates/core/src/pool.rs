@@ -27,9 +27,17 @@ pub struct Endpoint {
 }
 
 impl Endpoint {
-    /// Endpoint of a URI.
+    /// Endpoint of a URI. Scheme and host are normalized to lowercase
+    /// (RFC 3986 §6.2.2.1): `http://HOST/` and `http://host/` are the same
+    /// keep-alive target, and mixed-case spellings (a Metalink vs. a
+    /// redirect) must recycle each other's sessions, not build parallel
+    /// idle stacks.
     pub fn of(uri: &Uri) -> Endpoint {
-        Endpoint { scheme: uri.scheme.clone(), host: uri.host.clone(), port: uri.port }
+        Endpoint {
+            scheme: uri.scheme.to_ascii_lowercase(),
+            host: uri.host.to_ascii_lowercase(),
+            port: uri.port,
+        }
     }
 }
 
@@ -300,6 +308,27 @@ mod tests {
         assert!(!s2.reused);
         assert_eq!(pool.endpoints_tracked(), 0, "TTL-expired stack must be pruned");
         pool.release(s2, false);
+        assert_eq!(pool.endpoints_tracked(), 0);
+    }
+
+    #[test]
+    fn endpoint_of_normalizes_scheme_and_host_case() {
+        let upper = Endpoint::of(&"HTTP://S.CERN.CH/Data".parse().unwrap());
+        let lower = Endpoint::of(&"http://s.cern.ch/other".parse().unwrap());
+        assert_eq!(upper, lower, "mixed-case spellings must share one idle stack");
+        assert_eq!(upper.scheme, "http");
+        assert_eq!(upper.host, "s.cern.ch");
+    }
+
+    #[test]
+    fn mixed_case_uris_recycle_one_session() {
+        let (net, pool, _ep, metrics) = setup();
+        let _g = net.enter();
+        let s = pool.acquire(&Endpoint::of(&"http://S/x".parse().unwrap())).unwrap();
+        pool.release(s, true);
+        let s2 = pool.acquire(&Endpoint::of(&"http://s/y".parse().unwrap())).unwrap();
+        assert!(s2.reused, "case-shifted host must hit the same stack");
+        assert_eq!(metrics.snapshot().sessions_created, 1);
         assert_eq!(pool.endpoints_tracked(), 0);
     }
 

@@ -3,46 +3,70 @@
 //!
 //! A [`ReplicaFile`] behaves like a [`DavFile`], but when an operation fails
 //! with a replica-eligible error it (lazily, once) fetches the resource's
-//! Metalink, then walks the replica list — blacklisting dead replicas — until
-//! the operation succeeds or every replica has failed. The paper's guarantee:
+//! Metalink and fails over through the replica list. The paper's guarantee:
 //! *a read succeeds as long as one replica is reachable and referenced.*
+//!
+//! Replica choice is delegated to a shared [`ReplicaScheduler`]: the
+//! scheduler ranks replicas by observed latency and evicts repeat-failers
+//! onto a cooldown blacklist, so fail-over goes to the *best* surviving
+//! replica, not merely the next one in the list. Crucially, no lock is held
+//! across network I/O — the file-cache mutex is taken only to look up or
+//! store an open [`DavFile`], and the scheduler's lock only to pick a
+//! replica or record an outcome. Concurrent `pread`s therefore really run
+//! in parallel, on the same replica (separate pooled sessions) or on
+//! different ones; `pread_vec` goes further and spreads fragment batches
+//! across the top-K healthy replicas.
 
 use crate::client::ClientInner;
 use crate::error::{DavixError, Result};
 use crate::executor::PreparedRequest;
 use crate::file::DavFile;
 use crate::metrics::Metrics;
+use crate::scheduler::{same_resource, ReplicaId, ReplicaScheduler};
+use crate::util::parallel_map;
 use httpwire::Uri;
 use ioapi::{IoStats, IoStatsSnapshot, RandomAccess};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A remote file with transparent Metalink fail-over.
 pub struct ReplicaFile {
     inner: Arc<ClientInner>,
     origin: Uri,
-    state: Mutex<State>,
+    scheduler: Arc<ReplicaScheduler>,
+    state: Mutex<Files>,
     io: IoStats,
 }
 
-struct State {
-    /// Replica URIs in priority order; populated on first failure (or at
-    /// open when the origin itself is down).
-    replicas: Option<Vec<Uri>>,
-    /// Index into `replicas` of the replica currently in use (when resolved).
-    current: usize,
-    /// The open file on the current replica.
-    file: Option<DavFile>,
+/// Mutable bookkeeping. This lock is only ever held for map lookups and
+/// flag flips — never across a network operation (the open files are `Arc`s
+/// precisely so callers can clone a handle out and drop the lock before
+/// touching the wire).
+struct Files {
+    /// Open file per scheduler replica id.
+    files: HashMap<ReplicaId, Arc<DavFile>>,
+    /// Replica that served the last successful operation.
+    current: Option<ReplicaId>,
+    /// Whether the Metalink has been resolved into the scheduler.
+    resolved: bool,
 }
 
 impl ReplicaFile {
     /// Open `origin`, falling back to replicas immediately if the origin is
     /// unreachable.
     pub(crate) fn new(inner: Arc<ClientInner>, origin: Uri) -> Result<ReplicaFile> {
+        let scheduler = Arc::new(ReplicaScheduler::from_config(
+            vec![origin.clone()],
+            Arc::clone(inner.executor.runtime()),
+            &inner.cfg,
+            Some(Arc::clone(inner.executor.metrics())),
+        ));
         let rf = ReplicaFile {
             inner,
             origin,
-            state: Mutex::new(State { replicas: None, current: 0, file: None }),
+            scheduler,
+            state: Mutex::new(Files { files: HashMap::new(), current: None, resolved: false }),
             io: IoStats::default(),
         };
         // Force an open so size is known; fail-over may already kick in here.
@@ -55,10 +79,15 @@ impl ReplicaFile {
         &self.origin
     }
 
-    /// URI of the replica currently serving reads.
+    /// The shared health scheduler ranking this file's replicas.
+    pub fn scheduler(&self) -> &Arc<ReplicaScheduler> {
+        &self.scheduler
+    }
+
+    /// URI of the replica that served the last successful operation.
     pub fn current_uri(&self) -> Uri {
-        let st = self.state.lock();
-        st.file.as_ref().map(|f| f.uri().clone()).unwrap_or_else(|| self.origin.clone())
+        let current = self.state.lock().current;
+        current.and_then(|id| self.scheduler.uri(id)).unwrap_or_else(|| self.origin.clone())
     }
 
     /// Entity size (from whichever replica answered first).
@@ -74,117 +103,223 @@ impl ReplicaFile {
         Ok(n)
     }
 
-    /// Vectored read with fail-over.
+    /// Vectored read with fail-over. Once the Metalink is resolved and more
+    /// than one replica is healthy, the fragment batch is split across the
+    /// top-[`replica_fanout`](crate::Config::replica_fanout) replicas and
+    /// fetched in parallel — aggregate bandwidth for large analysis reads,
+    /// with per-batch fail-over if a replica dies mid-flight.
     pub fn pread_vec(&self, fragments: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
-        let out = self.with_file(|f| f.pread_vec(fragments))?;
+        let out = match self.fanout_targets(fragments.len()) {
+            Some(targets) => self.pread_vec_fanout(fragments, targets)?,
+            None => self.with_file(|f| f.pread_vec(fragments))?,
+        };
         let bytes: u64 = out.iter().map(|v| v.len() as u64).sum();
         self.io.record_vector_read(bytes, 1);
         Ok(out)
     }
 
-    /// Run `op` against the current replica, failing over on eligible errors
-    /// until the replica list is exhausted.
+    /// The replicas a vectored read should fan out over, or `None` for the
+    /// plain single-replica path (unresolved Metalink, fan-out disabled, or
+    /// not enough healthy replicas / fragments to split).
+    fn fanout_targets(&self, fragments: usize) -> Option<Vec<(ReplicaId, Uri)>> {
+        let fanout = self.inner.cfg.replica_fanout;
+        if fanout < 2 || fragments < 2 || !self.state.lock().resolved {
+            return None;
+        }
+        let targets = self.scheduler.ranked(fanout.min(fragments));
+        if targets.len() < 2 {
+            return None;
+        }
+        Some(targets)
+    }
+
+    /// Split `fragments` round-robin across `targets` and fetch the batches
+    /// in parallel. A batch whose replica fails mid-flight is retried
+    /// through the ordinary fail-over path, so the result is exactly as
+    /// resilient as the sequential one.
+    fn pread_vec_fanout(
+        &self,
+        fragments: &[(u64, usize)],
+        targets: Vec<(ReplicaId, Uri)>,
+    ) -> Result<Vec<Vec<u8>>> {
+        struct Batch {
+            id: ReplicaId,
+            file: Arc<DavFile>,
+            frags: Vec<(u64, usize)>,
+            slots: Vec<usize>,
+        }
+        let mut batches: Vec<Batch> = Vec::with_capacity(targets.len());
+        for (id, uri) in targets {
+            // Opening may fail (stale health data): skip the replica rather
+            // than failing the read — the leftover batches absorb its share.
+            match self.file_for(id, uri) {
+                Ok(file) => batches.push(Batch { id, file, frags: Vec::new(), slots: Vec::new() }),
+                Err(e) if e.is_failover_candidate() => {
+                    self.scheduler.record_failure(id);
+                    Metrics::bump(&self.inner.executor.metrics().failovers);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if batches.len() < 2 {
+            return self.with_file(|f| f.pread_vec(fragments));
+        }
+        let n_batches = batches.len();
+        for (slot, &frag) in fragments.iter().enumerate() {
+            let b = &mut batches[slot % n_batches];
+            b.frags.push(frag);
+            b.slots.push(slot);
+        }
+        batches.retain(|b| !b.frags.is_empty());
+
+        let rt = Arc::clone(self.inner.executor.runtime());
+        let rt2 = Arc::clone(&rt);
+        let parallelism = batches.len();
+        type BatchResult = (ReplicaId, Vec<usize>, Vec<(u64, usize)>, Result<Vec<Vec<u8>>>, f64);
+        let results: Vec<BatchResult> = parallel_map(&rt, batches, parallelism, move |b: Batch| {
+            let t0 = rt2.now();
+            let r = b.file.pread_vec(&b.frags);
+            (b.id, b.slots, b.frags, r, (rt2.now() - t0).as_secs_f64())
+        });
+
+        let mut out: Vec<Option<Vec<u8>>> = (0..fragments.len()).map(|_| None).collect();
+        for (id, slots, frags, result, secs) in results {
+            match result {
+                Ok(data) => {
+                    self.scheduler.record_success(id, std::time::Duration::from_secs_f64(secs));
+                    for (slot, d) in slots.into_iter().zip(data) {
+                        out[slot] = Some(d);
+                    }
+                }
+                Err(e) if e.is_failover_candidate() => {
+                    // This replica died mid-batch: record it, drop its file,
+                    // and re-fetch just its share through the fail-over path.
+                    self.scheduler.record_failure(id);
+                    Metrics::bump(&self.inner.executor.metrics().failovers);
+                    self.state.lock().files.remove(&id);
+                    let data = self.with_file(|f| f.pread_vec(&frags))?;
+                    for (slot, d) in slots.into_iter().zip(data) {
+                        out[slot] = Some(d);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out.into_iter().map(|d| d.expect("every fragment assigned to a batch")).collect())
+    }
+
+    /// Run `op` against scheduler-ranked replicas, failing over on eligible
+    /// errors until every known replica has been tried (the Metalink is
+    /// resolved — once — when the initial candidates run out).
+    ///
+    /// No lock is held while `op` runs: the file handle is cloned out of the
+    /// cache and the operation goes to the wire lock-free, so concurrent
+    /// operations on this `ReplicaFile` overlap fully.
     fn with_file<T>(&self, op: impl Fn(&DavFile) -> Result<T>) -> Result<T> {
-        let mut tried = 0usize;
+        let mut tried: Vec<ReplicaId> = Vec::new();
         let mut last_err: Option<DavixError> = None;
         loop {
-            // Ensure an open file (may itself fail → treated like op failure).
-            let open_result: Result<()> = {
-                let mut st = self.state.lock();
-                if st.file.is_none() {
-                    let uri = match &st.replicas {
-                        None => self.origin.clone(),
-                        Some(reps) => reps.get(st.current).cloned().ok_or_else(|| {
-                            DavixError::AllReplicasFailed {
-                                tried,
-                                last: Box::new(last_err.take().unwrap_or_else(|| {
-                                    DavixError::Metalink("no replicas".to_string())
-                                })),
-                            }
-                        })?,
-                    };
-                    match DavFile::open(Arc::clone(&self.inner), uri) {
-                        Ok(f) => {
-                            st.file = Some(f);
-                            Ok(())
-                        }
-                        Err(e) => Err(e),
-                    }
-                } else {
-                    Ok(())
+            let Some((id, uri)) = self.scheduler.pick_excluding(&tried) else {
+                // Every known replica tried: resolve the Metalink for more
+                // candidates; afterwards the walk is genuinely over. Two
+                // operations racing here may both fetch it — deliberately
+                // tolerated (`add_replicas` dedupes, so state stays
+                // correct): serializing them would mean blocking one thread
+                // on a plain mutex while the other does network I/O, which
+                // is invisible to the simulator's virtual clock — the very
+                // deadlock class this file is built to avoid.
+                if !self.state.lock().resolved {
+                    self.resolve_metalink(&mut last_err, tried.len())?;
+                    continue;
                 }
-            };
-
-            let result: Result<T> = match open_result {
-                Ok(()) => {
-                    let st = self.state.lock();
-                    let f = st.file.as_ref().expect("file opened above");
-                    op(f)
+                // `resolved` is flipped only *after* a racing resolver's
+                // `add_replicas`: having read it true, one more pick sees
+                // any replicas added between our (empty) pick above and the
+                // flag read — without it, a concurrent op could report
+                // AllReplicasFailed while untried replicas just arrived.
+                if self.scheduler.pick_excluding(&tried).is_some() {
+                    continue;
                 }
-                Err(e) => Err(e),
+                return Err(all_failed(tried.len(), last_err.take()));
             };
-
-            match result {
-                Ok(v) => return Ok(v),
+            let file = match self.file_for(id, uri) {
+                Ok(f) => f,
                 Err(e) if e.is_failover_candidate() => {
-                    tried += 1;
-                    last_err = Some(e);
+                    self.scheduler.record_failure(id);
                     Metrics::bump(&self.inner.executor.metrics().failovers);
-                    self.advance(&mut last_err, tried)?
+                    tried.push(id);
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let t0 = self.inner.executor.runtime().now();
+            match op(&file) {
+                Ok(v) => {
+                    self.scheduler.record_success(id, self.inner.executor.runtime().now() - t0);
+                    self.state.lock().current = Some(id);
+                    return Ok(v);
+                }
+                Err(e) if e.is_failover_candidate() => {
+                    self.scheduler.record_failure(id);
+                    Metrics::bump(&self.inner.executor.metrics().failovers);
+                    // Drop the (suspect) cached file; a later attempt gets a
+                    // fresh open. In-flight clones on other threads keep
+                    // their `Arc` and finish undisturbed.
+                    self.state.lock().files.remove(&id);
+                    tried.push(id);
+                    last_err = Some(e);
                 }
                 Err(e) => return Err(e),
             }
         }
     }
 
-    /// Move to the next untried replica, resolving the Metalink on first use.
-    fn advance(&self, last_err: &mut Option<DavixError>, tried: usize) -> Result<()> {
+    /// The open file for replica `id`, opening it (HEAD) if needed. The
+    /// cache lock is dropped during the open; two racing opens are benign
+    /// (first insert wins, the loser's handle is dropped).
+    ///
+    /// A successful open records *nothing*: a HEAD answering is weak
+    /// evidence (a replica can 200 every HEAD and fail every read, and a
+    /// success here would reset the failure streak each attempt, making the
+    /// blacklist threshold unreachable). The operation that follows is what
+    /// feeds the scheduler.
+    fn file_for(&self, id: ReplicaId, uri: Uri) -> Result<Arc<DavFile>> {
+        if let Some(f) = self.state.lock().files.get(&id) {
+            return Ok(Arc::clone(f));
+        }
+        let file = Arc::new(DavFile::open(Arc::clone(&self.inner), uri)?);
         let mut st = self.state.lock();
-        st.file = None;
-        if st.replicas.is_none() {
-            match self.fetch_metalink() {
-                Ok(reps) => {
-                    // Skip the origin we already tried if it leads the list.
-                    let start = if reps.first().map(|u| u == &self.origin).unwrap_or(false) {
-                        1
-                    } else {
-                        0
-                    };
-                    st.replicas = Some(reps);
-                    st.current = start;
-                }
-                Err(e) => {
-                    return Err(DavixError::AllReplicasFailed {
-                        tried,
-                        last: Box::new(last_err.take().unwrap_or(e)),
-                    });
-                }
-            }
-        } else {
-            st.current += 1;
-        }
-        let exhausted = st.replicas.as_ref().map(|r| st.current >= r.len()).unwrap_or(true);
-        if exhausted {
-            return Err(DavixError::AllReplicasFailed {
-                tried,
-                last: Box::new(
-                    last_err.take().unwrap_or_else(|| {
-                        DavixError::Metalink("replica list exhausted".to_string())
-                    }),
-                ),
-            });
-        }
-        Ok(())
+        Ok(Arc::clone(st.files.entry(id).or_insert(file)))
     }
 
-    /// Fetch and parse the Metalink for the origin resource.
-    fn fetch_metalink(&self) -> Result<Vec<Uri>> {
-        fetch_replicas(&self.inner, &self.origin)
+    /// Fetch the Metalink and feed its replicas into the scheduler. The
+    /// origin is filtered out *wherever* it appears in the list (not just at
+    /// the head) — it has already been tried and must not be retried under a
+    /// different list position.
+    fn resolve_metalink(&self, last_err: &mut Option<DavixError>, tried: usize) -> Result<()> {
+        match fetch_replicas(&self.inner, &self.origin) {
+            Ok(reps) => {
+                let fresh: Vec<Uri> =
+                    reps.into_iter().filter(|u| !same_resource(u, &self.origin)).collect();
+                self.scheduler.add_replicas(fresh);
+                self.state.lock().resolved = true;
+                Ok(())
+            }
+            Err(e) => Err(all_failed(tried, Some(last_err.take().unwrap_or(e)))),
+        }
     }
 
     /// I/O counters for this file.
     pub fn io_stats(&self) -> IoStatsSnapshot {
         self.io.snapshot()
+    }
+}
+
+fn all_failed(tried: usize, last: Option<DavixError>) -> DavixError {
+    DavixError::AllReplicasFailed {
+        tried,
+        last: Box::new(last.unwrap_or_else(|| DavixError::Metalink("no replicas".to_string()))),
     }
 }
 

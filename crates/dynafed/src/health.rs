@@ -2,11 +2,12 @@
 //!
 //! DynaFed keeps its view of endpoint liveness fresh by probing; we do the
 //! same with a minimal HTTP `OPTIONS` ping per host on a runtime thread.
+//! The probe primitive itself lives in [`davix::scheduler::probe_endpoint`]
+//! so the client-side [`davix::ReplicaScheduler`] and this server-side
+//! monitor share one implementation.
 
 use crate::catalog::ReplicaCatalog;
-use httpwire::{Method, RequestHead};
 use netsim::{Connector, Runtime};
-use std::io::{BufReader, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,18 +64,7 @@ impl HealthMonitor {
 
 /// One OPTIONS probe; any well-formed HTTP answer counts as alive.
 fn probe(connector: &dyn Connector, host: &str, port: u16) -> bool {
-    let Ok(mut stream) = connector.connect(host, port, Some(Duration::from_secs(2))) else {
-        return false;
-    };
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let mut head = RequestHead::new(Method::Options, "/");
-    head.headers.set("Host", host);
-    head.headers.set("Connection", "close");
-    if stream.write_all(&head.to_bytes()).is_err() {
-        return false;
-    }
-    let mut reader = BufReader::new(stream);
-    httpwire::parse::read_response_head(&mut reader).is_ok()
+    davix::scheduler::probe_endpoint(connector, host, port, Duration::from_secs(2))
 }
 
 #[cfg(test)]
