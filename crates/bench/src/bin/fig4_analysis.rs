@@ -17,10 +17,13 @@
 //! itself describes).
 //!
 //! Usage: `fig4_analysis [--fraction 0.1] [--reps 3] [--events 12000]`
+//!
+//! CI smoke knobs: `DAVIX_BENCH_EVENTS` / `DAVIX_BENCH_REPS` override the
+//! defaults of `--events` / `--reps` (explicit flags still win).
 
 use bytes::Bytes;
 use davix::Config;
-use davix_bench::{mean_std, Table};
+use davix_bench::{env_usize, mean_std, Table};
 use davix_repro::testbed::{paper_links, Testbed, TestbedConfig, DATA_PATH};
 use ioapi::RandomAccess;
 use rootio::{AnalysisJob, Generator, Schema, TreeCacheOptions, TreeReader, WriterOptions};
@@ -40,7 +43,13 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { fraction: 1.0, reps: 3, events: 12_000, bw_scale: None, sweep: false };
+    let mut args = Args {
+        fraction: 1.0,
+        reps: env_usize("DAVIX_BENCH_REPS", 3) as u32,
+        events: env_usize("DAVIX_BENCH_EVENTS", 12_000) as u64,
+        bw_scale: None,
+        sweep: false,
+    };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {

@@ -9,13 +9,16 @@
 
 use bytes::Bytes;
 use davix::Config;
-use davix_bench::{millis, Table};
+use davix_bench::{env_usize, millis, Table};
 use davix_repro::testbed::{Testbed, TestbedConfig, FED};
 use netsim::LinkSpec;
 
 fn main() {
     println!("== §2.4: Metalink fail-over under replica failures ==\n");
-    let data: Vec<u8> = (0..1_000_000usize).map(|i| (i % 251) as u8).collect();
+    // CI smoke knob: `DAVIX_BENCH_FAILOVER_KIB` (entity size, default 977
+    // KiB ≈ the original 1 MB).
+    let size = env_usize("DAVIX_BENCH_FAILOVER_KIB", 977) * 1024;
+    let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
 
     let mut table = Table::new(&[
         "dead replicas",
@@ -52,7 +55,7 @@ fn main() {
         }
 
         let t0 = tb.net.now();
-        let result = file.pread(500_000, &mut buf);
+        let result = file.pread(size as u64 / 2, &mut buf);
         let elapsed = tb.net.now() - t0;
         let m = client.metrics();
         let (ok_cell, served_by) = match result {

@@ -1,21 +1,24 @@
 //! **§2.4 (multi-stream strategy)**: parallel chunked download from several
 //! replicas.
 //!
-//! Claim: multi-stream "maximize[s] the network bandwidth usage on the
+//! Claim: multi-stream "maximize\[s\] the network bandwidth usage on the
 //! client side" with the same resiliency as fail-over, at the cost of
-//! "overload[ing] considerably the servers" (more connections per client).
+//! "overload\[ing\] considerably the servers" (more connections per client).
 //!
 //! Experiment: a 16 MiB file on three replicas, each behind a 4 MB/s link;
 //! sweep the stream count and also run with one replica dead.
 
 use bytes::Bytes;
 use davix::{multistream_download, Config, MultistreamOptions};
-use davix_bench::{secs, Table};
+use davix_bench::{env_usize, secs, Table};
 use davix_repro::testbed::{Testbed, TestbedConfig};
 use netsim::LinkSpec;
 use std::time::Duration;
 
-const SIZE: usize = 16 * 1024 * 1024;
+/// File size; `DAVIX_BENCH_MULTISTREAM_MIB` shrinks it for CI smoke runs.
+fn size() -> usize {
+    env_usize("DAVIX_BENCH_MULTISTREAM_MIB", 16).max(1) * 1024 * 1024
+}
 
 fn testbed(data: &[u8]) -> Testbed {
     let link = LinkSpec {
@@ -36,8 +39,9 @@ fn testbed(data: &[u8]) -> Testbed {
 
 fn main() {
     println!("== §2.4: multi-stream download, bandwidth vs server load ==");
-    println!("file: {} MiB; 3 replicas, 4 MB/s per replica link, 30 ms RTT\n", SIZE / 1024 / 1024);
-    let data: Vec<u8> = (0..SIZE).map(|i| ((i / 13) % 256) as u8).collect();
+    let size = size();
+    println!("file: {} MiB; 3 replicas, 4 MB/s per replica link, 30 ms RTT\n", size / 1024 / 1024);
+    let data: Vec<u8> = (0..size).map(|i| ((i / 13) % 256) as u8).collect();
 
     let mut table =
         Table::new(&["streams", "dead", "time (s)", "throughput (MB/s)", "connections", "ok"]);
@@ -65,7 +69,7 @@ fn main() {
             streams.to_string(),
             dead.to_string(),
             secs(elapsed),
-            format!("{:.2}", SIZE as f64 / elapsed.as_secs_f64() / 1e6),
+            format!("{:.2}", size as f64 / elapsed.as_secs_f64() / 1e6),
             tb.net.stats().conns_created.to_string(),
             if ok { "yes".into() } else { "NO".into() },
         ]);

@@ -2,7 +2,7 @@
 //!
 //! The paper rejects SPDY because it "explicitly enforces the usage of
 //! SSL/TLS", citing the handshake latency and the transfer overhead
-//! (Coarfa et al. [14]). This ablation quantifies the handshake half on our
+//! (Coarfa et al. \[14\]). This ablation quantifies the handshake half on our
 //! testbed: every connection on a "TLS" link pays 3 round trips of setup
 //! (TCP + a TLS-1.2-like negotiation) instead of 1.
 //!
@@ -14,12 +14,12 @@
 //! Claim under test: TLS punishes exactly the connection-per-request
 //! pattern davix's session recycling eliminates; with recycling, the
 //! handshake is paid once and amortizes to noise. (Bulk-encryption CPU
-//! cost, the other half of [14], is not modelled — it would scale with
+//! cost, the other half of \[14\], is not modelled — it would scale with
 //! bytes, not connections, and affects both patterns equally.)
 
 use bytes::Bytes;
 use davix::{Config, DavixClient, PreparedRequest};
-use davix_bench::{secs, Table};
+use davix_bench::{env_usize, secs, Table};
 use davix_repro::testbed::paper_links;
 use httpd::ServerConfig;
 use netsim::{LinkSpec, SimNet};
@@ -27,7 +27,12 @@ use objstore::{ObjectStore, StorageNode, StorageOptions};
 use std::sync::Arc;
 use std::time::Duration;
 
-const N_REQ: usize = 64;
+/// Requests per configuration; `DAVIX_BENCH_TLS_REQUESTS` shrinks it for
+/// CI smoke runs.
+fn n_req() -> usize {
+    env_usize("DAVIX_BENCH_TLS_REQUESTS", 64).max(1)
+}
+
 const OBJ: usize = 64 * 1024;
 
 fn run(link: LinkSpec, fresh_conns: bool) -> (Duration, u64) {
@@ -48,7 +53,7 @@ fn run(link: LinkSpec, fresh_conns: bool) -> (Duration, u64) {
     let client = DavixClient::new(net.connector("client"), net.runtime(), Config::default());
     let uri: httpwire::Uri = "http://server/obj".parse().unwrap();
     let t0 = net.now();
-    for _ in 0..N_REQ {
+    for _ in 0..n_req() {
         let mut req = PreparedRequest::get(uri.clone());
         if fresh_conns {
             req = req.header("Connection", "close");
@@ -60,7 +65,7 @@ fn run(link: LinkSpec, fresh_conns: bool) -> (Duration, u64) {
 
 fn main() {
     println!("== Ablation T7 / §2.2: the cost of mandatory TLS ==");
-    println!("{N_REQ} x {} KiB GETs; TLS modelled as 3 setup RTTs instead of 1\n", OBJ / 1024);
+    println!("{} x {} KiB GETs; TLS modelled as 3 setup RTTs instead of 1\n", n_req(), OBJ / 1024);
 
     let mut table = Table::new(&[
         "link",
@@ -76,7 +81,7 @@ fn main() {
         let (fresh_tls, c2) = run(link.with_tls_handshake(), true);
         let (pool_plain, c3) = run(link, false);
         let (pool_tls, c4) = run(link.with_tls_handshake(), false);
-        assert_eq!((c1, c2), (N_REQ as u64, N_REQ as u64));
+        assert_eq!((c1, c2), (n_req() as u64, n_req() as u64));
         assert_eq!((c3, c4), (1, 1));
         table.row(vec![
             name.to_string(),

@@ -3,7 +3,8 @@
 //! errors to exit codes.
 
 use davix_cli::{
-    exit_code, parse_args, real_client, run_command, start_server, CliError, Command, USAGE,
+    config_for, exit_code, parse_args, real_client, run_command, start_server, CliError, Command,
+    USAGE,
 };
 use std::io::Write;
 
@@ -38,7 +39,7 @@ fn main() {
         }
     }
 
-    let client = real_client(davix::Config::default());
+    let client = real_client(config_for(&cmd));
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     match run_command(&client, &cmd, &mut out) {

@@ -1,5 +1,6 @@
 //! The top-level client handle.
 
+use crate::cache::BlockCache;
 use crate::config::Config;
 use crate::error::{DavixError, Result};
 use crate::executor::HttpExecutor;
@@ -16,6 +17,9 @@ use std::sync::Arc;
 pub struct ClientInner {
     pub(crate) executor: HttpExecutor,
     pub(crate) cfg: Config,
+    /// The shared block cache, present when `Config::cache_capacity_bytes`
+    /// is non-zero. All files opened through this client share it.
+    pub(crate) cache: Option<Arc<BlockCache>>,
 }
 
 /// A davix client: connection pool, request executor and the file-oriented
@@ -30,8 +34,16 @@ impl DavixClient {
     /// [`netsim::TcpConnector`]) and runtime.
     pub fn new(connector: Arc<dyn Connector>, rt: Arc<dyn Runtime>, cfg: Config) -> DavixClient {
         let metrics = Arc::new(Metrics::default());
-        let executor = HttpExecutor::new(connector, rt, cfg.clone(), metrics);
-        DavixClient { inner: Arc::new(ClientInner { executor, cfg }) }
+        let executor = HttpExecutor::new(connector, rt, cfg.clone(), Arc::clone(&metrics));
+        let cache = (cfg.cache_capacity_bytes > 0).then(|| {
+            BlockCache::new(
+                Arc::clone(executor.runtime()),
+                metrics,
+                cfg.cache_block_size,
+                cfg.cache_capacity_bytes,
+            )
+        });
+        DavixClient { inner: Arc::new(ClientInner { executor, cfg, cache }) }
     }
 
     /// Parse a URL.
@@ -102,5 +114,11 @@ impl DavixClient {
     /// The configuration in force.
     pub fn config(&self) -> &Config {
         &self.inner.cfg
+    }
+
+    /// The shared block cache, when enabled (`Config::cache_capacity_bytes`
+    /// > 0). Mostly useful for diagnostics and tests.
+    pub fn block_cache(&self) -> Option<&Arc<crate::BlockCache>> {
+        self.inner.cache.as_ref()
     }
 }

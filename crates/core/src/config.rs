@@ -72,6 +72,26 @@ pub struct Config {
     /// Maximum number of healthy replicas a `ReplicaFile::pread_vec` spreads
     /// one fragment batch across (1 disables the fan-out).
     pub replica_fanout: usize,
+    /// Block size of the shared client-side block cache (see
+    /// [`BlockCache`]). Reads are rounded to block-aligned upstream
+    /// fetches; bigger blocks mean fewer round trips, smaller blocks less
+    /// over-read on sparse access.
+    ///
+    /// [`BlockCache`]: crate::BlockCache
+    pub cache_block_size: u64,
+    /// Capacity of the block cache in bytes of cached payload. **0 disables
+    /// the cache entirely (the default)** — every read goes to the wire
+    /// exactly as in previous releases.
+    pub cache_capacity_bytes: u64,
+    /// Initial read-ahead window opened once a file handle is detected
+    /// reading sequentially (bytes). **0 disables read-ahead (the
+    /// default).** Read-ahead requires the cache
+    /// ([`cache_capacity_bytes`](Config::cache_capacity_bytes) > 0) —
+    /// prefetched blocks land there.
+    pub readahead_min: u64,
+    /// Ceiling the adaptive read-ahead window grows to (doubling on each
+    /// consecutive sequential read). 0 disables read-ahead.
+    pub readahead_max: u64,
     /// `User-Agent` header.
     pub user_agent: String,
 }
@@ -93,6 +113,10 @@ impl Default for Config {
             replica_blacklist_cooldown: Duration::from_secs(5),
             replica_ewma_alpha: 0.3,
             replica_fanout: 2,
+            cache_block_size: 256 * 1024,
+            cache_capacity_bytes: 0,
+            readahead_min: 0,
+            readahead_max: 0,
             user_agent: "davix-rs/0.1".to_string(),
         }
     }
@@ -128,6 +152,33 @@ impl Config {
     /// Cap how many healthy replicas one vectored read fans out across.
     pub fn with_replica_fanout(mut self, fanout: usize) -> Self {
         self.replica_fanout = fanout;
+        self
+    }
+
+    /// Enable the shared block cache with `capacity_bytes` of cached
+    /// payload (0 disables).
+    pub fn with_cache(mut self, capacity_bytes: u64) -> Self {
+        self.cache_capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Set the block size of the block cache.
+    ///
+    /// # Panics
+    /// Panics on a zero block size (disable the cache by setting capacity
+    /// to 0 instead).
+    pub fn with_cache_block_size(mut self, block_size: u64) -> Self {
+        assert!(block_size > 0, "cache block size must be non-zero");
+        self.cache_block_size = block_size;
+        self
+    }
+
+    /// Enable adaptive read-ahead: the prefetch window opens at `min`
+    /// bytes on the second consecutive sequential read and doubles up to
+    /// `max`. Either bound at 0 disables read-ahead.
+    pub fn with_readahead(mut self, min: u64, max: u64) -> Self {
+        self.readahead_min = min;
+        self.readahead_max = max.max(min);
         self
     }
 }

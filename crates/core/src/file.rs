@@ -12,6 +12,7 @@
 //! 4. multi-range rejected (`400`/`501`) → per-fragment single-range GETs
 //!    dispatched in parallel through the session pool.
 
+use crate::cache::{BlockFetch, FileCache};
 use crate::client::ClientInner;
 use crate::config::RangePolicy;
 use crate::error::{DavixError, Result};
@@ -36,78 +37,173 @@ pub struct RemoteStat {
 }
 
 /// A remote file opened through davix.
+///
+/// When the client's block cache is enabled
+/// ([`Config::cache_capacity_bytes`](crate::Config::cache_capacity_bytes) >
+/// 0), reads go through it: block-aligned upstream fetches, single-flight
+/// de-duplication and (optionally) adaptive read-ahead — see
+/// [`BlockCache`](crate::BlockCache). With the cache off (the default)
+/// every read streams straight off the wire exactly as before.
 pub struct DavFile {
-    pub(crate) inner: Arc<ClientInner>,
-    pub(crate) uri: Uri,
-    size: u64,
+    raw: Arc<RawFile>,
     etag: Option<String>,
     pos: Mutex<u64>,
     io: IoStats,
+    cache: Option<FileCache>,
+}
+
+/// The uncached network read path of one remote resource: everything
+/// [`DavFile`] needs to hit the wire, shaped so the block cache can share
+/// it as its upstream [`BlockFetch`] (prefetch threads hold an `Arc` of
+/// this, never of the `DavFile` itself).
+pub(crate) struct RawFile {
+    pub(crate) inner: Arc<ClientInner>,
+    pub(crate) uri: Uri,
+    size: u64,
 }
 
 impl std::fmt::Debug for DavFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DavFile")
-            .field("uri", &self.uri.to_string())
-            .field("size", &self.size)
+            .field("uri", &self.raw.uri.to_string())
+            .field("size", &self.raw.size)
             .field("etag", &self.etag)
+            .field("cached", &self.cache.is_some())
             .finish_non_exhaustive()
     }
 }
 
-impl DavFile {
-    /// Open (HEAD) a remote file, learning its size.
-    pub(crate) fn open(inner: Arc<ClientInner>, uri: Uri) -> Result<DavFile> {
-        let resp = inner.executor.execute_expect(&PreparedRequest::head(uri.clone()), "stat")?;
-        let size =
-            resp.head.headers.content_length().ok_or_else(|| {
-                DavixError::Protocol(format!("{uri}: HEAD without Content-Length"))
+/// Discover the size (and ETag) of `uri` without trusting HEAD: a ranged
+/// GET of the first byte whose `206 Content-Range` carries the total
+/// entity size. Servers that ignore `Range` and answer `200` betray the
+/// size through `Content-Length` instead. Used when HEAD omits
+/// `Content-Length` (some gateways do for dynamically served objects).
+pub(crate) fn probe_size(
+    inner: &Arc<ClientInner>,
+    uri: &Uri,
+) -> Result<(u64, Option<String>, Uri)> {
+    let req = PreparedRequest::get(uri.clone()).header("Range", "bytes=0-0");
+    let resp = inner.executor.execute_streaming(&req)?;
+    let etag = resp.head().headers.get("etag").map(str::to_string);
+    let final_uri = resp.final_uri().clone();
+    let size = match resp.status() {
+        StatusCode::PARTIAL_CONTENT => {
+            let cr = parse_content_range(resp.head(), "size probe")?;
+            cr.total.ok_or_else(|| {
+                DavixError::Protocol(format!("{uri}: size probe got Content-Range without total"))
+            })?
+        }
+        StatusCode::OK => {
+            // The server ignored `Range` and is sending the whole entity.
+            // `finish()` would drain it all just to recycle the session —
+            // drop the stream instead: the connection is discarded, which
+            // costs a reconnect, never a full-entity transfer.
+            let size = resp.head().headers.content_length().ok_or_else(|| {
+                DavixError::Protocol(format!("{uri}: size probe got 200 without Content-Length"))
             })?;
-        let etag = resp.head.headers.get("etag").map(str::to_string);
-        Ok(DavFile {
-            inner,
-            uri: resp.final_uri,
-            size,
-            etag,
-            pos: Mutex::new(0),
-            io: IoStats::default(),
-        })
+            return Ok((size, etag, final_uri));
+        }
+        status => return Err(DavixError::from_status(status, format!("size probe {uri}"))),
+    };
+    resp.finish(); // a 206 carries at most one body byte; keep the session
+    Ok((size, etag, final_uri))
+}
+
+impl DavFile {
+    /// Open (HEAD) a remote file, learning its size; binds the client's
+    /// block cache when one is configured.
+    pub(crate) fn open(inner: Arc<ClientInner>, uri: Uri) -> Result<DavFile> {
+        Self::open_with_cache(inner, uri, true)
+    }
+
+    /// Open without binding the block cache, even when the client has one.
+    /// Internal paths that layer their own caching or stream entities once
+    /// (replica fail-over's per-replica files, multistream chunk workers)
+    /// use this so bytes are not cached twice — or at all, for
+    /// once-through bulk data.
+    pub(crate) fn open_uncached(inner: Arc<ClientInner>, uri: Uri) -> Result<DavFile> {
+        Self::open_with_cache(inner, uri, false)
+    }
+
+    fn open_with_cache(inner: Arc<ClientInner>, uri: Uri, want_cache: bool) -> Result<DavFile> {
+        let resp = inner.executor.execute_expect(&PreparedRequest::head(uri.clone()), "stat")?;
+        let (size, etag, final_uri) = match resp.head.headers.content_length() {
+            Some(size) => (size, resp.head.headers.get("etag").map(str::to_string), resp.final_uri),
+            // HEAD without Content-Length: probe with a 1-byte ranged GET
+            // instead of failing the open.
+            None => probe_size(&inner, &resp.final_uri)?,
+        };
+        let raw = Arc::new(RawFile { inner, uri: final_uri, size });
+        let cache = if want_cache {
+            raw.inner.cache.as_ref().map(|cache| {
+                // Keyed by final URI + size + ETag: a changed entity (new
+                // ETag) re-opened later cannot serve stale blocks.
+                let key = format!("{}|{}|{}", raw.uri, size, etag.as_deref().unwrap_or("-"));
+                FileCache::new(
+                    Arc::clone(cache),
+                    key,
+                    size,
+                    Arc::clone(&raw) as Arc<dyn BlockFetch>,
+                    raw.inner.cfg.readahead_min,
+                    raw.inner.cfg.readahead_max,
+                )
+            })
+        } else {
+            None
+        };
+        Ok(DavFile { raw, etag, pos: Mutex::new(0), io: IoStats::default(), cache })
     }
 
     /// The URI this file was (finally) opened from.
     pub fn uri(&self) -> &Uri {
-        &self.uri
+        &self.raw.uri
     }
 
     /// Size learned at open time.
     pub fn size_hint(&self) -> Result<u64> {
-        Ok(self.size)
+        Ok(self.raw.size)
     }
 
     /// Stat data learned at open time.
     pub fn stat(&self) -> RemoteStat {
-        RemoteStat { size: self.size, etag: self.etag.clone() }
+        RemoteStat { size: self.raw.size, etag: self.etag.clone() }
     }
 
     /// Positional read of up to `buf.len()` bytes at `offset`. Returns bytes
     /// read; 0 at EOF.
     ///
-    /// The body streams straight from the pooled connection into `buf` —
-    /// no intermediate buffer proportional to the read size is allocated.
+    /// Without the cache, the body streams straight from the pooled
+    /// connection into `buf` — no intermediate buffer proportional to the
+    /// read size is allocated. With the cache, whole blocks are fetched
+    /// (at most once, concurrently, across all readers) and the request is
+    /// served from them.
+    pub fn pread(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        if let Some(cache) = &self.cache {
+            let (n, upstream) = cache.read_at(offset, buf)?;
+            self.io.record_read(n as u64, upstream);
+            return Ok(n);
+        }
+        let n = self.raw.pread(offset, buf)?;
+        self.io.record_read(n as u64, 1);
+        Ok(n)
+    }
+}
+
+impl RawFile {
+    /// Positional read of up to `buf.len()` bytes at `offset`; 0 at EOF.
+    ///
     /// A `206` whose `Content-Range` does not match the requested window is
     /// rejected as [`DavixError::Protocol`] rather than trusted: a
     /// misbehaving server must fail loudly, not yield wrong bytes at the
     /// right offsets.
-    pub fn pread(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+    pub(crate) fn pread(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
         if buf.is_empty() || offset >= self.size {
             return Ok(0);
         }
         let want = buf.len().min((self.size - offset) as usize);
-        let n = with_read_retries(&self.inner.executor, |attempts| {
+        with_read_retries(&self.inner.executor, |attempts| {
             self.pread_attempt(offset, buf, want, attempts)
-        })?;
-        self.io.record_read(n as u64, 1);
-        Ok(n)
+        })
     }
 
     fn pread_attempt(
@@ -145,27 +241,9 @@ impl DavFile {
         }
     }
 
-    /// Sequential read from the cursor position.
-    pub fn read(&self, buf: &mut [u8]) -> Result<usize> {
-        let mut pos = self.pos.lock();
-        let n = self.pread(*pos, buf)?;
-        *pos += n as u64;
-        Ok(n)
-    }
-
-    /// Current cursor position.
-    pub fn tell(&self) -> u64 {
-        *self.pos.lock()
-    }
-
-    /// Move the cursor.
-    pub fn seek(&self, pos: u64) {
-        *self.pos.lock() = pos;
-    }
-
     /// Vectored positional read (§2.3): fetch every `(offset, len)` fragment.
     /// Fragment order is preserved in the result; fragments may overlap.
-    pub fn pread_vec(&self, fragments: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+    pub(crate) fn pread_vec(&self, fragments: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
         if fragments.is_empty() {
             return Ok(Vec::new());
         }
@@ -207,8 +285,6 @@ impl DavFile {
             let start = (off - chunk.first) as usize;
             out.push(chunk.data[start..start + len].to_vec());
         }
-        let bytes: u64 = out.iter().map(|v| v.len() as u64).sum();
-        self.io.record_vector_read(bytes, 1);
         Ok(out)
     }
 
@@ -356,6 +432,83 @@ impl DavFile {
         );
         results.into_iter().collect()
     }
+}
+
+/// The cache's upstream: block fetches are plain raw reads — scalar for one
+/// block run, one multi-range request for scattered runs (§2.3, so a cold
+/// vectored read through the cache still costs a single round trip).
+impl BlockFetch for RawFile {
+    fn fetch(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        let mut done = 0usize;
+        while done < len {
+            let n = self.pread(offset + done as u64, &mut buf[done..])?;
+            if n == 0 {
+                return Err(DavixError::Protocol(format!(
+                    "{}: entity ended at {} inside block {offset}+{len}",
+                    self.uri,
+                    offset + done as u64
+                )));
+            }
+            done += n;
+        }
+        Ok(buf)
+    }
+
+    fn fetch_vec(&self, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        self.pread_vec(ranges)
+    }
+}
+
+impl DavFile {
+    /// Sequential read from the cursor position.
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize> {
+        let mut pos = self.pos.lock();
+        let n = self.pread(*pos, buf)?;
+        *pos += n as u64;
+        Ok(n)
+    }
+
+    /// Current cursor position.
+    pub fn tell(&self) -> u64 {
+        *self.pos.lock()
+    }
+
+    /// Move the cursor.
+    pub fn seek(&self, pos: u64) {
+        *self.pos.lock() = pos;
+    }
+
+    /// Vectored positional read (§2.3): fetch every `(offset, len)` fragment.
+    /// Fragment order is preserved in the result; fragments may overlap.
+    ///
+    /// With the block cache enabled, fragments are assembled from cached
+    /// blocks; whatever is missing is fetched in **one** multi-range
+    /// request (block-aligned), so the round-trip profile matches the
+    /// uncached path while repeats become free.
+    pub fn pread_vec(&self, fragments: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        if fragments.is_empty() {
+            return Ok(Vec::new());
+        }
+        for &(off, len) in fragments {
+            if off.saturating_add(len as u64) > self.raw.size {
+                return Err(DavixError::InvalidArgument(format!(
+                    "fragment {off}+{len} beyond entity size {}",
+                    self.raw.size
+                )));
+            }
+        }
+        if let Some(cache) = &self.cache {
+            let (out, upstream) = cache.read_vec(fragments)?;
+            let bytes: u64 = out.iter().map(|v| v.len() as u64).sum();
+            self.io.record_vector_read(bytes, upstream);
+            return Ok(out);
+        }
+        let out = self.raw.pread_vec(fragments)?;
+        let bytes: u64 = out.iter().map(|v| v.len() as u64).sum();
+        self.io.record_vector_read(bytes, 1);
+        Ok(out)
+    }
 
     /// I/O counter snapshot for this file.
     pub fn io_stats(&self) -> IoStatsSnapshot {
@@ -488,7 +641,7 @@ fn read_windows(resp: &mut ResponseStream<'_>, wire: &[(u64, usize)]) -> Result<
 
 impl RandomAccess for DavFile {
     fn size(&self) -> std::io::Result<u64> {
-        Ok(self.size)
+        Ok(self.raw.size)
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> std::io::Result<usize> {
@@ -497,6 +650,20 @@ impl RandomAccess for DavFile {
 
     fn read_vec(&self, fragments: &[(u64, usize)]) -> std::io::Result<Vec<Vec<u8>>> {
         self.pread_vec(fragments).map_err(std::io::Error::from)
+    }
+
+    fn prefetch_vec(&self, fragments: &[(u64, usize)]) {
+        if let Some(cache) = &self.cache {
+            cache.prefetch(fragments);
+        }
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        // With the block cache bound, a prefetch hint turns into a
+        // background block fetch the later `read_vec` is served from —
+        // HTTP gains the latency-hiding the paper credits to XRootD's
+        // asynchronous transport.
+        self.cache.is_some()
     }
 
     fn stats(&self) -> IoStatsSnapshot {

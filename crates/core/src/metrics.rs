@@ -48,6 +48,16 @@ pub struct Metrics {
     /// Multistream workers that switched to another replica after theirs
     /// failed (instead of dying and shrinking the stream pool).
     pub streams_respawned: AtomicU64,
+    /// Block-cache reads served from memory (no upstream request), including
+    /// reads that joined another caller's in-flight fetch.
+    pub cache_hits: AtomicU64,
+    /// Block-cache blocks that had to be fetched upstream.
+    pub cache_misses: AtomicU64,
+    /// Bytes landed in the block cache by background read-ahead/prefetch.
+    pub bytes_prefetched: AtomicU64,
+    /// Readers that parked on another caller's in-flight block fetch
+    /// instead of issuing a duplicate request (single-flight dedup).
+    pub singleflight_waits: AtomicU64,
 }
 
 macro_rules! snapshot_fields {
@@ -94,6 +104,10 @@ impl Metrics {
             replicas_blacklisted,
             replica_probes,
             streams_respawned,
+            cache_hits,
+            cache_misses,
+            bytes_prefetched,
+            singleflight_waits,
         )
     }
 }
@@ -120,6 +134,10 @@ pub struct MetricsSnapshot {
     pub replicas_blacklisted: u64,
     pub replica_probes: u64,
     pub streams_respawned: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub bytes_prefetched: u64,
+    pub singleflight_waits: u64,
 }
 
 impl MetricsSnapshot {
@@ -146,6 +164,20 @@ impl MetricsSnapshot {
             replicas_blacklisted: self.replicas_blacklisted - earlier.replicas_blacklisted,
             replica_probes: self.replica_probes - earlier.replica_probes,
             streams_respawned: self.streams_respawned - earlier.streams_respawned,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            bytes_prefetched: self.bytes_prefetched - earlier.bytes_prefetched,
+            singleflight_waits: self.singleflight_waits - earlier.singleflight_waits,
+        }
+    }
+
+    /// Fraction of cache lookups served from memory.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 

@@ -133,7 +133,7 @@ pub fn multistream_download_scheduled(
     let mut last_err = None;
     while let Some((id, uri)) = scheduler.pick_excluding(&tried) {
         let t0 = rt.now();
-        match DavFile::open(Arc::clone(&client.inner), uri).and_then(|f| f.size_hint()) {
+        match DavFile::open_uncached(Arc::clone(&client.inner), uri).and_then(|f| f.size_hint()) {
             Ok(sz) => {
                 // A HEAD is liveness evidence plus an RTT bootstrap for the
                 // ranking, but no bandwidth signal — record it as a probe.
@@ -301,7 +301,7 @@ fn stream_worker(
             // A successful open records nothing (a HEAD answering is not
             // evidence the reads will work — see `ReplicaFile::file_for`);
             // the chunk read right after feeds the scheduler.
-            match DavFile::open(Arc::clone(&client.inner), uri.clone()) {
+            match DavFile::open_uncached(Arc::clone(&client.inner), uri.clone()) {
                 Ok(f) => {
                     slot.insert(f);
                 }

@@ -45,15 +45,25 @@ impl DavPosix {
 
     /// Stat a remote path (HEAD; falls back to PROPFIND depth 0 for
     /// directories, which HEAD reports as 403).
+    ///
+    /// A `2xx` HEAD **without** `Content-Length` (some gateways omit it
+    /// for dynamically served objects) is not trusted to mean "empty
+    /// file": the size is discovered through a 1-byte ranged GET (whose
+    /// `206 Content-Range` carries the total) and, failing that, a
+    /// PROPFIND `getcontentlength`. The ETag is surfaced from whichever
+    /// response provided one — the block cache uses it as a validator in
+    /// its keys.
     pub fn stat(&self, url: &str) -> Result<FileStat> {
         let uri = self.uri(url)?;
         let resp = self.inner.executor.execute(&PreparedRequest::head(uri.clone()))?;
         match resp.head.status {
-            s if s.is_success() => Ok(FileStat {
-                size: resp.head.headers.content_length().unwrap_or(0),
-                is_dir: false,
-                etag: resp.head.headers.get("etag").map(str::to_string),
-            }),
+            s if s.is_success() => {
+                let etag = resp.head.headers.get("etag").map(str::to_string);
+                if let Some(size) = resp.head.headers.content_length() {
+                    return Ok(FileStat { size, is_dir: false, etag });
+                }
+                self.stat_sizeless(url, resp.final_uri, etag)
+            }
             StatusCode::FORBIDDEN => {
                 // Probably a directory; confirm via PROPFIND depth 0.
                 let req = PreparedRequest::new(Method::Propfind, uri).header("Depth", "0");
@@ -63,6 +73,42 @@ impl DavPosix {
             }
             s => Err(DavixError::from_status(s, format!("stat {url}"))),
         }
+    }
+
+    /// Size discovery for a resource whose HEAD omitted `Content-Length`:
+    /// ranged-GET probe first, PROPFIND second.
+    fn stat_sizeless(&self, url: &str, uri: Uri, head_etag: Option<String>) -> Result<FileStat> {
+        match crate::file::probe_size(&self.inner, &uri) {
+            Ok((size, probe_etag, _)) => {
+                return Ok(FileStat { size, is_dir: false, etag: head_etag.or(probe_etag) });
+            }
+            Err(e) if !e.is_retryable() => {
+                // A server that rejects the probe outright may still answer
+                // PROPFIND below; a transport-level failure would too, but
+                // retrying a flapping server through a second protocol
+                // hides real faults — propagate those.
+            }
+            Err(e) => return Err(e),
+        }
+        let req = PreparedRequest::new(Method::Propfind, uri).header("Depth", "0");
+        let resp = self.inner.executor.execute_expect(&req, format!("stat {url}").as_str())?;
+        let text = String::from_utf8_lossy(&resp.body);
+        let doc = metalink::xml::parse(&text)
+            .map_err(|e| DavixError::Protocol(format!("bad PROPFIND body: {e}")))?;
+        let size = doc
+            .find_all("response")
+            .next()
+            .and_then(|r| r.find("propstat"))
+            .and_then(|ps| ps.find("prop"))
+            .and_then(|p| p.find("getcontentlength"))
+            .and_then(|l| l.text().trim().parse().ok())
+            .ok_or_else(|| {
+                DavixError::Protocol(format!(
+                    "stat {url}: no Content-Length on HEAD, no usable size probe, no \
+                     getcontentlength in PROPFIND"
+                ))
+            })?;
+        Ok(FileStat { size, is_dir: false, etag: head_etag })
     }
 
     /// List a directory (PROPFIND depth 1).

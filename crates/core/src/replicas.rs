@@ -17,6 +17,7 @@
 //! different ones; `pread_vec` goes further and spreads fragment batches
 //! across the top-K healthy replicas.
 
+use crate::cache::{BlockFetch, FileCache};
 use crate::client::ClientInner;
 use crate::error::{DavixError, Result};
 use crate::executor::PreparedRequest;
@@ -31,12 +32,27 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A remote file with transparent Metalink fail-over.
+///
+/// With the client's block cache enabled, reads are served from cached
+/// blocks **keyed by the origin resource** — not by whichever replica
+/// fetched them — so a fail-over or scheduler re-rank keeps every hit.
+/// The per-replica [`DavFile`]s underneath are opened uncached: bytes are
+/// cached exactly once, at this layer.
 pub struct ReplicaFile {
+    core: Arc<ReplicaCore>,
+    io: IoStats,
+    cache: Option<FileCache>,
+}
+
+/// The shareable fail-over machinery: everything needed to run one
+/// operation against the scheduler-ranked replicas. `Arc`-shared so the
+/// block cache's background prefetch threads can drive the same fail-over
+/// path as foreground reads.
+struct ReplicaCore {
     inner: Arc<ClientInner>,
     origin: Uri,
     scheduler: Arc<ReplicaScheduler>,
     state: Mutex<Files>,
-    io: IoStats,
 }
 
 /// Mutable bookkeeping. This lock is only ever held for map lookups and
@@ -62,43 +78,66 @@ impl ReplicaFile {
             &inner.cfg,
             Some(Arc::clone(inner.executor.metrics())),
         ));
-        let rf = ReplicaFile {
+        let core = Arc::new(ReplicaCore {
             inner,
             origin,
             scheduler,
             state: Mutex::new(Files { files: HashMap::new(), current: None, resolved: false }),
-            io: IoStats::default(),
-        };
+        });
         // Force an open so size is known; fail-over may already kick in here.
-        rf.with_file(|f| f.size_hint())?;
-        Ok(rf)
+        let size = core.with_file(|f| f.size_hint())?;
+        let cache = core.inner.cache.as_ref().map(|cache| {
+            // Keyed by the *origin* (+ size): blocks fetched from replica A
+            // keep hitting after a fail-over to replica B. ETags are
+            // deliberately absent from the key — replicas of one logical
+            // resource routinely disagree on them.
+            let key = format!("replica:{}|{}", core.origin, size);
+            FileCache::new(
+                Arc::clone(cache),
+                key,
+                size,
+                Arc::new(ReplicaFetch { core: Arc::clone(&core) }) as Arc<dyn BlockFetch>,
+                core.inner.cfg.readahead_min,
+                core.inner.cfg.readahead_max,
+            )
+        });
+        Ok(ReplicaFile { core, io: IoStats::default(), cache })
     }
 
     /// The origin URL this file was opened from.
     pub fn origin(&self) -> &Uri {
-        &self.origin
+        &self.core.origin
     }
 
     /// The shared health scheduler ranking this file's replicas.
     pub fn scheduler(&self) -> &Arc<ReplicaScheduler> {
-        &self.scheduler
+        &self.core.scheduler
     }
 
     /// URI of the replica that served the last successful operation.
     pub fn current_uri(&self) -> Uri {
-        let current = self.state.lock().current;
-        current.and_then(|id| self.scheduler.uri(id)).unwrap_or_else(|| self.origin.clone())
+        let current = self.core.state.lock().current;
+        current
+            .and_then(|id| self.core.scheduler.uri(id))
+            .unwrap_or_else(|| self.core.origin.clone())
     }
 
     /// Entity size (from whichever replica answered first).
     pub fn size_hint(&self) -> Result<u64> {
-        self.with_file(|f| f.size_hint())
+        self.core.with_file(|f| f.size_hint())
     }
 
-    /// Positional read with fail-over.
+    /// Positional read with fail-over. Cached blocks short-circuit the
+    /// replica walk entirely — a read whose bytes are resident succeeds
+    /// even while *every* replica is down.
     pub fn pread(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        if let Some(cache) = &self.cache {
+            let (n, upstream) = cache.read_at(offset, buf)?;
+            self.io.record_read(n as u64, upstream);
+            return Ok(n);
+        }
         let cell = parking_lot::Mutex::new(buf);
-        let n = self.with_file(|f| f.pread(offset, &mut cell.lock()[..]))?;
+        let n = self.core.with_file(|f| f.pread(offset, &mut cell.lock()[..]))?;
         self.io.record_read(n as u64, 1);
         Ok(n)
     }
@@ -107,15 +146,80 @@ impl ReplicaFile {
     /// than one replica is healthy, the fragment batch is split across the
     /// top-[`replica_fanout`](crate::Config::replica_fanout) replicas and
     /// fetched in parallel — aggregate bandwidth for large analysis reads,
-    /// with per-batch fail-over if a replica dies mid-flight.
+    /// with per-batch fail-over if a replica dies mid-flight. With the
+    /// block cache enabled, only the *missing* blocks go upstream (through
+    /// the same fail-over/fan-out machinery, in one vectored request).
     pub fn pread_vec(&self, fragments: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
-        let out = match self.fanout_targets(fragments.len()) {
-            Some(targets) => self.pread_vec_fanout(fragments, targets)?,
-            None => self.with_file(|f| f.pread_vec(fragments))?,
-        };
+        if let Some(cache) = &self.cache {
+            // Same beyond-EOF contract as the uncached path (where the
+            // per-replica `DavFile::pread_vec` enforces it): an out-of-range
+            // fragment is an error, never a silent truncation.
+            for &(off, len) in fragments {
+                if off.saturating_add(len as u64) > cache.size() {
+                    return Err(DavixError::InvalidArgument(format!(
+                        "fragment {off}+{len} beyond entity size {}",
+                        cache.size()
+                    )));
+                }
+            }
+            let (out, upstream) = cache.read_vec(fragments)?;
+            let bytes: u64 = out.iter().map(|v| v.len() as u64).sum();
+            self.io.record_vector_read(bytes, upstream);
+            return Ok(out);
+        }
+        let out = self.core.pread_vec_uncached(fragments)?;
         let bytes: u64 = out.iter().map(|v| v.len() as u64).sum();
         self.io.record_vector_read(bytes, 1);
         Ok(out)
+    }
+
+    /// I/O counters for this file.
+    pub fn io_stats(&self) -> IoStatsSnapshot {
+        self.io.snapshot()
+    }
+}
+
+/// The block cache's upstream for a [`ReplicaFile`]: every fetch runs
+/// through the fail-over walk, so a prefetch issued while a replica dies
+/// simply lands from the next one.
+struct ReplicaFetch {
+    core: Arc<ReplicaCore>,
+}
+
+impl BlockFetch for ReplicaFetch {
+    fn fetch(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.core.with_file(|f| {
+            let mut buf = vec![0u8; len];
+            let mut done = 0usize;
+            while done < len {
+                let n = f.pread(offset + done as u64, &mut buf[done..])?;
+                if n == 0 {
+                    return Err(DavixError::Protocol(format!(
+                        "{}: entity ended at {} inside block {offset}+{len}",
+                        f.uri(),
+                        offset + done as u64
+                    )));
+                }
+                done += n;
+            }
+            Ok(buf)
+        })
+    }
+
+    fn fetch_vec(&self, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        self.core.pread_vec_uncached(ranges)
+    }
+}
+
+impl ReplicaCore {
+    /// Vectored read with fail-over and (when possible) replica fan-out;
+    /// the uncached §2.4 path, also serving as the cache's vectored
+    /// upstream.
+    fn pread_vec_uncached(&self, fragments: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        match self.fanout_targets(fragments.len()) {
+            Some(targets) => self.pread_vec_fanout(fragments, targets),
+            None => self.with_file(|f| f.pread_vec(fragments)),
+        }
     }
 
     /// The replicas a vectored read should fan out over, or `None` for the
@@ -288,7 +392,10 @@ impl ReplicaFile {
         if let Some(f) = self.state.lock().files.get(&id) {
             return Ok(Arc::clone(f));
         }
-        let file = Arc::new(DavFile::open(Arc::clone(&self.inner), uri)?);
+        // Uncached: the ReplicaFile layer caches under the origin key; a
+        // per-replica cache here would double-store every block under a
+        // key that dies with the replica.
+        let file = Arc::new(DavFile::open_uncached(Arc::clone(&self.inner), uri)?);
         let mut st = self.state.lock();
         Ok(Arc::clone(st.files.entry(id).or_insert(file)))
     }
@@ -308,11 +415,6 @@ impl ReplicaFile {
             }
             Err(e) => Err(all_failed(tried, Some(last_err.take().unwrap_or(e)))),
         }
-    }
-
-    /// I/O counters for this file.
-    pub fn io_stats(&self) -> IoStatsSnapshot {
-        self.io.snapshot()
     }
 }
 
@@ -401,6 +503,16 @@ impl RandomAccess for ReplicaFile {
 
     fn read_vec(&self, fragments: &[(u64, usize)]) -> std::io::Result<Vec<Vec<u8>>> {
         self.pread_vec(fragments).map_err(std::io::Error::from)
+    }
+
+    fn prefetch_vec(&self, fragments: &[(u64, usize)]) {
+        if let Some(cache) = &self.cache {
+            cache.prefetch(fragments);
+        }
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        self.cache.is_some()
     }
 
     fn stats(&self) -> IoStatsSnapshot {

@@ -21,7 +21,7 @@
 //! *registered*: virtual time only advances when every registered thread is
 //! blocked on a simulator primitive, which keeps the clock honest. Blocking
 //! primitives are the streams themselves, [`SimNet::sleep`] and the
-//! [`Signal`](transport::Signal)s handed out by the [`Runtime`] — protocol
+//! [`Signal`]s handed out by the [`Runtime`] — protocol
 //! libraries must use those instead of bare condition variables so the
 //! simulator can see them.
 //!

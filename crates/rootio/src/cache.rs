@@ -4,7 +4,7 @@
 //! This reproduces ROOT's `TTreeCache` role in the paper's Figure 3: the
 //! analysis asks for branch values event by event; the cache translates that
 //! into *one vectored read per event window* through
-//! [`RandomAccess::read_vec`]. When the source supports prefetch
+//! [`RandomAccess::read_vec`](ioapi::RandomAccess::read_vec). When the source supports prefetch
 //! (xrdlite), the *next* window is requested asynchronously while the
 //! application processes the current one — the latency-hiding that gives the
 //! baseline protocol its WAN edge in Figure 4.
@@ -27,7 +27,7 @@ pub struct TreeCacheOptions {
     /// Ask the source to prefetch the following window asynchronously
     /// (only effective when the source [`supports_prefetch`]).
     ///
-    /// [`supports_prefetch`]: RandomAccess::supports_prefetch
+    /// [`supports_prefetch`]: ioapi::RandomAccess::supports_prefetch
     pub prefetch: bool,
 }
 

@@ -44,6 +44,8 @@ fn main() {
             ranges,
             failover: false,
             streams: None,
+            cache_mb: None,
+            readahead: false,
         },
         &mut out,
     )
