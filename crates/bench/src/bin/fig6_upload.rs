@@ -1,0 +1,181 @@
+//! **Parallel upload** (the write-side §2.4): chunked multi-stream upload
+//! vs one serial buffered `PUT` on a high-latency link.
+//!
+//! GridFTP made parallel TCP streams the standard recipe for bulk ingest
+//! over long fat networks (Allcock et al., *Secure, Efficient Data
+//! Transport and Replica Management*): per-connection congestion windows
+//! bound a single stream's throughput to roughly `cwnd / RTT`, so N
+//! streams buy ~N× until the path saturates. `multistream_upload` brings
+//! the same shape to HTTP — S3-style multipart or segmented ranged PUTs
+//! committed with `MOVE` — with a client-side twist the paper's read path
+//! already has: bounded memory (at most `chunk × streams` resident, never
+//! the whole object) and an **end-to-end checksum gate before commit**.
+//!
+//! The harness *asserts* the PR's acceptance criteria — both parallel
+//! dialects ≥ 2× faster than the serial buffered `PUT`, committed bytes
+//! byte-identical with the digest confirmed, and `peak_upload_buffer`
+//! bounded by `chunk_size × streams` — so a regression exits non-zero in
+//! CI.
+//!
+//! CI smoke knob: `DAVIX_BENCH_UPLOAD_MIB` (entity size in MiB, default
+//! 16, clamped to ≥ 4 so there are always more chunks than streams).
+
+use bytes::Bytes;
+use davix::{multistream_upload, Config, DavixClient, UploadOptions, UploadProtocol};
+use davix_bench::{env_usize, secs, Table};
+use httpd::ServerConfig;
+use netsim::{LinkSpec, SimNet};
+use objstore::{ObjectStore, StorageNode, StorageOptions};
+use std::sync::Arc;
+use std::time::Duration;
+
+const STREAMS: usize = 4;
+const CHUNK: usize = 1024 * 1024;
+
+struct Run {
+    elapsed: Duration,
+    peak_buffer: u64,
+    chunks: u64,
+    verified: bool,
+}
+
+enum Mode {
+    BufferedPut,
+    PutStream,
+    Multi(UploadProtocol),
+}
+
+fn run(data: &Bytes, mode: &Mode) -> Run {
+    let net = SimNet::new();
+    net.add_host("client");
+    net.add_host("dpm.cern.ch");
+    // A long fat path where the per-connection window is the bottleneck:
+    // 80 ms RTT with a 128 KiB cwnd ceiling caps one stream near
+    // 128 KiB / 80 ms ≈ 1.6 MB/s — the regime parallel streams exist for.
+    net.set_link(
+        "client",
+        "dpm.cern.ch",
+        LinkSpec {
+            delay: Duration::from_millis(40),
+            max_cwnd: Some(128 * 1024),
+            ..Default::default()
+        },
+    );
+    let store = Arc::new(ObjectStore::new());
+    StorageNode::start(
+        Arc::clone(&store),
+        Box::new(net.bind("dpm.cern.ch", 80).unwrap()),
+        net.runtime(),
+        StorageOptions::default(),
+        ServerConfig::default(),
+    );
+    let _g = net.enter();
+    let client = DavixClient::new(net.connector("client"), net.runtime(), Config::default());
+    let url = "http://dpm.cern.ch/ingest/events.root";
+
+    let t0 = net.now();
+    let (chunks, verified) = match mode {
+        Mode::BufferedPut => {
+            client.posix().put(url, data.clone()).unwrap();
+            (0, false)
+        }
+        Mode::PutStream => {
+            client.posix().put_stream(url, data).unwrap();
+            (0, false)
+        }
+        Mode::Multi(protocol) => {
+            let report = multistream_upload(
+                &client,
+                url,
+                Arc::new(data.clone()),
+                &UploadOptions {
+                    streams: Some(STREAMS),
+                    chunk_size: Some(CHUNK),
+                    protocol: *protocol,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(report.verified, "the commit must confirm the digest end-to-end");
+            (report.chunks as u64, report.verified)
+        }
+    };
+    let elapsed = net.now() - t0;
+
+    // Whatever the path, the committed object must be byte-identical.
+    let meta = store.get("/ingest/events.root").expect("object committed");
+    assert_eq!(meta.data.as_ref(), data.as_ref(), "committed bytes differ from the source");
+    assert_eq!(meta.adler32, ioapi::checksum::adler32(data), "server-side digest mismatch");
+    assert_eq!(store.len(), 1, "no staging debris may remain");
+
+    Run { elapsed, peak_buffer: client.metrics().peak_upload_buffer, chunks, verified }
+}
+
+fn main() {
+    let size = env_usize("DAVIX_BENCH_UPLOAD_MIB", 16).max(4) * 1024 * 1024;
+    let data =
+        Bytes::from((0..size).map(|i| ((i * 17 + i / 4099) % 251) as u8).collect::<Vec<u8>>());
+    println!(
+        "== parallel upload: {} MiB over an 80 ms RTT link, 128 KiB cwnd ceiling ==\n",
+        size / 1024 / 1024
+    );
+
+    let buffered = run(&data, &Mode::BufferedPut);
+    let streamed = run(&data, &Mode::PutStream);
+    let s3 = run(&data, &Mode::Multi(UploadProtocol::S3Multipart));
+    let seg = run(&data, &Mode::Multi(UploadProtocol::SegmentedPut));
+
+    let mut table = Table::new(&[
+        "mode",
+        "time (s)",
+        "throughput (MB/s)",
+        "chunks",
+        "peak upload buffer (KiB)",
+        "digest checked",
+    ]);
+    for (name, r) in [
+        ("serial buffered put", &buffered),
+        ("serial put_stream", &streamed),
+        (&format!("multistream s3 ({STREAMS}x{} MiB)", CHUNK / 1024 / 1024) as &str, &s3),
+        ("multistream segmented+MOVE", &seg),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            secs(r.elapsed),
+            format!("{:.2}", size as f64 / r.elapsed.as_secs_f64() / 1e6),
+            r.chunks.to_string(),
+            (r.peak_buffer / 1024).to_string(),
+            if r.verified { "yes".into() } else { "-".into() },
+        ]);
+    }
+    table.print();
+
+    // Acceptance criteria — a regression here must fail CI.
+    for (name, r) in [("s3", &s3), ("segmented", &seg)] {
+        assert!(
+            buffered.elapsed >= r.elapsed * 2,
+            "multistream ({name}) must be >=2x faster than the serial buffered put \
+             ({:?} vs {:?})",
+            r.elapsed,
+            buffered.elapsed,
+        );
+        assert!(
+            r.peak_buffer <= (STREAMS * CHUNK) as u64,
+            "({name}) peak upload buffer {} exceeds streams x chunk = {}",
+            r.peak_buffer,
+            STREAMS * CHUNK,
+        );
+        assert!(r.peak_buffer > 0, "({name}) chunk buffers must be accounted");
+    }
+    println!(
+        "\nclaim check: with the per-connection window capping one stream at\n\
+         ~1.6 MB/s, {STREAMS} parallel chunk streams lift ingest {:.1}x (s3) /\n\
+         {:.1}x (segmented) over the serial PUT; every commit happened only\n\
+         after the assembled entity's adler32 matched the client's, and the\n\
+         client never held more than {} KiB of chunk payload — no whole-file\n\
+         buffering on the write path.",
+        buffered.elapsed.as_secs_f64() / s3.elapsed.as_secs_f64(),
+        buffered.elapsed.as_secs_f64() / seg.elapsed.as_secs_f64(),
+        s3.peak_buffer.max(seg.peak_buffer) / 1024,
+    );
+}

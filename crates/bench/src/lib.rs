@@ -9,8 +9,12 @@
 //! | `fig2_pool`         | Fig. 2 + §2.2 | session recycling amortizes handshake + slow start |
 //! | `fig3_vectored`     | Fig. 3 + §2.3 | multi-range GET collapses N reads into 1 round trip |
 //! | `fig4_analysis`     | Fig. 4 (headline) | davix ≈ XRootD on LAN, XRootD ahead on WAN |
+//! | `fig5_cache`        | client cache | block cache + read-ahead eliminate repeat requests |
+//! | `fig6_upload`       | write path | parallel chunked upload ≥2× a serial buffered PUT |
 //! | `tab5_failover`     | §2.4     | Metalink fail-over cost and guarantee |
 //! | `tab6_multistream`  | §2.4     | multi-stream bandwidth vs server load |
+//! | `tab7_tls`          | §2.2     | TLS handshake cost vs session recycling |
+//! | `tab8_degradation`  | §2.4     | scheduler health scoring under replica decay |
 //!
 //! All experiments run on virtual time: results are deterministic and a
 //! "300 ms" link costs nothing to simulate. Numbers are printed next to the

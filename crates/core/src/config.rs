@@ -92,6 +92,28 @@ pub struct Config {
     /// Ceiling the adaptive read-ahead window grows to (doubling on each
     /// consecutive sequential read). 0 disables read-ahead.
     pub readahead_max: u64,
+    /// Parallel workers [`multistream_upload`] spreads chunk PUTs across
+    /// (the GridFTP-style parallel-transfer knob of the write path).
+    ///
+    /// [`multistream_upload`]: crate::multistream_upload
+    pub upload_streams: usize,
+    /// Chunk size [`multistream_upload`] splits the source into, in bytes.
+    /// Together with [`upload_streams`](Config::upload_streams) this bounds
+    /// the client's resident upload buffer: at most
+    /// `upload_chunk_size × upload_streams` bytes are in memory at once,
+    /// never the whole object.
+    ///
+    /// [`multistream_upload`]: crate::multistream_upload
+    pub upload_chunk_size: usize,
+    /// Upload bodies at least this large are sent with
+    /// `Expect: 100-continue`, so a server that rejects the request (auth,
+    /// redirect, quota) can say so *before* the client ships the payload.
+    /// Bodies of unknown length always use it; `u64::MAX` disables it.
+    pub expect_continue_threshold: u64,
+    /// How long an `Expect: 100-continue` upload waits for the interim
+    /// response before sending the body anyway (the RFC 7231 §5.1.1
+    /// fallback for servers that never answer 100).
+    pub expect_continue_timeout: Duration,
     /// `User-Agent` header.
     pub user_agent: String,
 }
@@ -117,6 +139,10 @@ impl Default for Config {
             cache_capacity_bytes: 0,
             readahead_min: 0,
             readahead_max: 0,
+            upload_streams: 4,
+            upload_chunk_size: 4 * 1024 * 1024,
+            expect_continue_threshold: 256 * 1024,
+            expect_continue_timeout: Duration::from_millis(500),
             user_agent: "davix-rs/0.1".to_string(),
         }
     }
@@ -179,6 +205,28 @@ impl Config {
     pub fn with_readahead(mut self, min: u64, max: u64) -> Self {
         self.readahead_min = min;
         self.readahead_max = max.max(min);
+        self
+    }
+
+    /// Tune the parallel upload path: `streams` chunk workers over
+    /// `chunk_size`-byte segments.
+    ///
+    /// # Panics
+    /// Panics when either value is 0 (a degenerate upload geometry).
+    pub fn with_upload(mut self, streams: usize, chunk_size: usize) -> Self {
+        assert!(streams > 0 && chunk_size > 0, "upload streams and chunk size must be non-zero");
+        self.upload_streams = streams;
+        self.upload_chunk_size = chunk_size;
+        self
+    }
+
+    /// Tune `Expect: 100-continue` behaviour on uploads: bodies of at
+    /// least `threshold` bytes wait up to `timeout` for the server's
+    /// interim response before streaming the payload (`u64::MAX` disables
+    /// the mechanism entirely).
+    pub fn with_expect_continue(mut self, threshold: u64, timeout: Duration) -> Self {
+        self.expect_continue_threshold = threshold;
+        self.expect_continue_timeout = timeout;
         self
     }
 }

@@ -8,16 +8,25 @@
 //!   proportional to the body is ever buffered;
 //! * [`HttpExecutor::execute`] is a thin collect-to-`Vec` wrapper over it
 //!   for callers that want the whole body in memory.
+//!
+//! The write direction mirrors the read one:
+//! [`HttpExecutor::execute_upload`] streams a request body from a
+//! [`BodyProvider`] straight onto the pooled connection (`Content-Length`
+//! or chunked framing via [`httpwire::BodySource`]), negotiates
+//! `Expect: 100-continue` so a rejecting server never eats the payload, and
+//! *replays* the body — a fresh reader per attempt — across retries and
+//! 307/308-style redirect hops, all under the shared retry budget.
 
 use crate::config::Config;
 use crate::error::{DavixError, Result};
 use crate::metrics::Metrics;
 use crate::pool::{Endpoint, Session, SessionPool};
 use bytes::Bytes;
+use httpwire::body::BodySource;
 use httpwire::parse::{read_response_head, response_body_len, BodyFraming, BodyLen};
 use httpwire::{HeaderMap, Method, RequestHead, ResponseHead, StatusCode, Uri, Version, WireError};
 use netsim::{Connector, Runtime};
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -87,6 +96,32 @@ impl HttpResponse {
                 format!("{context} ({})", self.final_uri),
             ))
         }
+    }
+}
+
+/// A replayable streaming request body.
+///
+/// [`HttpExecutor::execute_upload`] pulls a **fresh** [`BodySource`] per
+/// attempt, so retries and redirect hops re-send the body from the start —
+/// a provider must be able to open its underlying data more than once
+/// (re-open the file, re-slice the buffer). One-shot streams belong behind
+/// a buffering provider instead.
+pub trait BodyProvider: Send + Sync {
+    /// Total body length when known (`Content-Length` framing); `None`
+    /// streams with `Transfer-Encoding: chunked`.
+    fn content_length(&self) -> Option<u64>;
+    /// Open a fresh source over the whole body.
+    fn open(&self) -> Result<BodySource<'_>>;
+}
+
+/// In-memory bodies are trivially replayable.
+impl BodyProvider for Bytes {
+    fn content_length(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+
+    fn open(&self) -> Result<BodySource<'_>> {
+        Ok(BodySource::from_slice(self.as_ref()))
     }
 }
 
@@ -271,6 +306,252 @@ impl HttpExecutor {
         self.execute(req)?.expect_success(context)
     }
 
+    /// Execute a request whose body streams from `body` — nothing
+    /// proportional to the payload is buffered on the client. Any `body` in
+    /// `req` itself is ignored; framing headers come from the provider
+    /// (`Content-Length` when the length is known, chunked otherwise).
+    ///
+    /// Semantics match [`execute`](Self::execute) with the body handled
+    /// correctly at every turn:
+    ///
+    /// * bodies at least [`Config::expect_continue_threshold`] bytes long
+    ///   (and all unknown-length bodies) are sent with
+    ///   `Expect: 100-continue`: a server that answers with a final status
+    ///   instead of the interim `100` gets its verdict honoured **without
+    ///   the payload ever being transmitted**; a server that answers
+    ///   nothing within [`Config::expect_continue_timeout`] receives the
+    ///   body anyway (RFC 7231 §5.1.1);
+    /// * redirects are followed with the body **replayed** to the new
+    ///   location (a fresh [`BodySource`] per hop — the 307/308 contract);
+    /// * 5xx and transport failures on idempotent methods retry within the
+    ///   shared budget, again with a fresh body (counted in
+    ///   [`Metrics::upload_retries`]).
+    pub fn execute_upload(
+        &self,
+        req: &PreparedRequest,
+        body: &dyn BodyProvider,
+    ) -> Result<HttpResponse> {
+        let mut attempts = 0u32;
+        let mut uri = req.uri.clone();
+        let mut redirects = 0u32;
+        let mut stale_retries = 0u32;
+        let upload_retry = |attempts: &mut u32| {
+            *attempts += 1;
+            Metrics::bump(&self.metrics.retries);
+            Metrics::bump(&self.metrics.upload_retries);
+            self.backoff_sleep(*attempts);
+        };
+        loop {
+            match self.try_upload_once(req, &uri, body) {
+                Ok(raw) => {
+                    let stream = self.make_stream(raw, uri.clone());
+                    if stream.head.status.is_redirect() {
+                        if let Some(loc) = stream.head.headers.get("location").map(str::to_string) {
+                            redirects += 1;
+                            if redirects > self.cfg.max_redirects {
+                                return Err(DavixError::RedirectLoop(self.cfg.max_redirects));
+                            }
+                            Metrics::bump(&self.metrics.redirects);
+                            stream.finish();
+                            uri = uri.resolve_location(&loc).map_err(DavixError::from)?;
+                            attempts = 0;
+                            continue;
+                        }
+                    }
+                    if stream.head.status.is_server_error()
+                        && req.method.is_idempotent()
+                        && attempts < self.cfg.retry.retries
+                    {
+                        stream.finish();
+                        upload_retry(&mut attempts);
+                        continue;
+                    }
+                    match stream.into_response() {
+                        Ok(resp) => return Ok(resp),
+                        Err(error) => {
+                            // The head arrived but the (small) response body
+                            // broke: retry the whole exchange when safe.
+                            if error.is_retryable()
+                                && req.method.is_idempotent()
+                                && attempts < self.cfg.retry.retries
+                            {
+                                upload_retry(&mut attempts);
+                                continue;
+                            }
+                            return Err(error);
+                        }
+                    }
+                }
+                Err(TryError { error, stale }) => {
+                    if stale && stale_retries < MAX_STALE_RETRIES {
+                        stale_retries += 1;
+                        continue;
+                    }
+                    if error.is_retryable()
+                        && req.method.is_idempotent()
+                        && attempts < self.cfg.retry.retries
+                    {
+                        upload_retry(&mut attempts);
+                        continue;
+                    }
+                    return Err(error);
+                }
+            }
+        }
+    }
+
+    /// One upload exchange: checkout, write head, negotiate
+    /// `Expect: 100-continue`, stream the body, read the final head.
+    fn try_upload_once(
+        &self,
+        req: &PreparedRequest,
+        uri: &Uri,
+        body: &dyn BodyProvider,
+    ) -> std::result::Result<RawStream, TryError> {
+        let source = body.open().map_err(|error| TryError { error, stale: false })?;
+        let ep = Endpoint::of(uri);
+        let mut session =
+            self.pool.acquire(&ep).map_err(|error| TryError { error, stale: false })?;
+        let reused = session.reused;
+
+        let mut head = RequestHead::new(req.method.clone(), uri.request_target());
+        head.version = Version::Http11;
+        head.headers = req.headers.clone();
+        head.headers.set("Host", uri.authority());
+        head.headers.set("User-Agent", &self.cfg.user_agent);
+        source.apply_framing(&mut head.headers);
+        // `u64::MAX` disables Expect for *every* body, including
+        // unknown-length ones (which otherwise always negotiate).
+        let expect = self.cfg.expect_continue_threshold != u64::MAX
+            && !source.is_empty()
+            && source.len().is_none_or(|n| n >= self.cfg.expect_continue_threshold);
+        if expect {
+            head.headers.set("Expect", "100-continue");
+        }
+
+        Metrics::bump(&self.metrics.requests);
+        session.note_request();
+        let wire = head.to_bytes();
+        Metrics::add(&self.metrics.bytes_out, wire.len() as u64);
+        if let Err(e) = session.writer.write_all(&wire) {
+            self.pool.release(session, false);
+            return Err(TryError { error: e.into(), stale: reused });
+        }
+
+        if expect {
+            match self.await_continue(&mut session) {
+                AwaitContinue::Proceed => {}
+                AwaitContinue::Timeout => {} // send the body anyway (§5.1.1)
+                AwaitContinue::Final(rhead) => {
+                    // The server answered without wanting the body (reject,
+                    // redirect). The payload was never sent — that is the
+                    // whole point of Expect — but the server may still be
+                    // waiting for body bytes, so the connection cannot be
+                    // recycled after this response.
+                    let framing = response_body_len(&req.method, &rhead);
+                    return Ok(RawStream { head: rhead, session, framing, keep: false });
+                }
+                AwaitContinue::Dead(error) => {
+                    let stale = reused
+                        && matches!(&error, DavixError::Connection(io)
+                            if io.kind() == std::io::ErrorKind::UnexpectedEof);
+                    self.pool.release(session, false);
+                    return Err(TryError { error, stale });
+                }
+            }
+        }
+
+        match source.write_to(&mut session.writer) {
+            Ok(n) => {
+                Metrics::add(&self.metrics.bytes_out, n);
+                Metrics::add(&self.metrics.bytes_uploaded, n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Our own source ended short of its declared length: a
+                // caller-side fault (file truncated under us), never
+                // retryable — a replay would lie to the server again.
+                self.pool.release(session, false);
+                return Err(TryError {
+                    error: DavixError::InvalidArgument(e.to_string()),
+                    stale: false,
+                });
+            }
+            Err(e) => {
+                // Transport died mid-body — often because the server
+                // already answered (reject + close). Salvage that final
+                // response if it made it onto the wire: it explains the
+                // failure far better than "broken pipe".
+                if let Ok(rhead) = read_response_head(&mut session.reader) {
+                    if !rhead.status.is_informational() {
+                        let framing = response_body_len(&req.method, &rhead);
+                        return Ok(RawStream { head: rhead, session, framing, keep: false });
+                    }
+                }
+                self.pool.release(session, false);
+                return Err(TryError { error: e.into(), stale: false });
+            }
+        }
+
+        // Read the final head, skipping any interim 1xx (a slow server's
+        // `100 Continue` may arrive after our wait already timed out).
+        let rhead = loop {
+            match read_response_head(&mut session.reader) {
+                Ok(h) if h.status.is_informational() => continue,
+                Ok(h) => break h,
+                Err(e) => {
+                    self.pool.release(session, false);
+                    let stale = reused && matches!(e, WireError::UnexpectedEof);
+                    return Err(TryError { error: e.into(), stale });
+                }
+            }
+        };
+        let framing = response_body_len(&req.method, &rhead);
+        let keep =
+            rhead.headers.keep_alive(rhead.version == Version::Http11) && framing != BodyLen::Close;
+        Ok(RawStream { head: rhead, session, framing, keep })
+    }
+
+    /// Wait briefly for the `Expect: 100-continue` verdict: the interim
+    /// `100`, a final response, silence (timeout) or a dead connection.
+    /// Peeks via `fill_buf` under a temporarily shortened read timeout so a
+    /// timeout consumes nothing.
+    fn await_continue(&self, session: &mut Session) -> AwaitContinue {
+        if session
+            .reader
+            .get_mut()
+            .set_read_timeout(Some(self.cfg.expect_continue_timeout))
+            .is_err()
+        {
+            return AwaitContinue::Timeout; // transport without timeouts: just send
+        }
+        let peek = session.reader.fill_buf().map(|b| b.is_empty());
+        let _ = session.reader.get_mut().set_read_timeout(Some(self.cfg.io_timeout));
+        match peek {
+            Ok(true) => AwaitContinue::Dead(DavixError::Connection(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed while awaiting 100 Continue",
+            ))),
+            Ok(false) => loop {
+                // A head is on the wire; under the restored io_timeout now.
+                match read_response_head(&mut session.reader) {
+                    Ok(h) if h.status.0 == 100 => break AwaitContinue::Proceed,
+                    Ok(h) if h.status.is_informational() => continue,
+                    Ok(h) => break AwaitContinue::Final(h),
+                    Err(e) => break AwaitContinue::Dead(e.into()),
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                AwaitContinue::Timeout
+            }
+            Err(e) => AwaitContinue::Dead(e.into()),
+        }
+    }
+
     /// Sleep the exponential backoff for retry number `attempts` (1-based).
     /// `checked_mul` + a ceiling keep any configured backoff/retry count
     /// from overflowing `Duration` (which panics in `Duration * u32`).
@@ -335,6 +616,11 @@ impl HttpExecutor {
 
         Metrics::bump(&self.metrics.requests);
         Metrics::add(&self.metrics.bytes_out, wire.len() as u64);
+        // `bytes_uploaded` counts *payload* stores only — a PROPFIND or
+        // multipart-complete XML body is protocol chatter, not an upload.
+        if let (Method::Put, Some(body)) = (&req.method, &req.body) {
+            Metrics::add(&self.metrics.bytes_uploaded, body.len() as u64);
+        }
         session.note_request();
 
         if let Err(e) = session.writer.write_all(&wire) {
@@ -525,6 +811,18 @@ struct RawStream {
     keep: bool,
 }
 
+/// Verdict of the `Expect: 100-continue` wait.
+enum AwaitContinue {
+    /// The server said `100` (or another interim code): send the body.
+    Proceed,
+    /// Silence within the window: send the body anyway (RFC 7231 §5.1.1).
+    Timeout,
+    /// A final response arrived instead — the body must **not** be sent.
+    Final(ResponseHead),
+    /// The connection died while waiting.
+    Dead(DavixError),
+}
+
 struct TryError {
     error: DavixError,
     stale: bool,
@@ -538,6 +836,7 @@ mod tests {
     use httpwire::StatusCode;
     use netsim::{LinkSpec, SimNet};
     use objstore::{ObjectStore, StorageNode, StorageOptions};
+    use parking_lot::Mutex;
     use std::time::Duration;
 
     fn sim() -> SimNet {
@@ -746,6 +1045,190 @@ mod tests {
             .unwrap();
         assert_eq!(resp.head.status, StatusCode::NO_CONTENT);
         assert!(store.get("/new").is_none());
+    }
+
+    /// A provider that refuses to declare its length, forcing chunked
+    /// transfer encoding.
+    struct Unsized(Vec<u8>);
+
+    impl BodyProvider for Unsized {
+        fn content_length(&self) -> Option<u64> {
+            None
+        }
+
+        fn open(&self) -> Result<httpwire::BodySource<'_>> {
+            Ok(httpwire::BodySource::chunked(std::io::Cursor::new(self.0.clone())))
+        }
+    }
+
+    #[test]
+    fn streaming_upload_roundtrips_sized_and_chunked() {
+        let net = sim();
+        let store = storage(&net);
+        let _g = net.enter();
+        let ex = executor(&net, Config::default());
+        let payload: Vec<u8> = (0..300_000).map(|i| (i % 241) as u8).collect();
+
+        // Sized (Content-Length) body, large enough for Expect: 100-continue.
+        let body = Bytes::from(payload.clone());
+        let req = PreparedRequest::new(Method::Put, "http://s/sized".parse().unwrap());
+        let resp = ex.execute_upload(&req, &body).unwrap();
+        assert_eq!(resp.head.status, StatusCode::CREATED);
+        assert_eq!(store.get("/sized").unwrap().data.as_ref(), &payload[..]);
+
+        // Unknown length: chunked transfer encoding end-to-end.
+        let req = PreparedRequest::new(Method::Put, "http://s/chunked".parse().unwrap());
+        let resp = ex.execute_upload(&req, &Unsized(payload.clone())).unwrap();
+        assert_eq!(resp.head.status, StatusCode::CREATED);
+        assert_eq!(store.get("/chunked").unwrap().data.as_ref(), &payload[..]);
+
+        let m = ex.metrics().snapshot();
+        assert_eq!(m.bytes_uploaded, 2 * payload.len() as u64);
+        assert_eq!(m.upload_retries, 0);
+    }
+
+    #[test]
+    fn large_uploads_carry_expect_100_continue_and_small_ones_do_not() {
+        let net = sim();
+        let expects = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&expects);
+        let server = HttpServer::new(
+            Arc::new(move |req: Request| {
+                seen.lock().push(req.head.headers.get("expect").map(str::to_string));
+                Response::empty(StatusCode::CREATED)
+            }),
+            ServerConfig::default(),
+        );
+        server.serve(Box::new(net.bind("s", 80).unwrap()), net.runtime());
+        let _g = net.enter();
+        let ex = executor(&net, Config { expect_continue_threshold: 1024, ..Config::default() });
+        let small = Bytes::from(vec![1u8; 100]);
+        ex.execute_upload(
+            &PreparedRequest::new(Method::Put, "http://s/a".parse().unwrap()),
+            &small,
+        )
+        .unwrap();
+        let big = Bytes::from(vec![2u8; 4096]);
+        ex.execute_upload(&PreparedRequest::new(Method::Put, "http://s/b".parse().unwrap()), &big)
+            .unwrap();
+        let seen = expects.lock().clone();
+        assert_eq!(seen, vec![None, Some("100-continue".to_string())]);
+        // u64::MAX disables Expect entirely — even for unknown-length
+        // (chunked) bodies, which otherwise always negotiate.
+        let ex =
+            executor(&net, Config { expect_continue_threshold: u64::MAX, ..Config::default() });
+        ex.execute_upload(
+            &PreparedRequest::new(Method::Put, "http://s/c".parse().unwrap()),
+            &Unsized(vec![3u8; 64 * 1024]),
+        )
+        .unwrap();
+        assert_eq!(expects.lock().last().cloned(), Some(None), "Expect must be suppressed");
+    }
+
+    #[test]
+    fn expect_rejection_spares_the_payload() {
+        let net = sim();
+        // Hand-rolled server: reads the request head and rejects immediately
+        // — it never asks for (or drains) the body.
+        let listener = net.bind("s", 80).unwrap();
+        net.spawn("rejecting-server", move || loop {
+            let Ok((stream, _)) = listener.accept_sim() else { return };
+            let mut w = netsim::Stream::try_clone(&stream).unwrap();
+            let mut r = std::io::BufReader::new(stream);
+            if httpwire::parse::read_request_head(&mut r).ok().flatten().is_none() {
+                continue;
+            }
+            let _ = w.write_all(b"HTTP/1.1 403 Forbidden\r\nContent-Length: 0\r\n\r\n");
+        });
+        let _g = net.enter();
+        let ex =
+            executor(&net, Config { expect_continue_threshold: 0, ..Config::default().no_retry() });
+        let body = Bytes::from(vec![9u8; 1 << 20]);
+        let req = PreparedRequest::new(Method::Put, "http://s/denied".parse().unwrap());
+        let resp = ex.execute_upload(&req, &body).unwrap();
+        assert_eq!(resp.head.status, StatusCode::FORBIDDEN);
+        let m = ex.metrics().snapshot();
+        assert_eq!(m.bytes_uploaded, 0, "rejected upload must never transmit the payload");
+    }
+
+    #[test]
+    fn upload_5xx_is_retried_with_a_fresh_body() {
+        let net = sim();
+        let store = Arc::new(ObjectStore::new());
+        let node = StorageNode::start(
+            Arc::clone(&store),
+            Box::new(net.bind("s", 80).unwrap()),
+            net.runtime(),
+            StorageOptions::default(),
+            ServerConfig::default(),
+        );
+        node.handler.fail_next(1);
+        let _g = net.enter();
+        let ex = executor(
+            &net,
+            Config {
+                retry: crate::config::RetryPolicy { retries: 2, backoff: Duration::from_millis(1) },
+                ..Config::default()
+            },
+        );
+        let payload: Vec<u8> = (0..500_000).map(|i| (i % 199) as u8).collect();
+        let req = PreparedRequest::new(Method::Put, "http://s/retried".parse().unwrap());
+        ex.execute_upload(&req, &Bytes::from(payload.clone())).unwrap();
+        assert_eq!(store.get("/retried").unwrap().data.as_ref(), &payload[..]);
+        let m = ex.metrics().snapshot();
+        assert_eq!(m.upload_retries, 1);
+        assert_eq!(
+            m.bytes_uploaded,
+            2 * payload.len() as u64,
+            "the retry must replay the full body"
+        );
+    }
+
+    /// Regression (PR 5): a PUT redirected with 307 must land the complete
+    /// body at the new location — an executor that re-entered the redirect
+    /// loop with an empty body would create a zero-byte object.
+    #[test]
+    fn put_body_replayed_through_307_redirect() {
+        let net = sim();
+        net.add_host("s2");
+        net.set_link("c", "s2", LinkSpec { delay: Duration::from_millis(1), ..Default::default() });
+        let redirector = HttpServer::new(
+            Arc::new(|req: Request| {
+                Response::empty(StatusCode::TEMPORARY_REDIRECT)
+                    .header("Location", format!("http://s2{}", req.head.target))
+            }),
+            ServerConfig::default(),
+        );
+        redirector.serve(Box::new(net.bind("s", 80).unwrap()), net.runtime());
+        let store = Arc::new(ObjectStore::new());
+        StorageNode::start(
+            Arc::clone(&store),
+            Box::new(net.bind("s2", 80).unwrap()),
+            net.runtime(),
+            StorageOptions::default(),
+            ServerConfig::default(),
+        );
+        let _g = net.enter();
+        let ex = executor(&net, Config::default());
+        let payload: Vec<u8> = (0..200_000).map(|i| (i % 173) as u8).collect();
+
+        // Buffered path.
+        let resp = ex
+            .execute_expect(
+                &PreparedRequest::put("http://s/buffered".parse().unwrap(), payload.clone()),
+                "put",
+            )
+            .unwrap();
+        assert_eq!(resp.final_uri.host, "s2");
+        assert_eq!(store.get("/buffered").unwrap().data.as_ref(), &payload[..]);
+
+        // Streaming path: the Expect handshake runs per hop and the body is
+        // replayed from a fresh source at the redirect target.
+        let req = PreparedRequest::new(Method::Put, "http://s/streamed".parse().unwrap());
+        let resp = ex.execute_upload(&req, &Bytes::from(payload.clone())).unwrap();
+        assert!(resp.head.status.is_success());
+        assert_eq!(store.get("/streamed").unwrap().data.as_ref(), &payload[..]);
+        assert_eq!(ex.metrics().snapshot().redirects, 2);
     }
 
     #[test]

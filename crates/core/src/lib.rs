@@ -98,6 +98,47 @@
 //! `fig5_cache` bench asserts ≥ 5× fewer upstream requests on a
 //! sequential re-read workload.
 //!
+//! ## Writing data
+//!
+//! The write path mirrors the read path's architecture — streaming,
+//! parallel, checksummed:
+//!
+//! * **Streaming single PUT** ([`DavPosix::put_stream`] →
+//!   [`HttpExecutor::execute_upload`]): the body streams from any
+//!   [`BodyProvider`] (`Content-Length` framing when the length is known,
+//!   chunked otherwise — [`httpwire::BodySource`] is the emitter), so
+//!   uploading a multi-GiB file costs a fixed scratch buffer. Bodies at
+//!   least [`Config::expect_continue_threshold`] bytes long negotiate
+//!   `Expect: 100-continue`: a server that rejects (auth, quota, redirect)
+//!   answers before the payload ever travels. Retries and redirect hops
+//!   **replay** the body from a fresh reader — the 307/308 contract — under
+//!   the same shared retry budget as the read path. The buffered
+//!   [`DavPosix::put`] remains for small objects.
+//! * **Parallel chunked upload** ([`multistream_upload`]): the write-side
+//!   twin of [`multistream_download`], after GridFTP's parallel transfer.
+//!   A [`ChunkSource`] (in-memory bytes or a [`FileSource`]) is split into
+//!   [`Config::upload_chunk_size`] segments PUT in parallel by
+//!   [`Config::upload_streams`] workers, with per-chunk retry and a
+//!   failure budget. Two server dialects, auto-detected: S3-style
+//!   multipart (initiate / part / complete) and segmented `Content-Range`
+//!   PUTs to a temporary name committed with `MOVE` (WebDAV), so readers
+//!   never observe a partial object.
+//! * **Checksum before commit**: every chunk is digested on its worker and
+//!   the per-chunk digests fold into the entity's Adler-32
+//!   ([`ioapi::checksum::adler32_combine`]); the commit happens only if
+//!   the server's view of the assembled entity matches — an S3 complete
+//!   carries the digest for server-side verification (mismatch → `409`,
+//!   nothing committed), a segmented upload compares the staged entity's
+//!   `Digest` header before the `MOVE`. Corruption surfaces as
+//!   [`DavixError::ChecksumMismatch`] and the destination stays untouched.
+//! * **Bounded memory**: at most `upload_chunk_size × upload_streams`
+//!   bytes of chunk payload are resident — never the whole object. The
+//!   [`Metrics::peak_upload_buffer`] high-water mark proves it (asserted
+//!   by the `fig6_upload` bench, alongside ≥ 2× serial-PUT throughput on a
+//!   window-limited link); [`Metrics::bytes_uploaded`],
+//!   [`Metrics::chunks_uploaded`] and [`Metrics::upload_retries`] complete
+//!   the write-side picture.
+//!
 //! ## Replica strategies and the health scheduler
 //!
 //! Both §2.4 strategies sit on one [`ReplicaScheduler`] that owns the
@@ -181,13 +222,14 @@ pub mod pool;
 pub mod posix;
 pub mod replicas;
 pub mod scheduler;
+pub mod upload;
 pub(crate) mod util;
 
 pub use cache::BlockCache;
 pub use client::DavixClient;
 pub use config::{Config, RangePolicy, RetryPolicy};
 pub use error::{DavixError, Result};
-pub use executor::{HttpExecutor, HttpResponse, PreparedRequest, ResponseStream};
+pub use executor::{BodyProvider, HttpExecutor, HttpResponse, PreparedRequest, ResponseStream};
 pub use file::DavFile;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use multistream::{
@@ -200,4 +242,7 @@ pub use replicas::{ReplicaFile, ReplicaSet};
 pub use scheduler::{
     probe_endpoint, ProberHandle, ReplicaHealthSnapshot, ReplicaId, ReplicaScheduler,
     SchedulerKnobs,
+};
+pub use upload::{
+    multistream_upload, ChunkSource, FileSource, UploadOptions, UploadProtocol, UploadReport,
 };

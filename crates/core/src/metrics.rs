@@ -58,6 +58,21 @@ pub struct Metrics {
     /// Readers that parked on another caller's in-flight block fetch
     /// instead of issuing a duplicate request (single-flight dedup).
     pub singleflight_waits: AtomicU64,
+    /// Request-body payload bytes written to the wire by uploads
+    /// (streaming bodies and buffered `PUT`s; retried bodies count every
+    /// transmission). Protocol chatter with a body — PROPFIND XML,
+    /// multipart-complete documents — is not an upload and is excluded.
+    pub bytes_uploaded: AtomicU64,
+    /// Chunks committed by [`multistream_upload`](crate::multistream_upload)
+    /// workers (successful segment/part PUTs, not counting retries).
+    pub chunks_uploaded: AtomicU64,
+    /// Upload exchanges that were retried after a failure (5xx or a
+    /// transport fault with the body partially sent).
+    pub upload_retries: AtomicU64,
+    /// High-water mark of chunk payload resident in upload buffers, in
+    /// bytes. Bounded by `upload_chunk_size × upload_streams` — the write
+    /// path never buffers the whole object.
+    pub peak_upload_buffer: AtomicU64,
 }
 
 macro_rules! snapshot_fields {
@@ -108,6 +123,10 @@ impl Metrics {
             cache_misses,
             bytes_prefetched,
             singleflight_waits,
+            bytes_uploaded,
+            chunks_uploaded,
+            upload_retries,
+            peak_upload_buffer,
         )
     }
 }
@@ -138,12 +157,16 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     pub bytes_prefetched: u64,
     pub singleflight_waits: u64,
+    pub bytes_uploaded: u64,
+    pub chunks_uploaded: u64,
+    pub upload_retries: u64,
+    pub peak_upload_buffer: u64,
 }
 
 impl MetricsSnapshot {
     /// Counter-wise difference against an earlier snapshot.
-    /// `peak_body_buffer` is a high-water mark, not a counter: the newer
-    /// snapshot's value is kept as-is.
+    /// `peak_body_buffer` and `peak_upload_buffer` are high-water marks,
+    /// not counters: the newer snapshot's value is kept as-is.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             requests: self.requests - earlier.requests,
@@ -168,6 +191,10 @@ impl MetricsSnapshot {
             cache_misses: self.cache_misses - earlier.cache_misses,
             bytes_prefetched: self.bytes_prefetched - earlier.bytes_prefetched,
             singleflight_waits: self.singleflight_waits - earlier.singleflight_waits,
+            bytes_uploaded: self.bytes_uploaded - earlier.bytes_uploaded,
+            chunks_uploaded: self.chunks_uploaded - earlier.chunks_uploaded,
+            upload_retries: self.upload_retries - earlier.upload_retries,
+            peak_upload_buffer: self.peak_upload_buffer,
         }
     }
 

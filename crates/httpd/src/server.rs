@@ -218,6 +218,23 @@ impl HttpServer {
                 Ok(None) => return, // clean close
                 Err(_) => return,   // parse error / timeout / reset
             };
+            // RFC 7231 §5.1.1: a client sending `Expect: 100-continue` parks
+            // its (possibly huge) body until told to proceed; answer with the
+            // interim response before draining the body so streaming uploads
+            // do not stall for the client's fallback timeout.
+            if head.version == Version::Http11
+                && head
+                    .headers
+                    .get("expect")
+                    .map(|v| v.trim().eq_ignore_ascii_case("100-continue"))
+                    .unwrap_or(false)
+                && writer
+                    .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+            {
+                return;
+            }
             let body = match request_body_len(&head) {
                 Ok(len) => match BodyReader::new(&mut reader, len).read_all() {
                     Ok(b) => b,
@@ -483,6 +500,33 @@ mod tests {
             let (_, body) = read_full_response(&mut r, &Method::Get).unwrap();
             assert_eq!(body, format!("GET /p{i}").as_bytes());
         }
+    }
+
+    #[test]
+    fn expect_100_continue_gets_interim_response_before_body() {
+        let (net, rt) = sim_pair();
+        let server = echo_server();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), rt);
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        let mut h = RequestHead::new(Method::Put, "/obj");
+        h.headers.set("Host", "server");
+        h.headers.set("Expect", "100-continue");
+        h.headers.set("Content-Length", "7");
+        w.write_all(&h.to_bytes()).unwrap();
+        // The interim response must arrive while the body is still parked.
+        let mut r = BufReader::new(c);
+        let interim = httpwire::parse::read_response_head(&mut r).unwrap();
+        assert_eq!(interim.status.0, 100);
+        w.write_all(b"payload").unwrap();
+        let (head, body) = read_full_response(&mut r, &Method::Put).unwrap();
+        assert_eq!(head.status, StatusCode::OK);
+        assert_eq!(body, b"PUT /obj body=payload");
+        // Connection is still usable afterwards.
+        send(&mut w, Method::Get, "/again", None);
+        let (_, body) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert_eq!(body, b"GET /again");
     }
 
     #[test]

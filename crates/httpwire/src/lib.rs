@@ -8,6 +8,9 @@
 //!   multi-value [`HeaderMap`];
 //! * body framing: `Content-Length`, `Transfer-Encoding: chunked`
 //!   (reader *and* writer, including trailers) and read-to-close;
+//! * streaming request bodies ([`BodySource`]): any [`std::io::Read`] of
+//!   known or unknown length, emitted with `Content-Length` or chunked
+//!   framing — the write-side mirror of [`BodyFraming`];
 //! * byte ranges ([`range`]): `Range` / `Content-Range` parsing and
 //!   formatting, resolution against an entity size, and the range algebra
 //!   (sorting, coalescing) used by vectored I/O;
@@ -18,6 +21,7 @@
 //! The crate is transport- and policy-free: no sockets, no pools, no
 //! retries — those live in `httpd` (server) and `davix` (client).
 
+pub mod body;
 pub mod date;
 pub mod error;
 pub mod headers;
@@ -29,6 +33,7 @@ pub mod range;
 pub mod status;
 pub mod uri;
 
+pub use body::BodySource;
 pub use error::WireError;
 pub use headers::HeaderMap;
 pub use message::{RequestHead, ResponseHead, Version};

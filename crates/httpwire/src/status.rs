@@ -30,6 +30,14 @@ impl StatusCode {
     pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
     pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
 
+    /// The interim `100 Continue` (RFC 7231 §5.1.1 / §6.2.1).
+    pub const CONTINUE: StatusCode = StatusCode(100);
+
+    /// 1xx — interim responses; never the final word on a request.
+    pub fn is_informational(self) -> bool {
+        (100..200).contains(&self.0)
+    }
+
     /// 2xx.
     pub fn is_success(self) -> bool {
         (200..300).contains(&self.0)

@@ -41,6 +41,29 @@ pub fn crc32(data: &[u8]) -> u32 {
     crc ^ 0xFFFF_FFFF
 }
 
+/// Combine two Adler-32 digests: given `a = adler32(A)`, `b = adler32(B)`
+/// and `len_b = B.len()`, returns `adler32(A ‖ B)` without touching the
+/// data (zlib's `adler32_combine`).
+///
+/// This is what lets davix's parallel upload path checksum chunks
+/// *independently, out of order* on their worker threads and still produce
+/// the digest of the whole entity: fold the per-chunk digests together in
+/// chunk order at commit time.
+pub fn adler32_combine(a: u32, b: u32, len_b: u64) -> u32 {
+    const MOD: u64 = 65_521;
+    let rem = len_b % MOD;
+    let a1 = (a & 0xFFFF) as u64;
+    let a2 = ((a >> 16) & 0xFFFF) as u64;
+    let b1 = (b & 0xFFFF) as u64;
+    let b2 = ((b >> 16) & 0xFFFF) as u64;
+    // adler32 of a concatenation: s1 = s1a + s1b − 1 and
+    // s2 = s2a + s2b + len_b·(s1a − 1), everything mod 65521. The `+ MOD`
+    // slack terms keep the unsigned arithmetic non-negative.
+    let s1 = (a1 + b1 + MOD - 1) % MOD;
+    let s2 = (a2 + b2 + (rem * a1) % MOD + 2 * MOD - rem) % MOD;
+    ((s2 as u32) << 16) | s1 as u32
+}
+
 /// Lower-case hex rendering used in `Digest:` headers and Metalink `<hash>`.
 pub fn to_hex(v: u32) -> String {
     format!("{v:08x}")
@@ -74,6 +97,22 @@ mod tests {
         // Property: low half < MOD, high half < MOD.
         assert!((v & 0xFFFF) < 65_521);
         assert!((v >> 16) < 65_521);
+    }
+
+    #[test]
+    fn adler32_combine_matches_one_shot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| ((i * 31 + i / 251) % 256) as u8).collect();
+        for split in [0usize, 1, 4096, 65_521, 65_522, 99_999, 100_000] {
+            let (a, b) = data.split_at(split);
+            let combined = adler32_combine(adler32(a), adler32(b), b.len() as u64);
+            assert_eq!(combined, adler32(&data), "split at {split}");
+        }
+        // Folding many chunks in order — the parallel-upload use case.
+        let mut acc = adler32(&data[..0]);
+        for chunk in data.chunks(7919) {
+            acc = adler32_combine(acc, adler32(chunk), chunk.len() as u64);
+        }
+        assert_eq!(acc, adler32(&data));
     }
 
     #[test]

@@ -1,13 +1,33 @@
 //! The DPM-like HTTP request handler over an [`ObjectStore`].
+//!
+//! Besides the read surface (GET/HEAD with single- and multi-range
+//! support, PROPFIND, Metalink negotiation) the handler speaks both
+//! server-side halves of davix's parallel upload path:
+//!
+//! * **S3-style multipart**: `POST {path}?uploads` initiates an upload and
+//!   returns an `UploadId`; `PUT {path}?uploadId=I&partNumber=N` stores one
+//!   part; `POST {path}?uploadId=I` assembles the listed parts in order —
+//!   verifying a client-supplied `Digest: adler32=…` before committing
+//!   (mismatch → `409` and **no** object) — and `DELETE {path}?uploadId=I`
+//!   aborts. Nothing is visible at `{path}` until the complete succeeds.
+//! * **Segmented ranged PUT** (the WebDAV-flavoured fallback): `PUT` with a
+//!   `Content-Range: bytes a-b/total` header writes one segment of a
+//!   pending entity; once every byte of `total` is covered the object
+//!   materializes atomically. Clients upload segments to a temporary name
+//!   and `MOVE` it over the final one, so readers never observe a partial
+//!   object.
 
-use crate::checksum::to_hex;
+use crate::checksum::{adler32, crc32, to_hex};
 use crate::store::ObjectStore;
 use bytes::Bytes;
 use httpd::{Request, Response};
 use httpwire::multipart::{MultipartWriter, MULTIPART_BYTERANGES};
 use httpwire::range::parse_range_header;
+use httpwire::uri::percent_encode_path;
 use httpwire::{ContentRange, Method, StatusCode};
 use metalink::xml::Element;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -63,6 +83,43 @@ impl std::fmt::Debug for StorageOptions {
     }
 }
 
+/// Upper bound on the declared total of a segmented upload (a lying
+/// `Content-Range` total must not let one request allocate the node away).
+const MAX_PENDING_ENTITY: u64 = 1 << 30;
+
+/// One S3-style multipart upload in flight.
+struct PendingMultipart {
+    path: String,
+    parts: BTreeMap<u32, Bytes>,
+}
+
+/// One segmented (ranged-PUT) upload in flight.
+struct PendingSegments {
+    total: u64,
+    data: Vec<u8>,
+    /// Merged, sorted `[start, end)` coverage intervals.
+    covered: Vec<(u64, u64)>,
+}
+
+impl PendingSegments {
+    fn record(&mut self, start: u64, end: u64) {
+        self.covered.push((start, end));
+        self.covered.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.covered.len());
+        for &(s, e) in &self.covered {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.covered = merged;
+    }
+
+    fn complete(&self) -> bool {
+        self.covered == [(0, self.total)]
+    }
+}
+
 /// The handler. Also carries the node's fault-injection switches.
 pub struct StorageHandler {
     store: Arc<ObjectStore>,
@@ -70,6 +127,9 @@ pub struct StorageHandler {
     unavailable: AtomicBool,
     fail_next: AtomicU32,
     boundary_counter: AtomicU64,
+    upload_counter: AtomicU64,
+    multipart: Mutex<HashMap<u64, PendingMultipart>>,
+    segments: Mutex<HashMap<String, PendingSegments>>,
 }
 
 impl StorageHandler {
@@ -81,6 +141,9 @@ impl StorageHandler {
             unavailable: AtomicBool::new(false),
             fail_next: AtomicU32::new(0),
             boundary_counter: AtomicU64::new(0),
+            upload_counter: AtomicU64::new(0),
+            multipart: Mutex::new(HashMap::new()),
+            segments: Mutex::new(HashMap::new()),
         }
     }
 
@@ -138,6 +201,244 @@ impl StorageHandler {
             Some(true) => Response::empty(StatusCode::NO_CONTENT),
             Some(false) => Response::empty(StatusCode::CREATED),
             None => Response::error(StatusCode::NOT_FOUND),
+        }
+    }
+
+    /// Whether the request's query string carries `key` (bare or `key=…`).
+    fn query_flag(req: &Request, key: &str) -> bool {
+        req.head
+            .query()
+            .unwrap_or("")
+            .split('&')
+            .any(|kv| kv == key || kv.strip_prefix(key).is_some_and(|r| r.starts_with('=')))
+    }
+
+    /// Value of `key=value` in the request's query string.
+    fn query_param<'a>(req: &'a Request, key: &str) -> Option<&'a str> {
+        req.head
+            .query()
+            .unwrap_or("")
+            .split('&')
+            .find_map(|kv| kv.split_once('=').filter(|(k, _)| *k == key).map(|(_, v)| v))
+    }
+
+    /// `adler32=<hex>` member of a `Digest` header value, if present.
+    fn digest_adler32(value: &str) -> Option<String> {
+        value.split(',').find_map(|member| {
+            let (algo, hex) = member.trim().split_once('=')?;
+            algo.trim().eq_ignore_ascii_case("adler32").then(|| hex.trim().to_ascii_lowercase())
+        })
+    }
+
+    // ---- parallel upload endpoints ----------------------------------------
+
+    /// `POST {path}?uploads` — start an S3-style multipart upload.
+    fn initiate_multipart(&self, path: &str) -> Response {
+        let id = self.upload_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        self.multipart
+            .lock()
+            .insert(id, PendingMultipart { path: path.to_string(), parts: BTreeMap::new() });
+        let mut result = Element::new("InitiateMultipartUploadResult");
+        let mut key = Element::new("Key");
+        key.add_text(path);
+        result.add_child(key);
+        let mut upload_id = Element::new("UploadId");
+        upload_id.add_text(id.to_string());
+        result.add_child(upload_id);
+        Response::with_body(StatusCode::OK, "application/xml", result.to_xml().into_bytes())
+    }
+
+    /// `PUT {path}?uploadId=I&partNumber=N` — store one part. Pending
+    /// parts are bounded by the same [`MAX_PENDING_ENTITY`] budget as
+    /// segmented uploads (and a part-count cap), so an abandoned or
+    /// malicious upload cannot grow the node's memory without limit.
+    fn put_part(&self, id: &str, part: Option<&str>, path: &str, body: Vec<u8>) -> Response {
+        const MAX_PARTS: usize = 10_000;
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(StatusCode::BAD_REQUEST);
+        };
+        let Some(n) = part.and_then(|p| p.parse::<u32>().ok()).filter(|&n| n > 0) else {
+            return Response::error(StatusCode::BAD_REQUEST);
+        };
+        let mut uploads = self.multipart.lock();
+        let Some(pending) = uploads.get_mut(&id) else {
+            return Response::error(StatusCode::NOT_FOUND); // NoSuchUpload
+        };
+        if pending.path != path {
+            return Response::error(StatusCode::BAD_REQUEST);
+        }
+        let replaced = pending.parts.get(&n).map(Bytes::len).unwrap_or(0);
+        let resident: usize = pending.parts.values().map(Bytes::len).sum();
+        if resident - replaced + body.len() > MAX_PENDING_ENTITY as usize
+            || (replaced == 0 && pending.parts.len() >= MAX_PARTS)
+        {
+            return Response::error(StatusCode::BAD_REQUEST); // EntityTooLarge
+        }
+        let data = Bytes::from(body);
+        let etag = format!("\"{}\"", to_hex(crc32(&data)));
+        pending.parts.insert(n, data);
+        Response::empty(StatusCode::OK).header("ETag", etag)
+    }
+
+    /// `POST {path}?uploadId=I` — assemble the listed parts and commit.
+    ///
+    /// When the request carries `Digest: adler32=…`, the digest of the
+    /// *assembled* entity is verified first; a mismatch answers `409` (with
+    /// the observed digest in a `Digest` header) and commits **nothing** —
+    /// the pending upload stays aborted-or-retryable.
+    fn complete_multipart(&self, req: &Request, path: &str) -> Response {
+        let Some(id) = Self::query_param(req, "uploadId").and_then(|v| v.parse::<u64>().ok())
+        else {
+            return Response::error(StatusCode::BAD_REQUEST);
+        };
+        let text = String::from_utf8_lossy(&req.body);
+        let Ok(doc) = metalink::xml::parse(&text) else {
+            return Response::error(StatusCode::BAD_REQUEST);
+        };
+        let listed: Vec<u32> = doc
+            .find_all("Part")
+            .filter_map(|p| p.find("PartNumber").and_then(|n| n.text().trim().parse().ok()))
+            .collect();
+        let mut numbers = listed.clone();
+        numbers.sort_unstable();
+        numbers.dedup();
+        if numbers.is_empty() || numbers.len() != listed.len() {
+            return Response::error(StatusCode::BAD_REQUEST);
+        }
+        // Snapshot the listed parts (refcounted `Bytes` clones) and drop
+        // the lock before the heavy work: assembling + digesting a large
+        // entity must not stall every other in-flight upload's part PUTs.
+        let parts: Vec<Bytes> = {
+            let uploads = self.multipart.lock();
+            let Some(pending) = uploads.get(&id) else {
+                return Response::error(StatusCode::NOT_FOUND);
+            };
+            if pending.path != path {
+                return Response::error(StatusCode::BAD_REQUEST);
+            }
+            let mut parts = Vec::with_capacity(numbers.len());
+            for n in &numbers {
+                let Some(part) = pending.parts.get(n) else {
+                    return Response::error(StatusCode::BAD_REQUEST); // InvalidPart
+                };
+                parts.push(part.clone());
+            }
+            parts
+        };
+        let mut assembled = Vec::with_capacity(parts.iter().map(Bytes::len).sum());
+        for part in &parts {
+            assembled.extend_from_slice(part);
+        }
+        let got = to_hex(adler32(&assembled));
+        let declared = req.head.headers.get("digest").and_then(Self::digest_adler32);
+        if let Some(expected) = declared {
+            if expected != got {
+                // End-to-end corruption: refuse to commit. The pending
+                // upload is kept so the client can abort (or re-send parts).
+                return Response::text(
+                    StatusCode::CONFLICT,
+                    format!("digest mismatch: declared adler32={expected}, assembled {got}"),
+                )
+                .header("Digest", format!("adler32={got}"));
+            }
+        }
+        self.multipart.lock().remove(&id);
+        self.store.put(path, Bytes::from(assembled));
+        let mut result = Element::new("CompleteMultipartUploadResult");
+        let mut key = Element::new("Key");
+        key.add_text(path);
+        result.add_child(key);
+        Response::with_body(StatusCode::OK, "application/xml", result.to_xml().into_bytes())
+            .header("Digest", format!("adler32={got}"))
+    }
+
+    /// `PUT {path}` with `Content-Range: bytes a-b/total` — write one
+    /// segment of a pending entity; materialize once fully covered.
+    fn put_segment(&self, content_range: &str, path: &str, body: &[u8]) -> Response {
+        let Ok(cr) = ContentRange::parse(content_range) else {
+            return Response::error(StatusCode::BAD_REQUEST);
+        };
+        let Some(total) = cr.total else {
+            return Response::error(StatusCode::BAD_REQUEST);
+        };
+        if total == 0
+            || total > MAX_PENDING_ENTITY
+            || cr.last >= total
+            || cr.len() != body.len() as u64
+        {
+            return Response::error(StatusCode::BAD_REQUEST);
+        }
+        let mut segments = self.segments.lock();
+        let pending = match segments.entry(path.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let p = e.into_mut();
+                if p.total != total {
+                    // Conflicting geometry: a different upload is in flight.
+                    return Response::error(StatusCode::CONFLICT);
+                }
+                p
+            }
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(PendingSegments {
+                total,
+                data: vec![0; total as usize],
+                covered: Vec::new(),
+            }),
+        };
+        pending.data[cr.first as usize..=cr.last as usize].copy_from_slice(body);
+        pending.record(cr.first, cr.last + 1);
+        let done = pending.complete().then(|| std::mem::take(&mut pending.data));
+        if let Some(data) = done {
+            segments.remove(path);
+            drop(segments);
+            let replaced = self.store.put(path, Bytes::from(data));
+            if replaced {
+                Response::empty(StatusCode::NO_CONTENT)
+            } else {
+                Response::empty(StatusCode::CREATED)
+            }
+        } else {
+            Response::empty(StatusCode::NO_CONTENT)
+        }
+    }
+
+    /// PUT dispatch: part, segment or whole-object store.
+    fn do_put(&self, req: Request, path: &str) -> Response {
+        let upload_id = Self::query_param(&req, "uploadId").map(str::to_string);
+        let part = Self::query_param(&req, "partNumber").map(str::to_string);
+        let content_range = req.head.headers.get("content-range").map(str::to_string);
+        let body = req.body;
+        if let Some(id) = upload_id {
+            return self.put_part(&id, part.as_deref(), path, body);
+        }
+        if let Some(cr) = content_range {
+            return self.put_segment(&cr, path, &body);
+        }
+        if self.store.put(path, Bytes::from(body)) {
+            Response::empty(StatusCode::NO_CONTENT)
+        } else {
+            Response::empty(StatusCode::CREATED)
+        }
+    }
+
+    /// DELETE dispatch: multipart abort, pending-segment discard or object
+    /// removal.
+    fn do_delete(&self, req: &Request, path: &str) -> Response {
+        if let Some(id) = Self::query_param(req, "uploadId") {
+            let Ok(id) = id.parse::<u64>() else {
+                return Response::error(StatusCode::BAD_REQUEST);
+            };
+            return if self.multipart.lock().remove(&id).is_some() {
+                Response::empty(StatusCode::NO_CONTENT)
+            } else {
+                Response::error(StatusCode::NOT_FOUND)
+            };
+        }
+        let object_removed = self.store.delete(path);
+        let pending_removed = self.segments.lock().remove(path).is_some();
+        if object_removed || pending_removed {
+            Response::empty(StatusCode::NO_CONTENT)
+        } else {
+            Response::error(StatusCode::NOT_FOUND)
         }
     }
 
@@ -244,7 +545,10 @@ impl StorageHandler {
         let mut push_entry = |href: &str, is_dir: bool, size: u64| {
             let mut resp = Element::new("D:response");
             let mut href_el = Element::new("D:href");
-            href_el.add_text(format!("{href_prefix}{href}"));
+            // RFC 4918 §8.3: hrefs travel as URIs, i.e. percent-encoded —
+            // spaces and non-ASCII in object names must not leak raw (real
+            // DPM/dCache frontends encode here; clients must decode).
+            href_el.add_text(percent_encode_path(&format!("{href_prefix}{href}")));
             resp.add_child(href_el);
             let mut propstat = Element::new("D:propstat");
             let mut prop = Element::new("D:prop");
@@ -301,21 +605,17 @@ impl httpd::Handler for StorageHandler {
         };
         match req.head.method {
             Method::Get | Method::Head => self.get_like(&req, &path),
-            Method::Put => {
-                let replaced = self.store.put(&path, Bytes::from(req.body));
-                if replaced {
-                    Response::empty(StatusCode::NO_CONTENT)
+            Method::Put => self.do_put(req, &path),
+            Method::Post => {
+                if Self::query_flag(&req, "uploads") {
+                    self.initiate_multipart(&path)
+                } else if Self::query_param(&req, "uploadId").is_some() {
+                    self.complete_multipart(&req, &path)
                 } else {
-                    Response::empty(StatusCode::CREATED)
+                    Response::error(StatusCode::METHOD_NOT_ALLOWED)
                 }
             }
-            Method::Delete => {
-                if self.store.delete(&path) {
-                    Response::empty(StatusCode::NO_CONTENT)
-                } else {
-                    Response::error(StatusCode::NOT_FOUND)
-                }
-            }
+            Method::Delete => self.do_delete(&req, &path),
             Method::Mkcol => {
                 if self.store.mkdir(&path) {
                     Response::empty(StatusCode::CREATED)
@@ -324,7 +624,7 @@ impl httpd::Handler for StorageHandler {
                 }
             }
             Method::Options => Response::empty(StatusCode::OK)
-                .header("Allow", "GET, HEAD, PUT, DELETE, OPTIONS, PROPFIND, MKCOL, MOVE")
+                .header("Allow", "GET, HEAD, PUT, POST, DELETE, OPTIONS, PROPFIND, MKCOL, MOVE")
                 .header("DAV", "1")
                 .header("Accept-Ranges", "bytes"),
             Method::Propfind => self.propfind(&req, &path),
@@ -562,6 +862,168 @@ mod tests {
         let header = format!("bytes={}", ranges.join(","));
         let r = h.handle(request(Method::Get, "/f", &[("Range", &header)]));
         assert_eq!(r.status, StatusCode::BAD_REQUEST);
+    }
+
+    fn initiate(h: &StorageHandler, path: &str) -> String {
+        let r = h.handle(request(Method::Post, &format!("{path}?uploads"), &[]));
+        assert_eq!(r.status, StatusCode::OK);
+        let doc = metalink::xml::parse(&String::from_utf8(r.body.to_vec()).unwrap()).unwrap();
+        doc.find("UploadId").unwrap().text()
+    }
+
+    fn complete_xml(parts: &[u32]) -> Vec<u8> {
+        let mut root = Element::new("CompleteMultipartUpload");
+        for n in parts {
+            let mut part = Element::new("Part");
+            let mut num = Element::new("PartNumber");
+            num.add_text(n.to_string());
+            part.add_child(num);
+            root.add_child(part);
+        }
+        root.to_xml().into_bytes()
+    }
+
+    #[test]
+    fn s3_multipart_initiate_part_complete_roundtrip() {
+        let h = handler_with(RangeSupport::MultiRange);
+        let id = initiate(&h, "/up/obj.bin");
+        // Parts arrive out of order; assembly is by part number.
+        for (n, data) in [(2u32, &b"world"[..]), (1, &b"hello "[..])] {
+            let mut req =
+                request(Method::Put, &format!("/up/obj.bin?uploadId={id}&partNumber={n}"), &[]);
+            req.body = data.to_vec();
+            let r = h.handle(req);
+            assert_eq!(r.status, StatusCode::OK);
+            assert!(r.headers.contains("etag"));
+        }
+        // Nothing visible before the complete.
+        assert_eq!(
+            h.handle(request(Method::Get, "/up/obj.bin", &[])).status,
+            StatusCode::NOT_FOUND
+        );
+        let mut req = request(
+            Method::Post,
+            &format!("/up/obj.bin?uploadId={id}"),
+            &[("Digest", &format!("adler32={}", to_hex(adler32(b"hello world"))))],
+        );
+        req.body = complete_xml(&[1, 2]);
+        let r = h.handle(req);
+        assert_eq!(r.status, StatusCode::OK);
+        assert!(r.headers.get("digest").unwrap().starts_with("adler32="));
+        assert_eq!(h.store.get("/up/obj.bin").unwrap().data.as_ref(), b"hello world");
+    }
+
+    #[test]
+    fn s3_multipart_digest_mismatch_conflicts_and_commits_nothing() {
+        let h = handler_with(RangeSupport::MultiRange);
+        let id = initiate(&h, "/up/bad.bin");
+        let mut req = request(Method::Put, &format!("/up/bad.bin?uploadId={id}&partNumber=1"), &[]);
+        req.body = b"corrupted".to_vec();
+        assert_eq!(h.handle(req).status, StatusCode::OK);
+        let mut req = request(
+            Method::Post,
+            &format!("/up/bad.bin?uploadId={id}"),
+            &[("Digest", &format!("adler32={}", to_hex(adler32(b"pristine"))))],
+        );
+        req.body = complete_xml(&[1]);
+        let r = h.handle(req);
+        assert_eq!(r.status, StatusCode::CONFLICT);
+        assert_eq!(
+            r.headers.get("digest"),
+            Some(format!("adler32={}", to_hex(adler32(b"corrupted"))).as_str())
+        );
+        assert!(h.store.get("/up/bad.bin").is_none(), "mismatch must not commit");
+        // Abort cleans the pending upload; a second abort is 404.
+        let r = h.handle(request(Method::Delete, &format!("/up/bad.bin?uploadId={id}"), &[]));
+        assert_eq!(r.status, StatusCode::NO_CONTENT);
+        let r = h.handle(request(Method::Delete, &format!("/up/bad.bin?uploadId={id}"), &[]));
+        assert_eq!(r.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn s3_multipart_error_cases() {
+        let h = handler_with(RangeSupport::MultiRange);
+        // Part for an unknown upload.
+        let mut req = request(Method::Put, "/x?uploadId=999&partNumber=1", &[]);
+        req.body = b"data".to_vec();
+        assert_eq!(h.handle(req).status, StatusCode::NOT_FOUND);
+        // Part number 0 is invalid.
+        let id = initiate(&h, "/x");
+        let mut req = request(Method::Put, &format!("/x?uploadId={id}&partNumber=0"), &[]);
+        req.body = b"data".to_vec();
+        assert_eq!(h.handle(req).status, StatusCode::BAD_REQUEST);
+        // Complete listing a part that never arrived.
+        let mut req = request(Method::Post, &format!("/x?uploadId={id}"), &[]);
+        req.body = complete_xml(&[1]);
+        assert_eq!(h.handle(req).status, StatusCode::BAD_REQUEST);
+        // Bare POST (no multipart query) is still not allowed.
+        assert_eq!(
+            h.handle(request(Method::Post, "/x", &[])).status,
+            StatusCode::METHOD_NOT_ALLOWED
+        );
+    }
+
+    #[test]
+    fn segmented_ranged_put_materializes_only_when_complete() {
+        let h = handler_with(RangeSupport::MultiRange);
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        // Two segments, out of order; the object appears only after both.
+        let mut req =
+            request(Method::Put, "/seg/obj.tmp", &[("Content-Range", "bytes 600-999/1000")]);
+        req.body = payload[600..].to_vec();
+        assert_eq!(h.handle(req).status, StatusCode::NO_CONTENT);
+        assert_eq!(
+            h.handle(request(Method::Get, "/seg/obj.tmp", &[])).status,
+            StatusCode::NOT_FOUND,
+            "partial upload must not be visible"
+        );
+        let mut req =
+            request(Method::Put, "/seg/obj.tmp", &[("Content-Range", "bytes 0-599/1000")]);
+        req.body = payload[..600].to_vec();
+        assert_eq!(h.handle(req).status, StatusCode::CREATED);
+        assert_eq!(h.store.get("/seg/obj.tmp").unwrap().data.as_ref(), &payload[..]);
+        // MOVE assembles the final name (the client-side commit step).
+        let r = h.handle(request(Method::Move, "/seg/obj.tmp", &[("Destination", "/seg/obj")]));
+        assert_eq!(r.status, StatusCode::CREATED);
+        assert_eq!(h.store.get("/seg/obj").unwrap().data.as_ref(), &payload[..]);
+    }
+
+    #[test]
+    fn segmented_put_rejects_bad_geometry() {
+        let h = handler_with(RangeSupport::MultiRange);
+        // Length that does not match the range.
+        let mut req = request(Method::Put, "/s", &[("Content-Range", "bytes 0-9/100")]);
+        req.body = vec![0u8; 5];
+        assert_eq!(h.handle(req).status, StatusCode::BAD_REQUEST);
+        // Range beyond the declared total.
+        let mut req = request(Method::Put, "/s", &[("Content-Range", "bytes 90-109/100")]);
+        req.body = vec![0u8; 20];
+        assert_eq!(h.handle(req).status, StatusCode::BAD_REQUEST);
+        // Conflicting totals across segments of one path.
+        let mut req = request(Method::Put, "/s", &[("Content-Range", "bytes 0-9/100")]);
+        req.body = vec![0u8; 10];
+        assert_eq!(h.handle(req).status, StatusCode::NO_CONTENT);
+        let mut req = request(Method::Put, "/s", &[("Content-Range", "bytes 0-9/200")]);
+        req.body = vec![0u8; 10];
+        assert_eq!(h.handle(req).status, StatusCode::CONFLICT);
+        // DELETE discards the pending upload.
+        assert_eq!(h.handle(request(Method::Delete, "/s", &[])).status, StatusCode::NO_CONTENT);
+        let mut req = request(Method::Put, "/s", &[("Content-Range", "bytes 0-9/200")]);
+        req.body = vec![0u8; 10];
+        assert_eq!(h.handle(req).status, StatusCode::NO_CONTENT, "geometry reset after delete");
+    }
+
+    #[test]
+    fn propfind_hrefs_are_percent_encoded() {
+        let store = Arc::new(ObjectStore::new());
+        store.put("/run 2014/dä ta.root", Bytes::from_static(b"x"));
+        let h = StorageHandler::new(store, StorageOptions::default());
+        let r = h.handle(request(Method::Propfind, "/run 2014", &[("Depth", "1")]));
+        assert_eq!(r.status, StatusCode::MULTI_STATUS);
+        let body = String::from_utf8(r.body.to_vec()).unwrap();
+        assert!(!body.contains("run 2014</D:href>"), "raw space leaked into an href: {body}");
+        assert!(body.contains("/run%202014"), "{body}");
+        assert!(body.contains("d%C3%A4%20ta.root"), "{body}");
     }
 
     #[test]

@@ -62,7 +62,12 @@ fn main() {
     let mut out = Vec::new();
     run_command(
         &client,
-        &Command::Put { file: upload, url: format!("{base}/results/histogram.bin") },
+        &Command::Put {
+            file: upload,
+            url: format!("{base}/results/histogram.bin"),
+            streams: None,
+            chunk_mb: None,
+        },
         &mut out,
     )
     .expect("put");

@@ -138,6 +138,165 @@ fn real_tcp_roundtrip_same_client_code() {
     assert!(m.vectored_requests >= 1);
 }
 
+/// The WebDAV namespace surface over **real loopback TCP**, with names
+/// that need percent-encoding: mkdir / put / stat / opendir (encoded names
+/// round-trip, self entry skipped) / rename / unlink.
+#[test]
+fn real_tcp_namespace_ops_with_encoded_names() {
+    use httpwire::uri::percent_encode_path;
+    let store = Arc::new(ObjectStore::new());
+    let listener = netsim::TcpListenerWrap::bind("127.0.0.1:0").unwrap();
+    let port = listener.local_port();
+    let rt: Arc<dyn netsim::Runtime> = Arc::new(netsim::RealRuntime::new());
+    let _node = StorageNode::start(
+        Arc::clone(&store),
+        Box::new(listener),
+        rt.clone(),
+        StorageOptions::default(),
+        ServerConfig::default(),
+    );
+    let client = DavixClient::new(Arc::new(netsim::TcpConnector), rt, Config::default());
+    let posix = client.posix();
+    let base = format!("http://127.0.0.1:{port}");
+    let dir = format!("{base}{}", percent_encode_path("/run 2014"));
+    let obj = format!("{base}{}", percent_encode_path("/run 2014/dä ta.root"));
+    let dst = format!("{base}{}", percent_encode_path("/run 2014/renamed ä.root"));
+
+    posix.mkdir(&dir).unwrap();
+    posix.put(&obj, &b"payload-1"[..]).unwrap();
+
+    let st = posix.stat(&obj).unwrap();
+    assert_eq!(st.size, 9);
+    assert!(!st.is_dir);
+
+    // Encoded names round-trip decoded; the collection's own entry is
+    // skipped even though the server emits percent-encoded hrefs.
+    let entries = posix.opendir(&dir).unwrap();
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, vec!["dä ta.root"]);
+    assert_eq!(entries[0].size, 9);
+
+    posix.rename(&obj, &dst).unwrap();
+    assert!(posix.stat(&obj).is_err());
+    assert_eq!(posix.get(&dst).unwrap(), b"payload-1");
+
+    posix.unlink(&dst).unwrap();
+    assert!(posix.stat(&dst).is_err());
+    assert!(posix.opendir(&dir).unwrap().is_empty(), "directory empty after unlink");
+}
+
+/// A chunk whose PUT dies mid-upload is retried (executor budget first,
+/// then chunk requeue) and the upload still commits byte-identical data.
+#[test]
+fn sim_upload_chunk_failure_is_retried() {
+    use davix::{multistream_upload, UploadOptions, UploadProtocol};
+    use httpwire::{Method, StatusCode};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let net = netsim::SimNet::new();
+    net.add_host("c");
+    net.add_host("s");
+    let store = Arc::new(ObjectStore::new());
+    let inner =
+        Arc::new(objstore::StorageHandler::new(Arc::clone(&store), StorageOptions::default()));
+    let tripped = Arc::new(AtomicBool::new(false));
+    let gate = {
+        let inner = Arc::clone(&inner);
+        let tripped = Arc::clone(&tripped);
+        Arc::new(move |req: httpd::Request| {
+            // Kill the first part-2 PUT; everything else flows through.
+            if req.head.method == Method::Put
+                && req.head.query().unwrap_or("").contains("partNumber=2")
+                && !tripped.swap(true, Ordering::SeqCst)
+            {
+                return httpd::Response::error(StatusCode::INTERNAL_SERVER_ERROR);
+            }
+            httpd::Handler::handle(inner.as_ref(), req)
+        })
+    };
+    httpd::HttpServer::new(gate, ServerConfig::default())
+        .serve(Box::new(net.bind("s", 80).unwrap()), net.runtime());
+    let _g = net.enter();
+    let client = DavixClient::new(net.connector("c"), net.runtime(), Config::default());
+    let data: Vec<u8> = (0..300_000).map(|i| ((i * 7 + 1) % 251) as u8).collect();
+    let report = multistream_upload(
+        &client,
+        "http://s/retried.bin",
+        Arc::new(bytes::Bytes::from(data.clone())),
+        &UploadOptions {
+            streams: Some(2),
+            chunk_size: Some(64 * 1024),
+            protocol: UploadProtocol::S3Multipart,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.verified);
+    assert_eq!(store.get("/retried.bin").unwrap().data.as_ref(), &data[..]);
+    assert!(client.metrics().upload_retries >= 1, "the killed chunk must have been retried");
+    assert!(tripped.load(Ordering::SeqCst));
+}
+
+/// A chunk corrupted in flight fails the end-to-end digest check and the
+/// destination is **never** committed — for both upload dialects.
+#[test]
+fn sim_upload_corruption_is_detected_and_not_committed() {
+    use davix::{multistream_upload, DavixError, UploadOptions, UploadProtocol};
+    use httpwire::Method;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    for protocol in [UploadProtocol::S3Multipart, UploadProtocol::SegmentedPut] {
+        let net = netsim::SimNet::new();
+        net.add_host("c");
+        net.add_host("s");
+        let store = Arc::new(ObjectStore::new());
+        let inner =
+            Arc::new(objstore::StorageHandler::new(Arc::clone(&store), StorageOptions::default()));
+        let corrupted = Arc::new(AtomicBool::new(false));
+        let gate = {
+            let inner = Arc::clone(&inner);
+            let corrupted = Arc::clone(&corrupted);
+            Arc::new(move |mut req: httpd::Request| {
+                // Flip one byte of the first chunk body that passes by.
+                if req.head.method == Method::Put
+                    && !req.body.is_empty()
+                    && !corrupted.swap(true, Ordering::SeqCst)
+                {
+                    req.body[0] ^= 0xFF;
+                }
+                httpd::Handler::handle(inner.as_ref(), req)
+            })
+        };
+        httpd::HttpServer::new(gate, ServerConfig::default())
+            .serve(Box::new(net.bind("s", 80).unwrap()), net.runtime());
+        let _g = net.enter();
+        let client = DavixClient::new(net.connector("c"), net.runtime(), Config::default());
+        let data: Vec<u8> = (0..200_000).map(|i| ((i * 3 + 7) % 253) as u8).collect();
+        let err = multistream_upload(
+            &client,
+            "http://s/poisoned.bin",
+            Arc::new(bytes::Bytes::from(data)),
+            &UploadOptions {
+                streams: Some(2),
+                chunk_size: Some(64 * 1024),
+                protocol,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, DavixError::ChecksumMismatch { .. }),
+            "{protocol:?}: want ChecksumMismatch, got {err}"
+        );
+        assert!(corrupted.load(Ordering::SeqCst), "{protocol:?}: fault never injected");
+        assert!(
+            store.get("/poisoned.bin").is_none(),
+            "{protocol:?}: corrupted upload must not be committed"
+        );
+        assert!(store.is_empty(), "{protocol:?}: aborted upload must leave no staging debris");
+    }
+}
+
 #[test]
 fn sim_server_connection_caps_are_transparent() {
     // Server kills connections every 3 requests; client recycles anyway.
