@@ -27,7 +27,7 @@
 use bytes::Bytes;
 use davix::{Config, DavixClient, PreparedRequest};
 use davix_bench::rawhttp::{pipelined_batch, RawConn};
-use davix_bench::{env_usize, millis, secs, Table};
+use davix_bench::{env_usize, millis, secs, BenchReport, Table};
 use httpd::ServerConfig;
 use netsim::{LinkSpec, Runtime as _, SimNet};
 use objstore::{ObjectStore, StorageNode, StorageOptions};
@@ -149,21 +149,33 @@ fn main() {
         SMALL / 1024
     );
 
-    for (name, link) in
-        [("LAN (2.5 ms RTT)", LinkSpec::lan()), ("WAN (150 ms RTT)", LinkSpec::wan())]
+    let mut report = BenchReport::new("fig1_pipelining");
+    report.label(
+        "workload",
+        format!("1 x {} KiB + {} x {} KiB", big() / 1024, n_small(), SMALL / 1024),
+    );
+    for (key, name, link) in
+        [("lan", "LAN (2.5 ms RTT)", LinkSpec::lan()), ("wan", "WAN (150 ms RTT)", LinkSpec::wan())]
     {
         let mut table = Table::new(&["strategy", "total (s)", "mean small latency (ms)"]);
         let (t, s) = run_serial(link);
         table.row(vec!["serial keep-alive".into(), secs(t), millis(s)]);
+        report.metric(&format!("{key}.serial.total_s"), t.as_secs_f64());
         let (t, s) = run_pipelined(link);
         table.row(vec!["pipelined (in-order)".into(), secs(t), millis(s)]);
+        report.metric(&format!("{key}.pipelined.total_s"), t.as_secs_f64());
+        report.metric_ms(&format!("{key}.pipelined.small_mean_ms"), s);
         let (t, s) = run_pipelined(link.with_nagle());
         table.row(vec!["pipelined + nagle".into(), secs(t), millis(s)]);
+        report.metric(&format!("{key}.pipelined_nagle.total_s"), t.as_secs_f64());
         let (t, s) = run_pool(link, 8);
         table.row(vec!["davix pool (8 conns)".into(), secs(t), millis(s)]);
+        report.metric(&format!("{key}.pool.total_s"), t.as_secs_f64());
+        report.metric_ms(&format!("{key}.pool.small_mean_ms"), s);
         println!("--- {name} ---");
         table.print();
         println!();
+        report.table(key, &table);
     }
     println!(
         "claim check: pipelining's total is fine but its small-request latency is\n\
@@ -171,4 +183,5 @@ fn main() {
          small responses fast AND beats serial totals. This is why davix uses a\n\
          dynamic connection pool instead of pipelining (§2.2, Figures 1-2)."
     );
+    report.write();
 }

@@ -16,7 +16,7 @@
 
 use bytes::Bytes;
 use davix::{Config, DavixClient, PreparedRequest};
-use davix_bench::{secs, Table};
+use davix_bench::{secs, BenchReport, Table};
 use davix_repro::testbed::paper_links;
 use httpd::ServerConfig;
 use netsim::{LinkSpec, Runtime as _, SimNet};
@@ -120,9 +120,15 @@ fn main() {
         "conns fresh",
         "conns recycled",
     ]);
+    let mut report = BenchReport::new("fig2_pool");
+    report.label("workload", format!("{} sequential {} KiB GETs", n_req(), OBJ / 1024));
     for (name, link) in paper_links(1.0) {
         let (t_fresh, c_fresh) = run_sequential(link, true);
         let (t_pool, c_pool) = run_sequential(link, false);
+        let key = name.to_lowercase().replace(' ', "_");
+        report.metric(&format!("{key}.fresh.total_s"), t_fresh.as_secs_f64());
+        report.metric(&format!("{key}.recycled.total_s"), t_pool.as_secs_f64());
+        report.metric(&format!("{key}.speedup"), t_fresh.as_secs_f64() / t_pool.as_secs_f64());
         table.row(vec![
             name.to_string(),
             secs(t_fresh),
@@ -133,11 +139,14 @@ fn main() {
         ]);
     }
     table.print();
+    report.table("sequential", &table);
 
     println!("\nB: {} GETs on GEANT, sweeping worker-thread concurrency\n", n_req());
     let mut table = Table::new(&["workers", "time (s)", "conns created", "reuse ratio"]);
     for workers in [1usize, 2, 4, 8, 16] {
         let (t, conns, reuse) = run_concurrent(LinkSpec::pan_european(), workers, 16);
+        report.metric(&format!("concurrent.w{workers}.total_s"), t.as_secs_f64());
+        report.metric(&format!("concurrent.w{workers}.reuse"), reuse);
         table.row(vec![
             workers.to_string(),
             secs(t),
@@ -146,6 +155,7 @@ fn main() {
         ]);
     }
     table.print();
+    report.table("concurrent", &table);
     println!(
         "\nclaim check: recycling wins everywhere and the advantage grows with RTT\n\
          (handshake + slow start are per-connection, latency-priced); the pool\n\
@@ -153,4 +163,5 @@ fn main() {
          rest of the run — 'a connection pool whose size is proportional to the\n\
          level of concurrency' (§2.2)."
     );
+    report.write();
 }

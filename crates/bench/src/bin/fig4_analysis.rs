@@ -23,7 +23,7 @@
 
 use bytes::Bytes;
 use davix::Config;
-use davix_bench::{env_usize, mean_std, Table};
+use davix_bench::{env_usize, mean_std, BenchReport, Table};
 use davix_repro::testbed::{paper_links, Testbed, TestbedConfig, DATA_PATH};
 use ioapi::RandomAccess;
 use rootio::{AnalysisJob, Generator, Schema, TreeCacheOptions, TreeReader, WriterOptions};
@@ -216,6 +216,11 @@ fn main() {
         "paper d/x",
     ]);
 
+    let mut report = BenchReport::new("fig4_analysis");
+    report.label(
+        "workload",
+        format!("events={} fraction={} reps={}", args.events, args.fraction, args.reps),
+    );
     for (li, (name, link)) in paper_links(bw_scale).into_iter().enumerate() {
         let mut times = [Vec::new(), Vec::new()]; // [davix, xrd]
         for rep in 0..args.reps {
@@ -230,6 +235,10 @@ fn main() {
         let (d_mean, _) = mean_std(&times[0]);
         let (x_mean, _) = mean_std(&times[1]);
         let (p_x, p_d) = (paper[li].1, paper[li].2);
+        let key = ["lan", "geant", "wan"][li];
+        report.metric(&format!("{key}.davix_s"), d_mean);
+        report.metric(&format!("{key}.xrd_s"), x_mean);
+        report.metric(&format!("{key}.ratio"), d_mean / x_mean);
         table.row(vec![
             name.to_string(),
             format!("{d_mean:.2}"),
@@ -242,6 +251,8 @@ fn main() {
     }
     println!();
     table.print();
+    report.table("links", &table);
+    report.write();
     println!(
         "\nshape check: parity (ratio ≈ 1.0) on LAN/GEANT, ratio > 1 on the WAN\n\
          (the baseline's async prefetch hides transatlantic RTTs; davix pays them\n\

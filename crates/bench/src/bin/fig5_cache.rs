@@ -26,7 +26,7 @@
 
 use bytes::Bytes;
 use davix::{Config, DavixClient};
-use davix_bench::{env_usize, millis, Table};
+use davix_bench::{env_usize, millis, BenchReport, Table};
 use httpd::ServerConfig;
 use netsim::{LinkSpec, SimNet};
 use objstore::{ObjectStore, StorageNode, StorageOptions};
@@ -105,9 +105,15 @@ fn main() {
             .with_readahead(256 * 1024, 4 * 1024 * 1024),
     );
 
+    let mut report = BenchReport::new("fig5_cache");
+    report.label("workload", format!("2 passes x {} KiB in 16 KiB reads", size / 1024));
     let mut table =
         Table::new(&["config", "upstream requests", "hit rate", "prefetched KiB", "time (ms)"]);
     for (name, r) in [("off", &off), ("cache", &cached), ("cache+ra", &ra)] {
+        let key = name.replace('+', "_");
+        report.metric(&format!("{key}.requests"), r.requests as f64);
+        report.metric(&format!("{key}.hit_ratio"), r.hit_ratio);
+        report.metric_ms(&format!("{key}.time_ms"), r.elapsed);
         table.row(vec![
             name.to_string(),
             r.requests.to_string(),
@@ -117,6 +123,8 @@ fn main() {
         ]);
     }
     table.print();
+    report.table("main", &table);
+    report.write();
 
     // Acceptance criteria — a regression here must fail CI.
     assert!(

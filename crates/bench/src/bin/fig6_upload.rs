@@ -22,7 +22,7 @@
 
 use bytes::Bytes;
 use davix::{multistream_upload, Config, DavixClient, UploadOptions, UploadProtocol};
-use davix_bench::{env_usize, secs, Table};
+use davix_bench::{env_usize, secs, BenchReport, Table};
 use httpd::ServerConfig;
 use netsim::{LinkSpec, SimNet};
 use objstore::{ObjectStore, StorageNode, StorageOptions};
@@ -133,12 +133,16 @@ fn main() {
         "peak upload buffer (KiB)",
         "digest checked",
     ]);
-    for (name, r) in [
-        ("serial buffered put", &buffered),
-        ("serial put_stream", &streamed),
-        (&format!("multistream s3 ({STREAMS}x{} MiB)", CHUNK / 1024 / 1024) as &str, &s3),
-        ("multistream segmented+MOVE", &seg),
+    let mut report = BenchReport::new("fig6_upload");
+    report.label("workload", format!("{} MiB, 80 ms RTT, 128 KiB cwnd", size / 1024 / 1024));
+    for (key, name, r) in [
+        ("buffered_put", "serial buffered put", &buffered),
+        ("put_stream", "serial put_stream", &streamed),
+        ("s3", &format!("multistream s3 ({STREAMS}x{} MiB)", CHUNK / 1024 / 1024) as &str, &s3),
+        ("segmented", "multistream segmented+MOVE", &seg),
     ] {
+        report.metric(&format!("{key}.total_s"), r.elapsed.as_secs_f64());
+        report.metric(&format!("{key}.mb_per_s"), size as f64 / r.elapsed.as_secs_f64() / 1e6);
         table.row(vec![
             name.to_string(),
             secs(r.elapsed),
@@ -149,6 +153,8 @@ fn main() {
         ]);
     }
     table.print();
+    report.table("main", &table);
+    report.write();
 
     // Acceptance criteria — a regression here must fail CI.
     for (name, r) in [("s3", &s3), ("segmented", &seg)] {

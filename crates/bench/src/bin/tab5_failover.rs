@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 use davix::Config;
-use davix_bench::{env_usize, millis, Table};
+use davix_bench::{env_usize, millis, BenchReport, Table};
 use davix_repro::testbed::{Testbed, TestbedConfig, FED};
 use netsim::LinkSpec;
 
@@ -20,6 +20,8 @@ fn main() {
     let size = env_usize("DAVIX_BENCH_FAILOVER_KIB", 977) * 1024;
     let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
 
+    let mut report = BenchReport::new("tab5_failover");
+    report.label("workload", format!("{} KiB entity, 3 replicas", size / 1024));
     let mut table = Table::new(&[
         "dead replicas",
         "read ok",
@@ -62,6 +64,8 @@ fn main() {
             Ok(_) => ("yes".to_string(), file.current_uri().host),
             Err(e) => (format!("no ({e})"), "-".to_string()),
         };
+        report.metric_ms(&format!("dead{dead}.latency_ms"), elapsed);
+        report.metric(&format!("dead{dead}.ok"), if ok_cell == "yes" { 1.0 } else { 0.0 });
         table.row(vec![
             dead.to_string(),
             ok_cell,
@@ -72,6 +76,8 @@ fn main() {
         ]);
     }
     table.print();
+    report.table("main", &table);
+    report.write();
     println!(
         "\nclaim check: zero dead replicas costs zero extra (no metalink fetched);\n\
          each dead replica adds probe + metalink latency but the read SUCCEEDS\n\

@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 use davix::{multistream_download, Config, MultistreamOptions};
-use davix_bench::{env_usize, secs, Table};
+use davix_bench::{env_usize, secs, BenchReport, Table};
 use davix_repro::testbed::{Testbed, TestbedConfig};
 use netsim::LinkSpec;
 use std::time::Duration;
@@ -43,6 +43,8 @@ fn main() {
     println!("file: {} MiB; 3 replicas, 4 MB/s per replica link, 30 ms RTT\n", size / 1024 / 1024);
     let data: Vec<u8> = (0..size).map(|i| ((i / 13) % 256) as u8).collect();
 
+    let mut report = BenchReport::new("tab6_multistream");
+    report.label("workload", format!("{} MiB, 3 replicas @ 4 MB/s", size / 1024 / 1024));
     let mut table =
         Table::new(&["streams", "dead", "time (s)", "throughput (MB/s)", "connections", "ok"]);
 
@@ -65,6 +67,10 @@ fn main() {
             Ok(got) => got == &data,
             Err(_) => false,
         };
+        report.metric(
+            &format!("s{streams}_dead{dead}.mb_per_s"),
+            size as f64 / elapsed.as_secs_f64() / 1e6,
+        );
         table.row(vec![
             streams.to_string(),
             dead.to_string(),
@@ -75,6 +81,8 @@ fn main() {
         ]);
     }
     table.print();
+    report.table("main", &table);
+    report.write();
     println!(
         "\nclaim check: throughput rises with streams (aggregating per-replica\n\
          bandwidth) while the connection count — the server-load price §2.4\n\

@@ -19,7 +19,7 @@
 
 use bytes::Bytes;
 use davix::{Config, DavixClient, PreparedRequest};
-use davix_bench::{env_usize, secs, Table};
+use davix_bench::{env_usize, secs, BenchReport, Table};
 use davix_repro::testbed::paper_links;
 use httpd::ServerConfig;
 use netsim::{LinkSpec, SimNet};
@@ -76,6 +76,8 @@ fn main() {
         "pooled TLS (s)",
         "TLS penalty",
     ]);
+    let mut report = BenchReport::new("tab7_tls");
+    report.label("workload", format!("{} x {} KiB GETs", n_req(), OBJ / 1024));
     for (name, link) in paper_links(1.0) {
         let (fresh_plain, c1) = run(link, true);
         let (fresh_tls, c2) = run(link.with_tls_handshake(), true);
@@ -83,6 +85,15 @@ fn main() {
         let (pool_tls, c4) = run(link.with_tls_handshake(), false);
         assert_eq!((c1, c2), (n_req() as u64, n_req() as u64));
         assert_eq!((c3, c4), (1, 1));
+        let key = name.to_lowercase().replace(' ', "_");
+        report.metric(
+            &format!("{key}.fresh_tls_penalty"),
+            fresh_tls.as_secs_f64() / fresh_plain.as_secs_f64() - 1.0,
+        );
+        report.metric(
+            &format!("{key}.pooled_tls_penalty"),
+            pool_tls.as_secs_f64() / pool_plain.as_secs_f64() - 1.0,
+        );
         table.row(vec![
             name.to_string(),
             secs(fresh_plain),
@@ -94,6 +105,8 @@ fn main() {
         ]);
     }
     table.print();
+    report.table("main", &table);
+    report.write();
     println!(
         "\nclaim check: the TLS handshake multiplies the per-connection setup\n\
          cost, so connection-per-request workloads pay it N times (the paper's\n\

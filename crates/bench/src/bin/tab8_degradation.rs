@@ -17,7 +17,7 @@
 
 use bytes::Bytes;
 use davix::{multistream_download_scheduled, Config, MultistreamOptions};
-use davix_bench::{env_usize, millis, Table};
+use davix_bench::{env_usize, millis, BenchReport, Table};
 use davix_repro::testbed::{Testbed, TestbedConfig};
 use netsim::{LinkSpec, Runtime as _};
 use std::time::Duration;
@@ -132,6 +132,14 @@ fn main() {
         m.replicas_blacklisted,
         m.failovers,
     );
+    let mut bench_report = BenchReport::new("tab8_degradation");
+    bench_report
+        .label("workload", format!("{} MiB, 3 streams, flapping replica", size / 1024 / 1024));
+    bench_report.metric_ms("total_ms", elapsed);
+    bench_report.metric("respawns", report.respawns as f64);
+    bench_report.metric("blacklistings", m.replicas_blacklisted as f64);
+    bench_report.table("replicas", &table);
+    bench_report.write();
 
     // The acceptance gate: the flapping replica must contribute chunks
     // *after* it recovered — blacklist cooldown re-admission at work.

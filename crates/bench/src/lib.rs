@@ -20,6 +20,7 @@
 //! "300 ms" link costs nothing to simulate. Numbers are printed next to the
 //! paper's where the paper gives any.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// A simple aligned text table for harness output.
@@ -66,6 +67,146 @@ impl Table {
             line(row);
         }
     }
+}
+
+/// Machine-readable result sink for one bench binary, so CI can persist a
+/// trajectory of every figure/table across commits.
+///
+/// Each binary builds one report (headline numbers via [`metric`], whole
+/// [`Table`]s via [`table`], free-form context via [`label`]) and calls
+/// [`write`] at the end of `main`. `write` is a no-op unless the
+/// `DAVIX_BENCH_JSON_DIR` environment variable names a directory, in which
+/// case `BENCH_<name>.json` is (over)written there — the CI bench-smoke job
+/// sets it and uploads the directory as the `bench-trajectory` artifact.
+/// The JSON is hand-rolled (no serde in the tree): a flat
+/// `{schema, bench, labels, metrics, tables}` object with insertion order
+/// preserved, so trajectory diffs stay line-stable.
+///
+/// [`metric`]: BenchReport::metric
+/// [`table`]: BenchReport::table
+/// [`label`]: BenchReport::label
+/// [`write`]: BenchReport::write
+pub struct BenchReport {
+    bench: String,
+    labels: Vec<(String, String)>,
+    metrics: Vec<(String, f64)>,
+    tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+}
+
+impl BenchReport {
+    /// Start a report for the binary `bench` (use the binary's own name,
+    /// e.g. `"fig1_pipelining"` — it becomes the output file name).
+    pub fn new(bench: &str) -> BenchReport {
+        BenchReport {
+            bench: bench.to_string(),
+            labels: Vec::new(),
+            metrics: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Attach a free-form string label (workload description, link name…).
+    pub fn label(&mut self, key: &str, value: impl Into<String>) {
+        self.labels.push((key.to_string(), value.into()));
+    }
+
+    /// Record one headline number. Keys are dotted paths by convention
+    /// (`"lan.pool.total_s"`), so downstream tooling can group them.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        self.metrics.push((key.to_string(), value));
+    }
+
+    /// Record a duration metric in milliseconds.
+    pub fn metric_ms(&mut self, key: &str, d: Duration) {
+        self.metric(key, d.as_secs_f64() * 1e3);
+    }
+
+    /// Snapshot a whole [`Table`] (headers + rows, all cells as strings).
+    pub fn table(&mut self, key: &str, table: &Table) {
+        self.tables.push((key.to_string(), table.headers.clone(), table.rows.clone()));
+    }
+
+    /// Render the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": 1,\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_str(&self.bench)));
+        out.push_str("  \"labels\": {");
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            out.push_str(&format!("{sep}    {}: {}", json_str(k), json_str(v)));
+        }
+        out.push_str(if self.labels.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            out.push_str(&format!("{sep}    {}: {}", json_str(k), json_num(*v)));
+        }
+        out.push_str(if self.metrics.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"tables\": {");
+        for (i, (k, headers, rows)) in self.tables.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            out.push_str(&format!("{sep}    {}: {{\n", json_str(k)));
+            out.push_str(&format!("      \"headers\": {},\n", json_str_array(headers)));
+            out.push_str("      \"rows\": [");
+            for (j, row) in rows.iter().enumerate() {
+                let rsep = if j == 0 { "\n" } else { ",\n" };
+                out.push_str(&format!("{rsep}        {}", json_str_array(row)));
+            }
+            out.push_str(if rows.is_empty() { "]\n    }" } else { "\n      ]\n    }" });
+        }
+        out.push_str(if self.tables.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Write `BENCH_<name>.json` into `$DAVIX_BENCH_JSON_DIR` (creating the
+    /// directory), or do nothing when the variable is unset. Panics on I/O
+    /// errors: a CI job that asked for the artifact must not silently lose
+    /// it.
+    pub fn write(&self) {
+        let Some(dir) = std::env::var_os("DAVIX_BENCH_JSON_DIR") else { return };
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("DAVIX_BENCH_JSON_DIR {}: {e}", dir.display()));
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("bench-json: wrote {}", path.display());
+    }
+}
+
+/// JSON string literal (quotes + escapes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number; non-finite values have no JSON spelling and become `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str_array(xs: &[String]) -> String {
+    let cells: Vec<String> = xs.iter().map(|x| json_str(x)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// A `usize` knob from the environment, for CI smoke runs that want the
@@ -192,5 +333,39 @@ mod tests {
     fn duration_formatting() {
         assert_eq!(secs(Duration::from_millis(1500)), "1.50");
         assert_eq!(millis(Duration::from_micros(2500)), "2.5");
+    }
+
+    #[test]
+    fn report_json_shape_and_escaping() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row(vec!["a \"quoted\"".into(), "1".into()]);
+        let mut r = BenchReport::new("unit_test");
+        r.label("workload", "line1\nline2");
+        r.metric("total_s", 1.5);
+        r.metric("bad", f64::NAN);
+        r.table("main", &t);
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"unit_test\""));
+        assert!(json.contains("\"workload\": \"line1\\nline2\""));
+        assert!(json.contains("\"total_s\": 1.5"));
+        assert!(json.contains("\"bad\": null"));
+        assert!(json.contains("\"headers\": [\"k\", \"v\"]"));
+        assert!(json.contains("[\"a \\\"quoted\\\"\", \"1\"]"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the tree).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "unbalanced JSON:\n{json}");
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let json = BenchReport::new("empty").to_json();
+        assert!(json.contains("\"labels\": {}"));
+        assert!(json.contains("\"metrics\": {}"));
+        assert!(json.contains("\"tables\": {}"));
     }
 }

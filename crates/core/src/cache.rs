@@ -98,6 +98,7 @@ enum Lookup {
 /// created when `Config::cache_capacity_bytes > 0`.
 pub struct BlockCache {
     rt: Arc<dyn Runtime>,
+    io_pool: Arc<crate::IoPool>,
     metrics: Arc<Metrics>,
     block_size: u64,
     capacity: u64,
@@ -122,6 +123,7 @@ impl BlockCache {
     /// the block size).
     pub(crate) fn new(
         rt: Arc<dyn Runtime>,
+        io_pool: Arc<crate::IoPool>,
         metrics: Arc<Metrics>,
         block_size: u64,
         capacity: u64,
@@ -129,6 +131,7 @@ impl BlockCache {
         assert!(block_size > 0, "cache block size must be non-zero");
         Arc::new(BlockCache {
             rt,
+            io_pool,
             metrics,
             block_size,
             capacity,
@@ -563,23 +566,20 @@ impl FileCache {
         let key = Arc::clone(&self.key);
         let fetcher = Arc::clone(&self.fetcher);
         let ranges: Vec<(u64, usize)> = claims.iter().map(|&(i, _)| self.block_range(i)).collect();
-        self.cache.rt.spawn(
-            "davix-prefetch",
-            Box::new(move || match fetcher.fetch_vec(&ranges) {
-                Ok(blobs) => {
-                    let bytes: u64 = blobs.iter().map(|b| b.len() as u64).sum();
-                    Metrics::add(&cache.metrics.bytes_prefetched, bytes);
-                    for ((index, pending), blob) in claims.iter().zip(blobs) {
-                        cache.fill_ok(&key, *index, pending, Arc::new(blob));
-                    }
+        self.cache.io_pool.submit(move || match fetcher.fetch_vec(&ranges) {
+            Ok(blobs) => {
+                let bytes: u64 = blobs.iter().map(|b| b.len() as u64).sum();
+                Metrics::add(&cache.metrics.bytes_prefetched, bytes);
+                for ((index, pending), blob) in claims.iter().zip(blobs) {
+                    cache.fill_ok(&key, *index, pending, Arc::new(blob));
                 }
-                Err(e) => {
-                    for (index, pending) in &claims {
-                        cache.fill_err(&key, *index, pending, &e);
-                    }
+            }
+            Err(e) => {
+                for (index, pending) in &claims {
+                    cache.fill_err(&key, *index, pending, &e);
                 }
-            }),
-        );
+            }
+        });
     }
 }
 
@@ -639,7 +639,8 @@ mod tests {
     ) -> (FileCache, Arc<MemFetch>, Arc<Metrics>) {
         let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
         let metrics = Arc::new(Metrics::default());
-        let cache = BlockCache::new(rt, Arc::clone(&metrics), block, capacity);
+        let pool = crate::IoPool::new(Arc::clone(&rt), 16);
+        let cache = BlockCache::new(rt, pool, Arc::clone(&metrics), block, capacity);
         let fetch = MemFetch::new(size);
         let fc = FileCache::new(
             cache,
@@ -801,7 +802,8 @@ mod tests {
         }
         let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
         let metrics = Arc::new(Metrics::default());
-        let cache = BlockCache::new(rt, metrics, 512, 1 << 20);
+        let pool = crate::IoPool::new(Arc::clone(&rt), 16);
+        let cache = BlockCache::new(rt, pool, metrics, 512, 1 << 20);
         let mem = MemFetch::new(4_096);
         let flaky = Arc::new(Flaky { fail_first: AtomicU64::new(1), inner: Arc::clone(&mem) });
         let fc = FileCache::new(cache, "k".into(), 4_096, flaky, 0, 0);

@@ -5,6 +5,7 @@ use crate::config::Config;
 use crate::error::{DavixError, Result};
 use crate::executor::HttpExecutor;
 use crate::file::DavFile;
+use crate::iopool::IoPool;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::posix::DavPosix;
 use crate::replicas::ReplicaFile;
@@ -20,6 +21,9 @@ pub struct ClientInner {
     /// The shared block cache, present when `Config::cache_capacity_bytes`
     /// is non-zero. All files opened through this client share it.
     pub(crate) cache: Option<Arc<BlockCache>>,
+    /// Shared bounded worker pool for background I/O (multi-stream
+    /// transfers, read-ahead).
+    pub(crate) io_pool: Arc<IoPool>,
 }
 
 /// A davix client: connection pool, request executor and the file-oriented
@@ -35,15 +39,17 @@ impl DavixClient {
     pub fn new(connector: Arc<dyn Connector>, rt: Arc<dyn Runtime>, cfg: Config) -> DavixClient {
         let metrics = Arc::new(Metrics::default());
         let executor = HttpExecutor::new(connector, rt, cfg.clone(), Arc::clone(&metrics));
+        let io_pool = IoPool::new(Arc::clone(executor.runtime()), cfg.io_threads);
         let cache = (cfg.cache_capacity_bytes > 0).then(|| {
             BlockCache::new(
                 Arc::clone(executor.runtime()),
+                Arc::clone(&io_pool),
                 metrics,
                 cfg.cache_block_size,
                 cfg.cache_capacity_bytes,
             )
         });
-        DavixClient { inner: Arc::new(ClientInner { executor, cfg, cache }) }
+        DavixClient { inner: Arc::new(ClientInner { executor, cfg, cache, io_pool }) }
     }
 
     /// Parse a URL.
@@ -63,6 +69,12 @@ impl DavixClient {
     pub fn open_failover(&self, url: &str) -> Result<ReplicaFile> {
         let uri = self.parse_url(url)?;
         ReplicaFile::new(Arc::clone(&self.inner), uri)
+    }
+
+    /// The client's shared background-I/O worker pool (multi-stream
+    /// transfers, read-ahead). Exposed for diagnostics and tests.
+    pub fn io_pool(&self) -> &Arc<IoPool> {
+        &self.inner.io_pool
     }
 
     /// POSIX-flavoured namespace operations (stat/opendir/mkdir/unlink…).

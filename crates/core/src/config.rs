@@ -114,6 +114,13 @@ pub struct Config {
     /// response before sending the body anyway (the RFC 7231 §5.1.1
     /// fallback for servers that never answer 100).
     pub expect_continue_timeout: Duration,
+    /// Concurrency cap of the client's shared background-I/O pool
+    /// ([`IoPool`]): multi-stream download workers, parallel upload
+    /// workers and cache read-ahead fetches all draw from this budget
+    /// instead of spawning their own threads.
+    ///
+    /// [`IoPool`]: crate::IoPool
+    pub io_threads: usize,
     /// `User-Agent` header.
     pub user_agent: String,
 }
@@ -143,6 +150,7 @@ impl Default for Config {
             upload_chunk_size: 4 * 1024 * 1024,
             expect_continue_threshold: 256 * 1024,
             expect_continue_timeout: Duration::from_millis(500),
+            io_threads: 16,
             user_agent: "davix-rs/0.1".to_string(),
         }
     }
@@ -158,6 +166,12 @@ impl Config {
     /// Use the single-range ablation mode.
     pub fn single_ranges(mut self) -> Self {
         self.range_policy = RangePolicy::SingleRanges;
+        self
+    }
+
+    /// Cap the shared background-I/O pool at `n` worker threads.
+    pub fn with_io_threads(mut self, n: usize) -> Self {
+        self.io_threads = n.max(1);
         self
     }
 

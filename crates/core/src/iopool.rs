@@ -1,0 +1,183 @@
+//! A bounded, spawn-on-demand worker pool for the client's background I/O.
+//!
+//! Multi-stream downloads, parallel uploads and cache read-ahead all need
+//! worker threads. Before this pool each call site spawned its own
+//! (`streams` threads per download, one per prefetch batch, …), so a busy
+//! client's thread count was the *sum* of every concurrent operation's
+//! appetite. [`IoPool`] caps it at [`Config::io_threads`] for the whole
+//! client: jobs queue, workers are spawned only while fewer than the cap
+//! are live, and a worker exits as soon as the queue is drained — an idle
+//! client holds zero pool threads, and (under simulation) a drained pool
+//! leaves no parked waiters or pending timers to perturb virtual time.
+//!
+//! Jobs must be independent: a job that blocks waiting for a *queued* job
+//! to run would deadlock a saturated pool. All current users follow a
+//! work-stealing shape (workers drain a shared chunk queue and exit), so
+//! any subset of them making progress completes the batch.
+//!
+//! [`Config::io_threads`]: crate::Config::io_threads
+
+use netsim::Runtime;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Workers currently running (or committed to spawn).
+    live: usize,
+    /// High-water mark of `live`, for tests and diagnostics.
+    peak_live: usize,
+    /// Monotonic spawn counter (names threads).
+    spawned: u64,
+}
+
+/// Bounded spawn-on-demand worker pool shared by one client.
+pub struct IoPool {
+    rt: Arc<dyn Runtime>,
+    max: usize,
+    state: Mutex<PoolState>,
+}
+
+impl IoPool {
+    /// Create a pool that runs at most `max` jobs concurrently on `rt`
+    /// (clamped to at least 1).
+    pub fn new(rt: Arc<dyn Runtime>, max: usize) -> Arc<IoPool> {
+        Arc::new(IoPool {
+            rt,
+            max: max.max(1),
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                live: 0,
+                peak_live: 0,
+                spawned: 0,
+            }),
+        })
+    }
+
+    /// Queue `job`; it runs as soon as a worker is free (immediately, on a
+    /// freshly spawned worker, while fewer than the cap are live).
+    pub fn submit(self: &Arc<Self>, job: impl FnOnce() + Send + 'static) {
+        let spawn_name = {
+            let mut st = self.state.lock();
+            st.queue.push_back(Box::new(job));
+            if st.live < self.max {
+                st.live += 1;
+                st.peak_live = st.peak_live.max(st.live);
+                st.spawned += 1;
+                Some(format!("davix-io-{}", st.spawned))
+            } else {
+                None // a live worker will loop back and pick it up
+            }
+        };
+        if let Some(name) = spawn_name {
+            let pool = Arc::clone(self);
+            self.rt.spawn(&name, Box::new(move || pool.worker()));
+        }
+    }
+
+    /// Pop-and-run until the queue is empty, then exit. The exit decision
+    /// happens under the state lock, so a concurrent `submit` either hands
+    /// this worker the job or observes the decremented `live` and spawns.
+    fn worker(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut st = self.state.lock();
+                match st.queue.pop_front() {
+                    Some(j) => j,
+                    None => {
+                        st.live -= 1;
+                        return;
+                    }
+                }
+            };
+            job();
+        }
+    }
+
+    /// Concurrency cap.
+    pub fn max_workers(&self) -> usize {
+        self.max
+    }
+
+    /// Workers currently live.
+    pub fn live_workers(&self) -> usize {
+        self.state.lock().live
+    }
+
+    /// High-water mark of concurrently live workers.
+    pub fn peak_workers(&self) -> usize {
+        self.state.lock().peak_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimNet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_job_with_bounded_concurrency() {
+        let net = SimNet::new();
+        net.add_host("h");
+        let rt = net.runtime() as Arc<dyn Runtime>;
+        let pool = IoPool::new(Arc::clone(&rt), 2);
+        let _g = net.enter();
+
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let finished = Arc::new(AtomicUsize::new(0));
+        let done = rt.signal();
+        let n = 7;
+        for _ in 0..n {
+            let rt = Arc::clone(&rt);
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            let finished = Arc::clone(&finished);
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                rt.sleep(Duration::from_millis(10));
+                running.fetch_sub(1, Ordering::SeqCst);
+                if finished.fetch_add(1, Ordering::SeqCst) + 1 == n {
+                    done.set();
+                }
+            });
+        }
+        done.wait(None);
+        assert_eq!(finished.load(Ordering::SeqCst), n);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "at most 2 jobs may overlap, saw {}",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(pool.peak_workers(), 2);
+    }
+
+    #[test]
+    fn workers_exit_when_drained_and_respawn_on_demand() {
+        let net = SimNet::new();
+        net.add_host("h");
+        let rt = net.runtime() as Arc<dyn Runtime>;
+        let pool = IoPool::new(Arc::clone(&rt), 4);
+        let _g = net.enter();
+
+        for round in 0..3 {
+            let done = rt.signal();
+            let d2 = Arc::clone(&done);
+            pool.submit(move || d2.set());
+            done.wait(None);
+            // The worker may still be between `job()` and its exit check;
+            // give it a virtual instant to drain.
+            while pool.live_workers() > 0 {
+                rt.sleep(Duration::from_millis(1));
+            }
+            assert_eq!(pool.live_workers(), 0, "drained after round {round}");
+        }
+    }
+}

@@ -216,6 +216,7 @@ pub mod config;
 pub mod error;
 pub mod executor;
 pub mod file;
+pub mod iopool;
 pub mod metrics;
 pub mod multistream;
 pub mod pool;
@@ -231,6 +232,7 @@ pub use config::{Config, RangePolicy, RetryPolicy};
 pub use error::{DavixError, Result};
 pub use executor::{BodyProvider, HttpExecutor, HttpResponse, PreparedRequest, ResponseStream};
 pub use file::DavFile;
+pub use iopool::IoPool;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use multistream::{
     multistream_download, multistream_download_scheduled, multistream_download_verified,

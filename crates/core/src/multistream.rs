@@ -173,6 +173,7 @@ pub fn multistream_download_scheduled(
     });
     let done = client.inner.executor.runtime().signal();
     let live_streams = Arc::new(Mutex::new(0usize));
+    let pool = Arc::clone(&client.inner.io_pool);
 
     let streams = opts.streams.min(n_chunks).max(1);
     *live_streams.lock() = streams;
@@ -183,12 +184,9 @@ pub fn multistream_download_scheduled(
         let done = Arc::clone(&done);
         let live = Arc::clone(&live_streams);
         let max_failures = opts.max_chunk_failures;
-        rt.spawn(
-            &format!("davix-stream-{s}"),
-            Box::new(move || {
-                stream_worker(client, s, scheduler, shared, &done, &live, max_failures);
-            }),
-        );
+        pool.submit(move || {
+            stream_worker(client, s, scheduler, shared, &done, &live, max_failures);
+        });
     }
 
     done.wait(None);

@@ -305,10 +305,11 @@ pub fn multistream_upload(
     let rt = Arc::clone(ex.runtime());
     let done = rt.signal();
     let live = Arc::new(Mutex::new(0usize));
+    let pool = Arc::clone(&client.inner.io_pool);
 
     let workers = streams.min(n_chunks).max(1);
     *live.lock() = workers;
-    for w in 0..workers {
+    for _ in 0..workers {
         let client = client.clone();
         let source = Arc::clone(&source);
         let target = Arc::clone(&target);
@@ -316,12 +317,9 @@ pub fn multistream_upload(
         let done = Arc::clone(&done);
         let live = Arc::clone(&live);
         let max_failures = opts.max_chunk_failures;
-        rt.spawn(
-            &format!("davix-upstream-{w}"),
-            Box::new(move || {
-                upload_worker(client, source, target, shared, &done, &live, max_failures);
-            }),
-        );
+        pool.submit(move || {
+            upload_worker(client, source, target, shared, &done, &live, max_failures);
+        });
     }
     // `done` fires either when every chunk has succeeded or when the *last
     // worker exits* — never while a chunk PUT is still in flight. That

@@ -1,9 +1,28 @@
-//! # httpd — an embeddable threaded HTTP/1.1 server
+//! # httpd — an embeddable event-driven HTTP/1.1 server
 //!
 //! The server side of the reproduction: storage nodes (`objstore`) and the
 //! federation service (`dynafed`) mount [`Handler`]s on this server and run
 //! it over either the simulated network or real TCP (anything implementing
 //! [`netsim::Listener`]).
+//!
+//! ## Architecture: a c10k reactor, not a thread per connection
+//!
+//! One accept thread per listener feeds a shared [`netsim::Reactor`]; a
+//! fixed budget of shard threads ([`ServerConfig::reactor_threads`],
+//! default 2) drives *every* connection, so a thousand keep-alive clients
+//! cost a thousand connection state machines but only that fixed thread
+//! count (the `fig7_c10k` bench asserts exactly this). Each connection is a
+//! non-blocking state machine (`conn.rs`): Idle → Head → Body → Respond →
+//! Closing, advanced only when the reactor reports readiness. Deadlines —
+//! keep-alive idle ([`ServerConfig::idle_timeout`], closed silently),
+//! slowloris eviction ([`ServerConfig::header_read_timeout`], answered
+//! `408`), simulated processing delay ([`ServerConfig::process_delay`]) and
+//! the close-drain grace — all live on the reactor's hashed timer wheel,
+//! never in a sleeping thread, which is also what lets them behave
+//! identically over simulated streams (where `set_read_timeout` has no
+//! uniform meaning) and real sockets. Accept backpressure
+//! ([`ServerConfig::max_connections`]) pauses the accept loop, pushing
+//! overload into the listener's backlog instead of into memory.
 //!
 //! Protocol behaviour is deliberately *spec-faithful* rather than clever:
 //!
@@ -15,9 +34,11 @@
 //!   connection — which is exactly what gives HTTP/1.1 pipelining its
 //!   head-of-line blocking problem (§2.2, Figure 1). The F1 experiment
 //!   measures this server doing precisely that;
-//! * responses carry `Content-Length` and are written with a single
-//!   `write_all`, mirroring sendfile-style servers.
+//! * responses carry `Content-Length`; oversized request heads get `431`,
+//!   malformed ones `400`, and a client that stalls mid-request gets `408`
+//!   from the timer wheel.
 
+mod conn;
 pub mod router;
 pub mod server;
 

@@ -1,12 +1,20 @@
-//! Connection handling, request dispatch and response writing.
+//! The server: accept loop, reactor wiring, request/response types.
+//!
+//! Connections are served by a fixed budget of reactor shard threads (see
+//! [`netsim::reactor`] and the private `conn` module) rather than one
+//! thread each:
+//! `serve` spawns a single blocking accept thread per listener which
+//! enforces [`ServerConfig::max_connections`] backpressure and submits each
+//! accepted stream to the shared reactor as a non-blocking connection state
+//! machine. Handlers stay synchronous per-request.
 
+use crate::conn::{ConnSlotGuard, ConnSlots, HttpConn};
 use bytes::Bytes;
-use httpwire::parse::{read_request_head, request_body_len, BodyReader};
+use httpwire::parse::BodyReader;
 use httpwire::{date, HeaderMap, RequestHead, StatusCode, Version};
-use netsim::{Listener, Runtime};
-use std::io::{BufReader, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use netsim::{Listener, Reactor, ReactorConfig, Runtime};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A fully-read inbound request.
@@ -96,15 +104,26 @@ pub struct ServerConfig {
     /// Close the connection after this many requests (emulates servers that
     /// interrupt long-lived connections; `None` = unlimited).
     pub max_requests_per_conn: Option<u64>,
-    /// Virtual CPU/disk time spent on each request before the handler runs.
+    /// Virtual CPU/disk time spent on each request before the handler runs
+    /// (a timer-wheel deadline, not a sleeping thread).
     pub process_delay: Duration,
-    /// Idle timeout on keep-alive connections.
+    /// Idle timeout on keep-alive connections, enforced by the reactor's
+    /// timer wheel on both transports.
     pub idle_timeout: Option<Duration>,
+    /// Total budget for receiving one request (head *and* body) once its
+    /// first byte has arrived; a slowloris client trickling bytes is
+    /// evicted with `408 Request Timeout` when it expires.
+    pub header_read_timeout: Option<Duration>,
     /// Advertise and speak HTTP/1.0 semantics (no persistent connections
     /// unless asked) — the "old server" baseline in the F2 experiment.
     pub http10: bool,
     /// Server name advertised in the `Server` header.
     pub name: String,
+    /// Reactor shard threads serving all connections (the thread budget).
+    pub reactor_threads: usize,
+    /// Accept backpressure: the accept loop stops accepting while this many
+    /// connections are open.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -113,8 +132,11 @@ impl Default for ServerConfig {
             max_requests_per_conn: None,
             process_delay: Duration::ZERO,
             idle_timeout: Some(Duration::from_secs(60)),
+            header_read_timeout: Some(Duration::from_secs(30)),
             http10: false,
             name: "dpm-sim/0.1".to_string(),
+            reactor_threads: 2,
+            max_connections: 8192,
         }
     }
 }
@@ -128,6 +150,10 @@ pub struct ServerStats {
     pub requests: AtomicU64,
     /// Responses that closed the connection.
     pub closes: AtomicU64,
+    /// Requests evicted by the header-read (slowloris) timeout.
+    pub timeouts: AtomicU64,
+    /// High-water mark of concurrently open connections.
+    pub peak_open: AtomicU64,
 }
 
 impl ServerStats {
@@ -137,12 +163,21 @@ impl ServerStats {
     }
 }
 
+/// Reactor and listeners of a serving server (created on the first `serve`,
+/// torn down by `stop`).
+struct Serving {
+    reactor: Arc<Reactor>,
+    listeners: Vec<Arc<dyn Listener>>,
+    slots: Arc<ConnSlots>,
+}
+
 /// The server: a handler plus configuration, servable on any listener.
 pub struct HttpServer {
-    handler: Arc<dyn Handler>,
-    cfg: ServerConfig,
-    stats: Arc<ServerStats>,
+    pub(crate) handler: Arc<dyn Handler>,
+    pub(crate) cfg: Arc<ServerConfig>,
+    pub(crate) stats: Arc<ServerStats>,
     stopping: Arc<AtomicBool>,
+    serving: Mutex<Option<Serving>>,
 }
 
 impl HttpServer {
@@ -150,9 +185,10 @@ impl HttpServer {
     pub fn new(handler: Arc<dyn Handler>, cfg: ServerConfig) -> Arc<Self> {
         Arc::new(HttpServer {
             handler,
-            cfg,
+            cfg: Arc::new(cfg),
             stats: Arc::new(ServerStats::default()),
             stopping: Arc::new(AtomicBool::new(false)),
+            serving: Mutex::new(None),
         })
     }
 
@@ -161,149 +197,142 @@ impl HttpServer {
         Arc::clone(&self.stats)
     }
 
-    /// Ask accept loops to wind down (close the listener separately to
-    /// unblock a pending accept).
+    /// Stop the server: closes every listener, asks in-flight connections
+    /// to finish their current request, and blocks until the reactor's
+    /// shard threads have drained and exited.
     pub fn stop(&self) {
         self.stopping.store(true, Ordering::SeqCst);
+        let serving = self.serving.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(s) = serving {
+            for l in &s.listeners {
+                l.close();
+            }
+            s.slots.freed.set(); // release a backpressured accept loop
+            s.reactor.shutdown();
+        }
     }
 
-    /// Run the accept loop on `listener`, spawning one runtime thread per
-    /// connection. Returns immediately; the loop runs on a runtime thread.
+    /// Number of reactor shard threads still running (0 before the first
+    /// `serve` and after `stop`).
+    pub fn reactor_threads_live(&self) -> usize {
+        self.serving
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|s| s.reactor.live_threads())
+            .unwrap_or(0)
+    }
+
+    /// Serve connections from `listener`. Returns immediately: a single
+    /// accept thread feeds the server's shared reactor, whose
+    /// [`ServerConfig::reactor_threads`] shard threads drive every
+    /// connection. May be called multiple times to serve several listeners
+    /// on one reactor.
     pub fn serve(self: &Arc<Self>, listener: Box<dyn Listener>, rt: Arc<dyn Runtime>) {
+        let listener: Arc<dyn Listener> = Arc::from(listener);
+        let (reactor, slots) = {
+            let mut guard = self.serving.lock().unwrap_or_else(|e| e.into_inner());
+            let serving = guard.get_or_insert_with(|| Serving {
+                reactor: Arc::new(Reactor::new(
+                    Arc::clone(&rt),
+                    ReactorConfig {
+                        threads: self.cfg.reactor_threads,
+                        name: "httpd-shard".to_string(),
+                        ..ReactorConfig::default()
+                    },
+                )),
+                listeners: Vec::new(),
+                slots: Arc::new(ConnSlots { open: AtomicUsize::new(0), freed: rt.signal() }),
+            });
+            serving.listeners.push(Arc::clone(&listener));
+            (Arc::clone(&serving.reactor), Arc::clone(&serving.slots))
+        };
         let server = Arc::clone(self);
         let rt2 = Arc::clone(&rt);
         rt.spawn(
             "httpd-accept",
-            Box::new(move || {
-                let mut conn_id = 0u64;
-                loop {
-                    if server.stopping.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    let (stream, peer) = match listener.accept() {
-                        Ok(x) => x,
-                        Err(_) => return, // listener closed
-                    };
-                    conn_id += 1;
-                    server.stats.connections.fetch_add(1, Ordering::Relaxed);
-                    let server2 = Arc::clone(&server);
-                    let rt3 = Arc::clone(&rt2);
-                    rt2.spawn(
-                        &format!("httpd-conn-{conn_id}"),
-                        Box::new(move || server2.handle_connection(stream, peer, &rt3)),
-                    );
-                }
-            }),
+            Box::new(move || server.accept_loop(listener, reactor, slots, rt2)),
         );
     }
 
-    fn handle_connection(
-        &self,
-        mut stream: netsim::BoxedStream,
-        peer: String,
-        rt: &Arc<dyn Runtime>,
+    fn accept_loop(
+        self: Arc<Self>,
+        listener: Arc<dyn Listener>,
+        reactor: Arc<Reactor>,
+        slots: Arc<ConnSlots>,
+        rt: Arc<dyn Runtime>,
     ) {
-        let mut writer = match stream.try_clone() {
-            Ok(w) => w,
-            Err(_) => return,
-        };
-        if let Some(t) = self.cfg.idle_timeout {
-            let _ = stream.set_read_timeout(Some(t));
-        }
-        let mut reader = BufReader::with_capacity(16 * 1024, stream);
-        let mut served = 0u64;
         loop {
-            let head = match read_request_head(&mut reader) {
-                Ok(Some(h)) => h,
-                Ok(None) => return, // clean close
-                Err(_) => return,   // parse error / timeout / reset
-            };
-            // RFC 7231 §5.1.1: a client sending `Expect: 100-continue` parks
-            // its (possibly huge) body until told to proceed; answer with the
-            // interim response before draining the body so streaming uploads
-            // do not stall for the client's fallback timeout.
-            if head.version == Version::Http11
-                && head
-                    .headers
-                    .get("expect")
-                    .map(|v| v.trim().eq_ignore_ascii_case("100-continue"))
-                    .unwrap_or(false)
-                && writer
-                    .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
-                    .and_then(|()| writer.flush())
-                    .is_err()
-            {
+            if self.stopping.load(Ordering::SeqCst) {
                 return;
             }
-            let body = match request_body_len(&head) {
-                Ok(len) => match BodyReader::new(&mut reader, len).read_all() {
-                    Ok(b) => b,
-                    Err(_) => return,
-                },
-                Err(_) => {
-                    let resp = Response::error(StatusCode::BAD_REQUEST);
-                    let _ = self.write_response(&mut writer, &head, resp, true);
+            // Backpressure: hold off accepting (the kernel/simulator queues
+            // or refuses newcomers) until a slot frees.
+            while slots.open.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                if self.stopping.load(Ordering::SeqCst) {
                     return;
                 }
+                slots.freed.reset();
+                if slots.open.load(Ordering::SeqCst) < self.cfg.max_connections {
+                    break;
+                }
+                slots.freed.wait(Some(Duration::from_millis(50)));
+            }
+            let (stream, peer) = match listener.accept() {
+                Ok(x) => x,
+                Err(_) => return, // listener closed
             };
-
-            if !self.cfg.process_delay.is_zero() {
-                rt.sleep(self.cfg.process_delay);
-            }
-
-            served += 1;
-            self.stats.requests.fetch_add(1, Ordering::Relaxed);
-
-            let req = Request { head: head.clone(), body, peer: peer.clone() };
-            let resp = self.handler.handle(req);
-
-            let client_keep_alive =
-                head.headers.keep_alive(head.version == Version::Http11) && !self.cfg.http10;
-            let cap_hit = self.cfg.max_requests_per_conn.map(|cap| served >= cap).unwrap_or(false);
-            let close = resp.close || !client_keep_alive || cap_hit;
-
-            if self.write_response(&mut writer, &head, resp, close).is_err() {
+            if self.stopping.load(Ordering::SeqCst) {
                 return;
             }
-            if close {
-                self.stats.closes.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
+            slots.open.fetch_add(1, Ordering::SeqCst);
+            self.stats.connections.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .peak_open
+                .fetch_max(slots.open.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
+            let conn = HttpConn::new(
+                stream,
+                peer,
+                Arc::clone(&self.handler),
+                Arc::clone(&self.cfg),
+                Arc::clone(&self.stats),
+                ConnSlotGuard(Arc::clone(&slots)),
+                rt.now(),
+            );
+            reactor.submit(Box::new(conn));
         }
     }
+}
 
-    /// Serialize and send a response in a single `write_all`.
-    fn write_response(
-        &self,
-        w: &mut netsim::BoxedStream,
-        req_head: &RequestHead,
-        resp: Response,
-        close: bool,
-    ) -> std::io::Result<()> {
-        let mut head = httpwire::ResponseHead::new(resp.status);
-        head.version = if self.cfg.http10 { Version::Http10 } else { Version::Http11 };
-        head.headers = resp.headers;
-        head.headers.set("Server", &self.cfg.name);
-        head.headers.set("Date", date::format_http_date(date::unix_now()));
-        // HEAD responses advertise the length they *would* have carried.
-        let body_is_suppressed = req_head.method == httpwire::Method::Head
-            || resp.status.0 == 204
-            || resp.status.0 == 304;
-        if !head.headers.contains("content-length") {
-            head.headers.set("Content-Length", resp.body.len().to_string());
-        }
-        if close {
-            head.headers.set("Connection", "close");
-        } else if self.cfg.http10 {
-            head.headers.set("Connection", "keep-alive");
-        }
-        let mut out = head.to_bytes();
-        if !body_is_suppressed {
-            out.extend_from_slice(&resp.body);
-        }
-        w.write_all(&out)?;
-        w.flush()
+/// Serialize a response (status line, `Server`/`Date`/`Content-Length`
+/// headers, connection directive, body) into a single buffer.
+pub(crate) fn encode_response(
+    cfg: &ServerConfig,
+    req_method: &httpwire::Method,
+    resp: Response,
+    close: bool,
+) -> Vec<u8> {
+    let mut head = httpwire::ResponseHead::new(resp.status);
+    head.version = if cfg.http10 { Version::Http10 } else { Version::Http11 };
+    head.headers = resp.headers;
+    head.headers.set("Server", &cfg.name);
+    head.headers.set("Date", date::format_http_date(date::unix_now()));
+    // HEAD responses advertise the length they *would* have carried.
+    let body_is_suppressed =
+        *req_method == httpwire::Method::Head || resp.status.0 == 204 || resp.status.0 == 304;
+    if !head.headers.contains("content-length") {
+        head.headers.set("Content-Length", resp.body.len().to_string());
     }
+    if close {
+        head.headers.set("Connection", "close");
+    } else if cfg.http10 {
+        head.headers.set("Connection", "keep-alive");
+    }
+    let mut out = head.to_bytes();
+    if !body_is_suppressed {
+        out.extend_from_slice(&resp.body);
+    }
+    out
 }
 
 /// Read one full response from `r` (test helper shared by this crate's tests
@@ -323,7 +352,7 @@ mod tests {
     use super::*;
     use httpwire::Method;
     use netsim::{LinkSpec, SimNet};
-    use std::io::BufReader;
+    use std::io::{BufReader, Write};
 
     fn echo_server() -> Arc<HttpServer> {
         HttpServer::new(
@@ -546,5 +575,180 @@ mod tests {
         assert_eq!(body, b"ok");
         let mut buf = [0u8; 1];
         assert_eq!(std::io::Read::read(&mut r, &mut buf).unwrap(), 0, "server must close");
+    }
+
+    #[test]
+    fn idle_timer_rearms_on_keep_alive_activity() {
+        let (net, rt) = sim_pair();
+        let server = HttpServer::new(
+            Arc::new(|_req: Request| Response::text(StatusCode::OK, "ok")),
+            ServerConfig { idle_timeout: Some(Duration::from_millis(100)), ..Default::default() },
+        );
+        server.serve(Box::new(net.bind("server", 80).unwrap()), Arc::clone(&rt));
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        let mut r = BufReader::new(c);
+        // Three requests spaced inside the idle window: cumulative elapsed
+        // time far exceeds the timeout, but each request re-arms it.
+        for i in 0..3 {
+            send(&mut w, Method::Get, &format!("/r{i}"), None);
+            let (head, _) = read_full_response(&mut r, &Method::Get).unwrap();
+            assert_eq!(head.status, StatusCode::OK, "request {i} after re-arm");
+            rt.sleep(Duration::from_millis(60));
+        }
+        // Now actually go idle past the window: the server closes silently.
+        rt.sleep(Duration::from_millis(150));
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            std::io::Read::read(&mut r, &mut buf).unwrap(),
+            0,
+            "idle expiry must close the connection"
+        );
+    }
+
+    #[test]
+    fn slowloris_header_trickle_is_evicted_with_408() {
+        let (net, rt) = sim_pair();
+        let server = HttpServer::new(
+            Arc::new(|_req: Request| Response::text(StatusCode::OK, "ok")),
+            ServerConfig {
+                header_read_timeout: Some(Duration::from_millis(50)),
+                ..Default::default()
+            },
+        );
+        let stats = server.stats();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), Arc::clone(&rt));
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        // Trickle one header byte per 20 ms, never finishing the head.
+        let _ = w.write_all(b"GET / HTTP/1.1\r\nHost: server\r\nX-Slow: ");
+        for _ in 0..5 {
+            rt.sleep(Duration::from_millis(20));
+            let _ = w.write_all(b"y");
+        }
+        let mut r = BufReader::new(c);
+        let (head, _) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert_eq!(head.status.0, 408);
+        let mut buf = [0u8; 1];
+        assert_eq!(std::io::Read::read(&mut r, &mut buf).unwrap(), 0, "408 closes");
+        assert_eq!(stats.timeouts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn slowloris_stalled_body_is_evicted_mid_request() {
+        let (net, rt) = sim_pair();
+        let server = HttpServer::new(
+            Arc::new(|_req: Request| Response::text(StatusCode::OK, "ok")),
+            ServerConfig {
+                header_read_timeout: Some(Duration::from_millis(50)),
+                ..Default::default()
+            },
+        );
+        let stats = server.stats();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), Arc::clone(&rt));
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        // Complete head, then stall three bytes into a ten-byte body: the
+        // budget covers the whole request, so the head alone does not
+        // reset the clock.
+        let mut h = RequestHead::new(Method::Put, "/obj");
+        h.headers.set("Host", "server");
+        h.headers.set("Content-Length", "10");
+        let _ = w.write_all(&h.to_bytes());
+        let _ = w.write_all(b"abc");
+        rt.sleep(Duration::from_millis(100));
+        let mut r = BufReader::new(c);
+        let (head, _) = read_full_response(&mut r, &Method::Put).unwrap();
+        assert_eq!(head.status.0, 408);
+        assert_eq!(stats.timeouts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn accept_backpressure_bounds_open_connections() {
+        let (net, rt) = sim_pair();
+        let server = HttpServer::new(
+            Arc::new(|_req: Request| Response::text(StatusCode::OK, "ok")),
+            ServerConfig { max_connections: 2, ..Default::default() },
+        );
+        let stats = server.stats();
+        server.serve(Box::new(net.bind("server", 80).unwrap()), Arc::clone(&rt));
+        let _g = net.enter();
+        // Fill both slots.
+        let c1 = net.connect("client", "server", 80).unwrap();
+        let mut w1 = netsim::Stream::try_clone(&c1).unwrap();
+        let mut r1 = BufReader::new(c1);
+        send(&mut w1, Method::Get, "/a", None);
+        read_full_response(&mut r1, &Method::Get).unwrap();
+        let c2 = net.connect("client", "server", 80).unwrap();
+        let mut w2 = netsim::Stream::try_clone(&c2).unwrap();
+        let mut r2 = BufReader::new(c2);
+        send(&mut w2, Method::Get, "/b", None);
+        read_full_response(&mut r2, &Method::Get).unwrap();
+        // A third connection establishes (kernel backlog) but is not
+        // accepted — its request sits unanswered until a slot frees.
+        let c3 = net.connect("client", "server", 80).unwrap();
+        let mut w3 = netsim::Stream::try_clone(&c3).unwrap();
+        let mut r3 = BufReader::new(c3);
+        send(&mut w3, Method::Get, "/c", None);
+        // Free a slot; the accept loop picks up the queued connection.
+        drop(w1);
+        drop(r1);
+        let (head, _) = read_full_response(&mut r3, &Method::Get).unwrap();
+        assert_eq!(head.status, StatusCode::OK);
+        assert!(
+            stats.peak_open.load(Ordering::Relaxed) <= 2,
+            "backpressure must cap concurrently open connections at 2, saw {}",
+            stats.peak_open.load(Ordering::Relaxed)
+        );
+        assert_eq!(stats.connections.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn stop_drains_in_flight_request_and_joins_reactor_threads() {
+        let (net, rt) = sim_pair();
+        let server = HttpServer::new(
+            Arc::new(|_req: Request| Response::text(StatusCode::OK, "done")),
+            ServerConfig { process_delay: Duration::from_millis(50), ..Default::default() },
+        );
+        server.serve(Box::new(net.bind("server", 80).unwrap()), Arc::clone(&rt));
+        let _g = net.enter();
+        let c = net.connect("client", "server", 80).unwrap();
+        let mut w = netsim::Stream::try_clone(&c).unwrap();
+        let mut r = BufReader::new(c);
+        send(&mut w, Method::Get, "/slow", None);
+        // Let the request reach the server; its response is still pending
+        // behind the processing delay when stop() lands.
+        rt.sleep(Duration::from_millis(10));
+        assert_eq!(server.reactor_threads_live(), ServerConfig::default().reactor_threads);
+        server.stop();
+        assert_eq!(server.reactor_threads_live(), 0, "shard threads must join");
+        // The in-flight request was answered, not dropped.
+        let (head, body) = read_full_response(&mut r, &Method::Get).unwrap();
+        assert_eq!(head.status, StatusCode::OK);
+        assert_eq!(body, b"done");
+        assert!(head.headers.connection_has("close"));
+    }
+
+    #[test]
+    fn serves_keep_alive_over_real_tcp() {
+        let rt: Arc<dyn Runtime> = Arc::new(netsim::RealRuntime::new());
+        let listener = netsim::TcpListenerWrap::bind("127.0.0.1:0").unwrap();
+        let port = Listener::local_port(&listener);
+        let server = echo_server();
+        server.serve(Box::new(listener), rt);
+        let mut c = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut r = BufReader::new(c.try_clone().unwrap());
+        for i in 0..3 {
+            send(&mut c, Method::Get, &format!("/t{i}"), None);
+            let (head, body) = read_full_response(&mut r, &Method::Get).unwrap();
+            assert_eq!(head.status, StatusCode::OK);
+            assert_eq!(body, format!("GET /t{i}").as_bytes());
+        }
+        server.stop();
+        assert_eq!(server.reactor_threads_live(), 0);
     }
 }

@@ -21,8 +21,10 @@ impl StatusCode {
     pub const FORBIDDEN: StatusCode = StatusCode(403);
     pub const NOT_FOUND: StatusCode = StatusCode(404);
     pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
     pub const CONFLICT: StatusCode = StatusCode(409);
     pub const PRECONDITION_FAILED: StatusCode = StatusCode(412);
+    pub const REQUEST_HEADER_FIELDS_TOO_LARGE: StatusCode = StatusCode(431);
     pub const RANGE_NOT_SATISFIABLE: StatusCode = StatusCode(416);
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
     pub const NOT_IMPLEMENTED: StatusCode = StatusCode(501);
@@ -78,10 +80,12 @@ impl StatusCode {
             403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
             411 => "Length Required",
             412 => "Precondition Failed",
             416 => "Range Not Satisfiable",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             501 => "Not Implemented",
             502 => "Bad Gateway",

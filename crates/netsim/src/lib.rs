@@ -56,13 +56,15 @@
 //! assert!(net.now() >= Duration::from_millis(1)); // at least 2 LAN RTTs
 //! ```
 
+pub mod reactor;
 pub mod sim;
 mod slab;
 pub mod tcp;
 pub mod transport;
 pub mod writeq;
 
+pub use reactor::{DriveOutcome, Driven, Reactor, ReactorConfig, TimerWheel};
 pub use sim::{LinkSpec, NetStats, SimListener, SimNet, SimRuntime, SimStream};
 pub use tcp::{RealRuntime, TcpConnector, TcpListenerWrap, TcpStreamWrap};
-pub use transport::{BoxedStream, Connector, Listener, Runtime, Signal, Stream};
+pub use transport::{BoxedStream, Connector, Listener, Pollable, Runtime, Signal, Stream};
 pub use writeq::WriteQueue;

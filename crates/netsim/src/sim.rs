@@ -28,7 +28,7 @@
 //! connections, bandwidth-delay-product ceilings — do not depend on them.
 
 use crate::slab::Slab;
-use crate::transport::{BoxedStream, Connector, Listener, Runtime, Signal, Stream};
+use crate::transport::{BoxedStream, Connector, Listener, Pollable, Runtime, Signal, Stream};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::cell::Cell;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -333,6 +333,21 @@ struct State {
     stats: NetStats,
     /// Whether the all-accepts quiescence note was already printed.
     idle_noted: bool,
+    /// Reactor wakers registered per (connection, endpoint side) via
+    /// [`Pollable::set_waker`]. Fired whenever that side may have become
+    /// readable (payload/FIN arrived) or writable (ACK opened the window).
+    io_wakers: HashMap<(usize, usize), Arc<dyn Signal>>,
+    /// Wakers queued while the state lock is held; fired after release
+    /// (a waker's `set()` may re-enter the simulator, e.g. a `SimSignal`).
+    pending_wakes: Vec<Arc<dyn Signal>>,
+    /// Wakers taken out of `pending_wakes` whose `set()` has not finished
+    /// yet. While any are outstanding the virtual clock must not advance:
+    /// the wake exists only in the delivering thread's stack, so the
+    /// blocked-thread census cannot see it, and advancing would fire
+    /// timeouts the wake was supposed to pre-empt (e.g. a reactor shard's
+    /// idle timer racing the readiness wake for a request that already
+    /// arrived).
+    wakes_in_flight: usize,
 }
 
 impl State {
@@ -373,6 +388,14 @@ impl State {
         woke
     }
 
+    /// Queue the reactor waker (if any) for endpoint `side` of `conn`; the
+    /// caller fires it once the state lock is released.
+    fn queue_io_wake(&mut self, conn: usize, side: usize) {
+        if let Some(w) = self.io_wakers.get(&(conn, side)) {
+            self.pending_wakes.push(Arc::clone(w));
+        }
+    }
+
     fn reset_conn(&mut self, cid: usize) {
         if let Some(c) = self.conns.get_mut(cid) {
             if !c.reset {
@@ -383,6 +406,8 @@ impl State {
                     | WaitKind::ConnectDone { conn } => conn == cid,
                     _ => false,
                 });
+                self.queue_io_wake(cid, 0);
+                self.queue_io_wake(cid, 1);
             }
         }
     }
@@ -400,6 +425,8 @@ impl State {
                     d.rbuf_len += len;
                     self.stats.bytes_delivered += len as u64;
                     self.wake_where(|k| matches!(*k, WaitKind::Readable { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                    // Direction `dir` is read by endpoint `1 - dir`.
+                    self.queue_io_wake(conn, 1 - dir);
                 }
             }
             EventKind::Ack { conn, dir, bytes } => {
@@ -411,6 +438,8 @@ impl State {
                     d.inflight = d.inflight.saturating_sub(bytes);
                     d.cwnd = (d.cwnd + bytes).min(d.max_cwnd);
                     self.wake_where(|k| matches!(*k, WaitKind::Window { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                    // Direction `dir` is written by endpoint `dir`.
+                    self.queue_io_wake(conn, dir);
                 }
             }
             EventKind::SynArrive { conn, host, port } => {
@@ -444,6 +473,7 @@ impl State {
                 if let Some(c) = self.conns.get_mut(conn) {
                     c.dirs[dir].fin = true;
                     self.wake_where(|k| matches!(*k, WaitKind::Readable { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                    self.queue_io_wake(conn, 1 - dir);
                 }
             }
             EventKind::WakeWaiter { wid, gen } => {
@@ -524,6 +554,48 @@ impl SimCore {
         self as *const SimCore as usize
     }
 
+    /// Fire wakers queued under the state lock. Called with the lock held;
+    /// the lock is briefly released while each waker runs, because a waker's
+    /// `set()` may re-enter the simulator (e.g. a [`SimSignal`]).
+    fn flush_wakes(&self, st: &mut MutexGuard<'_, State>) {
+        while !st.pending_wakes.is_empty() {
+            let wakes = std::mem::take(&mut st.pending_wakes);
+            st.wakes_in_flight += wakes.len();
+            let n = wakes.len();
+            MutexGuard::unlocked(st, || {
+                for w in wakes {
+                    w.set();
+                }
+            });
+            st.wakes_in_flight -= n;
+            st.change_tick += 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Release the lock, notify parked threads and fire any queued wakers.
+    /// The tail of every public operation that may have queued wakes.
+    fn unlock_and_wake(&self, mut st: MutexGuard<'_, State>) {
+        let wakes = std::mem::take(&mut st.pending_wakes);
+        if wakes.is_empty() {
+            drop(st);
+            self.notify();
+            return;
+        }
+        let n = wakes.len();
+        st.wakes_in_flight += n;
+        drop(st);
+        self.notify();
+        for w in wakes {
+            w.set();
+        }
+        let mut st = self.state.lock();
+        st.wakes_in_flight -= n;
+        st.change_tick += 1;
+        drop(st);
+        self.notify();
+    }
+
     fn wait_on(
         &self,
         st: &mut MutexGuard<'_, State>,
@@ -559,8 +631,18 @@ impl SimCore {
                 return if timed_out { WaitOutcome::TimedOut } else { WaitOutcome::Ready };
             }
             if st.reg_waiting == st.registered {
+                if st.wakes_in_flight > 0 {
+                    // A readiness wake is being delivered outside the lock;
+                    // the thread it targets has not run yet. Advancing the
+                    // clock now would fire timeouts the wake pre-empts, so
+                    // wait for delivery to finish (real time, no virtual
+                    // cost).
+                    self.cv.wait(st);
+                    continue;
+                }
                 if !st.events.is_empty() {
                     st.advance();
+                    self.flush_wakes(st);
                     self.cv.notify_all();
                     continue;
                 }
@@ -570,25 +652,26 @@ impl SimCore {
                 let tick = st.change_tick;
                 let timed_out = self.cv.wait_for(st, STALL_TIMEOUT).timed_out();
                 if timed_out && st.change_tick == tick {
-                    // Sim-spawned daemon threads (server accept loops)
-                    // sitting in `accept` with no events scheduled is
+                    // Sim-spawned daemon threads (server accept loops,
+                    // reactor shards parked on their wakers) sitting in
+                    // `accept`/`Signal` waits with no events scheduled is
                     // quiescence, not deadlock: servers routinely outlive
                     // the scenario that spawned them and wait for
-                    // connections that may never come. The `daemon` bit
-                    // keeps the watchdog intact for foreground threads — a
-                    // *test's own* thread stuck in accept still panics with
-                    // the stall dump below.
-                    if st
-                        .waiters
-                        .iter()
-                        .all(|(_, w)| w.daemon && matches!(w.kind, WaitKind::Accept { .. }))
-                    {
+                    // connections (or readiness wakes) that may never come.
+                    // The `daemon` bit keeps the watchdog intact for
+                    // foreground threads — a *test's own* thread stuck in
+                    // accept or on a signal still panics with the stall
+                    // dump below.
+                    if st.waiters.iter().all(|(_, w)| {
+                        w.daemon
+                            && matches!(w.kind, WaitKind::Accept { .. } | WaitKind::Signal { .. })
+                    }) {
                         if !st.idle_noted {
                             st.idle_noted = true;
                             eprintln!(
                                 "netsim: all registered threads are server daemons idle in \
-                                 accept with no scheduled events; treating as quiescent \
-                                 (servers outliving their scenario)."
+                                 accept/signal waits with no scheduled events; treating as \
+                                 quiescent (servers outliving their scenario)."
                             );
                         }
                         continue;
@@ -650,6 +733,9 @@ impl SimNet {
                     reg_waiting: 0,
                     stats: NetStats::default(),
                     idle_noted: false,
+                    wakes_in_flight: 0,
+                    io_wakers: HashMap::new(),
+                    pending_wakes: Vec::new(),
                 }),
                 cv: Condvar::new(),
             }),
@@ -716,7 +802,7 @@ impl SimNet {
             }
         }
         st.change_tick += 1;
-        self.core.notify();
+        self.core.unlock_and_wake(st);
     }
 
     /// Current virtual time.
@@ -858,6 +944,7 @@ impl SimNet {
                 WaitOutcome::Ready => continue,
                 WaitOutcome::TimedOut => {
                     st.reset_conn(cid);
+                    self.core.unlock_and_wake(st);
                     return Err(io::Error::new(
                         io::ErrorKind::TimedOut,
                         format!("connect to {to_host}:{port} timed out"),
@@ -872,6 +959,7 @@ impl SimNet {
             side: 0,
             peer: format!("{to_host}:{port}"),
             read_timeout: None,
+            waker_set: false,
         })
     }
 
@@ -910,7 +998,27 @@ impl Drop for EnterGuard {
     }
 }
 
-/// One endpoint of a simulated connection. Blocking `Read`/`Write`.
+/// Copy buffered bytes out of a direction's receive buffer into `buf`.
+fn drain_rbuf(d: &mut DirState, buf: &mut [u8]) -> usize {
+    let mut n = 0;
+    while n < buf.len() && d.rbuf_len > 0 {
+        let chunk = d.rbuf.front().expect("nonempty rbuf");
+        let avail = chunk.len() - d.rbuf_front_off;
+        let take = avail.min(buf.len() - n);
+        buf[n..n + take].copy_from_slice(&chunk[d.rbuf_front_off..d.rbuf_front_off + take]);
+        n += take;
+        d.rbuf_front_off += take;
+        d.rbuf_len -= take;
+        if d.rbuf_front_off == chunk.len() {
+            d.rbuf.pop_front();
+            d.rbuf_front_off = 0;
+        }
+    }
+    n
+}
+
+/// One endpoint of a simulated connection. Blocking `Read`/`Write`, plus the
+/// non-blocking [`Pollable`] surface used by the reactor.
 #[derive(Debug)]
 pub struct SimStream {
     core: Arc<SimCore>,
@@ -918,6 +1026,9 @@ pub struct SimStream {
     side: usize,
     peer: String,
     read_timeout: Option<Duration>,
+    /// Whether *this handle* registered the connection's reactor waker (so
+    /// dropping a clone does not clear a waker it never set).
+    waker_set: bool,
 }
 
 impl SimStream {
@@ -955,22 +1066,7 @@ impl Read for SimStream {
             let c = st.conns.get_mut(self.conn).expect("conn alive");
             let d = &mut c.dirs[dir];
             if d.rbuf_len > 0 {
-                let mut n = 0;
-                while n < buf.len() && d.rbuf_len > 0 {
-                    let chunk = d.rbuf.front().expect("nonempty rbuf");
-                    let avail = chunk.len() - d.rbuf_front_off;
-                    let take = avail.min(buf.len() - n);
-                    buf[n..n + take]
-                        .copy_from_slice(&chunk[d.rbuf_front_off..d.rbuf_front_off + take]);
-                    n += take;
-                    d.rbuf_front_off += take;
-                    d.rbuf_len -= take;
-                    if d.rbuf_front_off == chunk.len() {
-                        d.rbuf.pop_front();
-                        d.rbuf_front_off = 0;
-                    }
-                }
-                return Ok(n);
+                return Ok(drain_rbuf(d, buf));
             }
             if c.reset {
                 return Err(io::Error::new(io::ErrorKind::ConnectionReset, "connection reset"));
@@ -1062,6 +1158,95 @@ impl Write for SimStream {
     }
 }
 
+impl Pollable for SimStream {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let core = Arc::clone(&self.core);
+        let mut st = core.state.lock();
+        let dir = 1 - self.side;
+        let c = st.conns.get_mut(self.conn).expect("conn alive");
+        let d = &mut c.dirs[dir];
+        if d.rbuf_len > 0 {
+            return Ok(drain_rbuf(d, buf));
+        }
+        if c.reset {
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "connection reset"));
+        }
+        if d.fin {
+            return Ok(0);
+        }
+        Err(io::Error::from(io::ErrorKind::WouldBlock))
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let core = Arc::clone(&self.core);
+        let mut st = core.state.lock();
+        let dir = self.side;
+        let (k, from, to, delay_ns, spec) = {
+            let c = st.conns.get_mut(self.conn).expect("conn alive");
+            if c.reset || c.refused {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "connection reset by peer"));
+            }
+            let d = &mut c.dirs[dir];
+            if d.fin_sent {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "write after shutdown"));
+            }
+            let mut avail = d.cwnd.saturating_sub(d.inflight);
+            if d.spec.nagle && d.inflight > 0 && (buf.len() as u64) < MSS {
+                avail = 0;
+            }
+            if avail == 0 {
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            let k = (avail as usize).min(buf.len());
+            d.inflight += k as u64;
+            (k, c.hosts[dir], c.hosts[1 - dir], d.delay_ns, d.spec)
+        };
+        let now = st.now_ns;
+        let busy = st.link_busy.entry((from, to)).or_insert(0);
+        let start = (*busy).max(now);
+        let tx = spec.tx_ns(k as u64);
+        *busy = start + tx;
+        let arrive = start + tx + delay_ns;
+        let data = buf[..k].to_vec();
+        st.schedule(arrive, EventKind::Deliver { conn: self.conn, dir, data });
+        let ack_hold = match spec.delayed_ack {
+            Some(t) if (k as u64) < MSS => dur_ns(t),
+            _ => 0,
+        };
+        st.schedule(
+            arrive + ack_hold + delay_ns,
+            EventKind::Ack { conn: self.conn, dir, bytes: k as u64 },
+        );
+        st.stats.bytes_sent += k as u64;
+        drop(st);
+        core.notify();
+        Ok(k)
+    }
+
+    fn set_waker(&mut self, waker: Option<Arc<dyn Signal>>) -> io::Result<()> {
+        let mut st = self.core.state.lock();
+        match waker {
+            Some(w) => {
+                st.io_wakers.insert((self.conn, self.side), w);
+                self.waker_set = true;
+            }
+            None => {
+                if self.waker_set {
+                    st.io_wakers.remove(&(self.conn, self.side));
+                    self.waker_set = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Stream for SimStream {
     fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.read_timeout = timeout;
@@ -1083,6 +1268,7 @@ impl Stream for SimStream {
             side: self.side,
             peer: self.peer.clone(),
             read_timeout: self.read_timeout,
+            waker_set: false,
         }))
     }
 
@@ -1099,6 +1285,9 @@ impl Drop for SimStream {
     fn drop(&mut self) {
         let core = Arc::clone(&self.core);
         let mut st = core.state.lock();
+        if self.waker_set {
+            st.io_wakers.remove(&(self.conn, self.side));
+        }
         let send_fin = {
             match st.conns.get_mut(self.conn) {
                 Some(c) => {
@@ -1157,6 +1346,7 @@ impl SimListener {
                     side: 1,
                     peer,
                     read_timeout: None,
+                    waker_set: false,
                 };
                 let peer = stream.peer.clone();
                 return Ok((stream, peer));
@@ -1201,8 +1391,7 @@ impl Listener for SimListener {
             st.reset_conn(cid);
         }
         st.wake_where(|k| matches!(*k, WaitKind::Accept { host, port } if host == self.host && port == self.port));
-        drop(st);
-        self.core.notify();
+        self.core.unlock_and_wake(st);
     }
 }
 

@@ -6,7 +6,7 @@
 //! or LAN sockets through these types with no code changes — the simulated
 //! network is only one backend.
 
-use crate::transport::{BoxedStream, Connector, Listener, Runtime, Signal, Stream};
+use crate::transport::{BoxedStream, Connector, Listener, Pollable, Runtime, Signal, Stream};
 use parking_lot::{Condvar, Mutex};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -18,6 +18,10 @@ use std::time::{Duration, Instant};
 pub struct TcpStreamWrap {
     inner: TcpStream,
     peer: String,
+    /// Whether the socket has been switched to non-blocking mode (done
+    /// lazily on the first `try_read`/`try_write`; the reactor never mixes
+    /// blocking and non-blocking I/O on one stream).
+    nonblocking: bool,
 }
 
 impl TcpStreamWrap {
@@ -25,7 +29,43 @@ impl TcpStreamWrap {
     pub fn new(inner: TcpStream) -> Self {
         let peer =
             inner.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "<unknown>".to_string());
-        TcpStreamWrap { inner, peer }
+        TcpStreamWrap { inner, peer, nonblocking: false }
+    }
+
+    fn ensure_nonblocking(&mut self) -> io::Result<()> {
+        if !self.nonblocking {
+            self.inner.set_nonblocking(true)?;
+            self.nonblocking = true;
+        }
+        Ok(())
+    }
+}
+
+impl Pollable for TcpStreamWrap {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.ensure_nonblocking()?;
+        loop {
+            match self.inner.read(buf) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                r => return r,
+            }
+        }
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.ensure_nonblocking()?;
+        loop {
+            match self.inner.write(buf) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                r => return r,
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    fn poll_fd(&self) -> Option<i32> {
+        use std::os::unix::io::AsRawFd;
+        Some(self.inner.as_raw_fd())
     }
 }
 
@@ -55,7 +95,11 @@ impl Stream for TcpStreamWrap {
     }
 
     fn try_clone(&self) -> io::Result<BoxedStream> {
-        Ok(Box::new(TcpStreamWrap { inner: self.inner.try_clone()?, peer: self.peer.clone() }))
+        Ok(Box::new(TcpStreamWrap {
+            inner: self.inner.try_clone()?,
+            peer: self.peer.clone(),
+            nonblocking: self.nonblocking,
+        }))
     }
 
     fn shutdown_write(&mut self) -> io::Result<()> {

@@ -9,6 +9,50 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Non-blocking readiness interface consumed by the reactor
+/// ([`crate::reactor`]).
+///
+/// Both transports implement it, each advertising a different wait
+/// mechanism:
+///
+/// * the simulated transport ([`crate::sim::SimStream`]) supports
+///   [`set_waker`](Pollable::set_waker) — the simulator fires the waker
+///   whenever the stream *may* have become readable or writable (payload
+///   delivered, ACK returned, FIN/RST arrived);
+/// * the real transport ([`crate::tcp::TcpStreamWrap`]) exposes its OS file
+///   descriptor via [`poll_fd`](Pollable::poll_fd) so a reactor shard can
+///   wait on many streams with one `poll(2)` call.
+///
+/// Readiness is **level-triggered**: a spurious wake is legal, so consumers
+/// must call `try_read`/`try_write` until they see
+/// [`io::ErrorKind::WouldBlock`].
+pub trait Pollable {
+    /// Non-blocking read. `Err(WouldBlock)` means "nothing buffered right
+    /// now"; `Ok(0)` means the peer half-closed (EOF).
+    fn try_read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "transport is not pollable"))
+    }
+
+    /// Non-blocking write. `Err(WouldBlock)` means the send window / socket
+    /// buffer is full; a short `Ok(n)` is normal.
+    fn try_write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "transport is not pollable"))
+    }
+
+    /// Register (`Some`) or clear (`None`) a waker that is set whenever this
+    /// stream may have become readable or writable. Supported by the
+    /// simulated transport; real sockets return `Err(Unsupported)` and are
+    /// waited on via [`poll_fd`](Pollable::poll_fd) instead.
+    fn set_waker(&mut self, _waker: Option<Arc<dyn Signal>>) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "transport has no waker"))
+    }
+
+    /// The OS file descriptor to wait on with `poll(2)`, when one exists.
+    fn poll_fd(&self) -> Option<i32> {
+        None
+    }
+}
+
 /// A bidirectional byte stream (one TCP connection or one simulated
 /// connection).
 ///
@@ -16,7 +60,11 @@ use std::time::Duration;
 /// thread can read while another writes (needed by multiplexing clients such
 /// as xrdlite). The connection is closed (FIN) when the last handle is
 /// dropped.
-pub trait Stream: Read + Write + Send {
+///
+/// Every stream is also [`Pollable`] so the event-driven server core can
+/// drive it without dedicating a thread to it; plain blocking `Read`/`Write`
+/// remains available for synchronous client code.
+pub trait Stream: Read + Write + Send + Pollable {
     /// Limit how long a blocking read may wait. `None` removes the limit.
     fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
 
@@ -34,7 +82,10 @@ pub trait Stream: Read + Write + Send {
 pub type BoxedStream = Box<dyn Stream>;
 
 /// Accepts inbound connections on one host/port.
-pub trait Listener: Send {
+///
+/// `Sync` so a server can share one listener between an accept thread and a
+/// `stop()` path that closes it (all methods take `&self`).
+pub trait Listener: Send + Sync {
     /// Block until a client connects; returns the stream and the peer name.
     fn accept(&self) -> io::Result<(BoxedStream, String)>;
 

@@ -155,6 +155,31 @@ fn multistream_download_is_correct_and_spreads_load() {
 }
 
 #[test]
+fn multistream_worker_threads_are_bounded_by_io_pool() {
+    let data = payload(600_000);
+    let tb = three_replica_testbed(&data);
+    let _g = tb.net.enter();
+    // Ask for 6 streams but cap the client's I/O pool at 2: the download
+    // still completes (workers drain the shared chunk queue) and at most
+    // 2 worker threads ever ran at once.
+    let client = tb.davix_client(Config::default().with_io_threads(2));
+    let replicas: Vec<httpwire::Uri> = (0..3).map(|i| tb.url(i).parse().unwrap()).collect();
+    let got = multistream_download(
+        &client,
+        &replicas,
+        &MultistreamOptions { streams: 6, chunk_size: 64 * 1024, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(got, data);
+    assert_eq!(client.io_pool().max_workers(), 2);
+    assert!(
+        client.io_pool().peak_workers() <= 2,
+        "pool must bound worker threads at 2, saw {}",
+        client.io_pool().peak_workers()
+    );
+}
+
+#[test]
 fn multistream_survives_replica_death_mid_download() {
     let data = payload(400_000);
     let tb = three_replica_testbed(&data);

@@ -22,9 +22,21 @@ pub struct Mutex<T: ?Sized> {
 /// RAII guard for [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
     // `Option` so `Condvar::wait` can temporarily take the inner std guard
-    // (std's wait consumes and returns it). Invariant: always `Some` outside
-    // of `Condvar` internals.
+    // (std's wait consumes and returns it) and `unlocked` can release and
+    // reacquire it. Invariant: always `Some` outside those internals.
     inner: Option<sync::MutexGuard<'a, T>>,
+    lock: &'a sync::Mutex<T>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Temporarily unlocks the mutex to execute `f` (parking_lot API). The
+    /// mutex is reacquired before returning.
+    pub fn unlocked<U>(s: &mut Self, f: impl FnOnce() -> U) -> U {
+        drop(s.inner.take().expect("guard invariant"));
+        let r = f();
+        s.inner = Some(s.lock.lock().unwrap_or_else(PoisonError::into_inner));
+        r
+    }
 }
 
 impl<T> Mutex<T> {
@@ -42,15 +54,18 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available. Never poisons.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)) }
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            lock: &self.inner,
+        }
     }
 
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard { inner: Some(g), lock: &self.inner }),
             Err(sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { inner: Some(e.into_inner()) })
+                Some(MutexGuard { inner: Some(e.into_inner()), lock: &self.inner })
             }
             Err(sync::TryLockError::WouldBlock) => None,
         }
@@ -261,6 +276,20 @@ mod tests {
             cv.wait(&mut done);
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn guard_unlocked_releases_and_reacquires() {
+        let m = Arc::new(Mutex::new(0));
+        let mut g = m.lock();
+        let m2 = Arc::clone(&m);
+        MutexGuard::unlocked(&mut g, move || {
+            // The lock is free while the closure runs.
+            *m2.lock() += 1;
+        });
+        *g += 1;
+        drop(g);
+        assert_eq!(*m.lock(), 2);
     }
 
     #[test]
