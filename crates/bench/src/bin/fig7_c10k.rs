@@ -1,42 +1,45 @@
 //! **Figure 7 (repro extension) / c10k**: the event-driven server core
 //! serves thousands of concurrent keep-alive clients on a fixed, small
-//! reactor-thread budget.
+//! reactor-thread budget — and the *clients* are event-driven too.
 //!
 //! The paper's servers (DPM/dCache front-ends) are long-lived HTTP/1.1
 //! daemons facing grid-scale fan-in; a thread-per-connection server would
 //! need one OS thread per client. This harness demonstrates the repro's
-//! reactor doing the classic c10k exercise instead:
+//! reactor doing the classic c10k exercise on both sides of the wire:
 //!
 //! * **steady phase** — N clients, staggered over 50 ms, each run R
-//!   keep-alive GETs with 10 ms think time on one connection. Per-request
-//!   latency is recorded in virtual time; the reactor must hold its
-//!   configured shard-thread count (not one per client) for the whole run.
+//!   keep-alive GETs with 10 ms think time on one connection. Clients are
+//!   [`netsim::simclient`] state machines multiplexed on a small client
+//!   reactor, so N clients cost O(reactor threads) OS threads, wall time
+//!   scales ~linearly in N, and per-request latency is recorded in virtual
+//!   time. An optional sweep re-runs the phase at several client counts so
+//!   the bench JSON carries the scaling curve.
 //! * **slowloris phase** — A attackers send a partial request head and
 //!   stall. The timer wheel must evict every one with `408 Request
 //!   Timeout`, while a probe client's keep-alive requests keep completing
 //!   with steady-phase latency.
 //!
 //! The run *asserts* (not just prints): zero request errors, every request
-//! answered, p99 latency under [`P99_BOUND_MS`] virtual ms, thread budget
-//! respected, all attackers evicted, and a clean `stop()` that joins every
-//! reactor thread.
+//! answered, p99 latency under [`P99_BOUND_MS`] virtual ms, server and
+//! client thread budgets respected (simulator thread census stays flat in
+//! the client count), all attackers evicted, and a clean `stop()` that
+//! joins every reactor thread.
 //!
-//! CI smoke knobs: `DAVIX_BENCH_C10K_CLIENTS` (default 1000),
+//! CI smoke knobs: `DAVIX_BENCH_C10K_CLIENTS` (default 10000),
 //! `DAVIX_BENCH_C10K_REQUESTS` (per client, default 8),
-//! `DAVIX_BENCH_C10K_THREADS` (reactor shard threads, default 4),
-//! `DAVIX_BENCH_C10K_ATTACKERS` (slowloris connections, default 64).
-//! Virtual time is cheap but each simulated client is a real OS thread and
-//! the simulator's quiescence census is a broadcast, so *wall* time grows
-//! roughly quadratically in the client count — 256 clients run in seconds,
-//! 2000 in minutes. CI runs 256; the default is the paper-scale run.
+//! `DAVIX_BENCH_C10K_THREADS` (server reactor shards, default 4),
+//! `DAVIX_BENCH_C10K_CLIENT_THREADS` (client reactor shards, default 4),
+//! `DAVIX_BENCH_C10K_ATTACKERS` (slowloris connections, default 64),
+//! `DAVIX_BENCH_C10K_SWEEP` (comma-separated extra client counts to run
+//! before the main one, e.g. `256,1000`; default none).
 
-use davix_bench::rawhttp::RawConn;
 use davix_bench::{env_usize, BenchReport, Table};
 use httpd::{HttpServer, Request, Response, ServerConfig};
 use httpwire::StatusCode;
-use netsim::{LinkSpec, Runtime as _, SimNet};
+use netsim::simclient::{ClientSession, Fleet, SessionPoll};
+use netsim::{BoxedStream, LinkSpec, Reactor, ReactorConfig, SchedStats, SimNet};
 use parking_lot::Mutex;
-use std::io::{Read, Write};
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +57,9 @@ const P99_BOUND_MS: f64 = 100.0;
 /// Attackers must be evicted by this header-read budget.
 const SLOWLORIS_TIMEOUT: Duration = Duration::from_millis(200);
 
+/// Think time between keep-alive requests.
+const THINK: Duration = Duration::from_millis(10);
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -62,151 +68,253 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-struct PhaseStats {
-    latencies: Vec<f64>,
-    wall: Duration,
+// ---------------------------------------------------------------------------
+// client state machines
+// ---------------------------------------------------------------------------
+
+enum HttpPhase {
+    Sending,
+    ReadHead,
+    ReadBody { need: usize },
 }
 
-/// N staggered keep-alive clients, R serial GETs each.
-#[allow(clippy::too_many_arguments)]
-fn steady_phase(
-    net: &SimNet,
-    hosts: &[String],
+/// R serial keep-alive GETs with think time, entirely non-blocking:
+/// incremental send, incremental head parse, Content-Length body count.
+struct HttpLoopSession {
+    id: usize,
+    requests: usize,
+    think: Duration,
+    done_reqs: usize,
+    phase: HttpPhase,
+    out: Vec<u8>,
+    out_off: usize,
+    head: Vec<u8>,
+    req_t0: Duration,
+    latencies: Arc<Mutex<Vec<f64>>>,
+    errors: Arc<AtomicUsize>,
+}
+
+impl HttpLoopSession {
+    fn new(
+        id: usize,
+        requests: usize,
+        think: Duration,
+        latencies: Arc<Mutex<Vec<f64>>>,
+        errors: Arc<AtomicUsize>,
+    ) -> Self {
+        HttpLoopSession {
+            id,
+            requests,
+            think,
+            done_reqs: 0,
+            phase: HttpPhase::Sending,
+            out: Vec::new(),
+            out_off: 0,
+            head: Vec::new(),
+            req_t0: Duration::ZERO,
+            latencies,
+            errors,
+        }
+    }
+
+    fn fail(&self, what: &str) -> io::Error {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        io::Error::new(io::ErrorKind::InvalidData, format!("client {}: {what}", self.id))
+    }
+}
+
+/// Byte offset just past the `\r\n\r\n` head terminator, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Case-insensitive Content-Length lookup in a raw response head.
+fn content_length(head: &[u8]) -> Option<usize> {
+    for line in head.split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if let Some(colon) = line.iter().position(|&b| b == b':') {
+            let (name, value) = line.split_at(colon);
+            if name.eq_ignore_ascii_case(b"content-length") {
+                return std::str::from_utf8(&value[1..]).ok()?.trim().parse().ok();
+            }
+        }
+    }
+    None
+}
+
+impl ClientSession for HttpLoopSession {
+    fn poll(&mut self, io: &mut BoxedStream, now: Duration) -> io::Result<SessionPoll> {
+        loop {
+            match self.phase {
+                HttpPhase::Sending => {
+                    if self.out_off == self.out.len() {
+                        if self.out.is_empty() {
+                            self.req_t0 = now;
+                            self.out = format!(
+                                "GET /obj/{}/{} HTTP/1.1\r\nHost: server\r\n\r\n",
+                                self.id, self.done_reqs
+                            )
+                            .into_bytes();
+                            self.out_off = 0;
+                        } else {
+                            self.out.clear();
+                            self.out_off = 0;
+                            self.head.clear();
+                            self.phase = HttpPhase::ReadHead;
+                            continue;
+                        }
+                    }
+                    match io.try_write(&self.out[self.out_off..]) {
+                        Ok(n) => self.out_off += n,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            return Ok(SessionPoll::Pending)
+                        }
+                        Err(e) => {
+                            self.errors.fetch_add(1, Ordering::Relaxed);
+                            return Err(e);
+                        }
+                    }
+                }
+                HttpPhase::ReadHead => {
+                    let mut buf = [0u8; 4096];
+                    match io.try_read(&mut buf) {
+                        Ok(0) => return Err(self.fail("EOF before response head")),
+                        Ok(n) => {
+                            self.head.extend_from_slice(&buf[..n]);
+                            if let Some(he) = head_end(&self.head) {
+                                if !self.head.starts_with(b"HTTP/1.1 200") {
+                                    return Err(self.fail("non-200 response"));
+                                }
+                                let cl = content_length(&self.head[..he])
+                                    .ok_or_else(|| self.fail("missing Content-Length"))?;
+                                if cl != BODY {
+                                    return Err(self.fail("wrong body size"));
+                                }
+                                let have = self.head.len() - he;
+                                self.phase = HttpPhase::ReadBody { need: cl - have.min(cl) };
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            return Ok(SessionPoll::Pending)
+                        }
+                        Err(e) => {
+                            self.errors.fetch_add(1, Ordering::Relaxed);
+                            return Err(e);
+                        }
+                    }
+                }
+                HttpPhase::ReadBody { need } => {
+                    if need == 0 {
+                        self.latencies.lock().push((now - self.req_t0).as_secs_f64() * 1e3);
+                        self.done_reqs += 1;
+                        if self.done_reqs == self.requests {
+                            return Ok(SessionPoll::Done);
+                        }
+                        self.phase = HttpPhase::Sending;
+                        return Ok(SessionPoll::Sleep(now + self.think));
+                    }
+                    let mut buf = [0u8; 4096];
+                    let want = need.min(buf.len());
+                    match io.try_read(&mut buf[..want]) {
+                        Ok(0) => return Err(self.fail("EOF mid-body")),
+                        Ok(n) => self.phase = HttpPhase::ReadBody { need: need - n },
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            return Ok(SessionPoll::Pending)
+                        }
+                        Err(e) => {
+                            self.errors.fetch_add(1, Ordering::Relaxed);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn wants_write(&self) -> bool {
+        matches!(self.phase, HttpPhase::Sending)
+    }
+}
+
+/// Sends a partial request head, stalls past the server's header-read
+/// budget, then reads to EOF and checks for the `408` eviction.
+struct SlowlorisSession {
+    sent: usize,
+    slept: bool,
+    resp: Vec<u8>,
+    evicted: Arc<AtomicUsize>,
+}
+
+impl ClientSession for SlowlorisSession {
+    fn poll(&mut self, io: &mut BoxedStream, now: Duration) -> io::Result<SessionPoll> {
+        const PARTIAL: &[u8] = b"GET /stall HTTP/1.1\r\nHost: serv";
+        while self.sent < PARTIAL.len() {
+            match io.try_write(&PARTIAL[self.sent..]) {
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(SessionPoll::Pending),
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.slept {
+            self.slept = true;
+            return Ok(SessionPoll::Sleep(now + SLOWLORIS_TIMEOUT * 3));
+        }
+        let mut buf = [0u8; 1024];
+        loop {
+            match io.try_read(&mut buf) {
+                Ok(0) => {
+                    if self.resp.windows(3).any(|w| w == b"408") {
+                        self.evicted.fetch_add(1, Ordering::Relaxed);
+                        return Ok(SessionPoll::Done);
+                    }
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "no 408 before EOF"));
+                }
+                Ok(n) => self.resp.extend_from_slice(&buf[..n]),
+                // The connection may be torn down either way; both EOF and
+                // reset count as "server hung up" — only the 408 matters.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(SessionPoll::Pending),
+                Err(_) => {
+                    if self.resp.windows(3).any(|w| w == b"408") {
+                        self.evicted.fetch_add(1, Ordering::Relaxed);
+                        return Ok(SessionPoll::Done);
+                    }
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "reset without 408"));
+                }
+            }
+        }
+    }
+
+    fn wants_write(&self) -> bool {
+        self.sent < 31
+    }
+}
+
+// ---------------------------------------------------------------------------
+// phases
+// ---------------------------------------------------------------------------
+
+struct PointResult {
+    latencies: Vec<f64>,
+    virt_wall: Duration,
+    real_wall: Duration,
+    census: usize,
+    sched: SchedStats,
+    peak_open: u64,
+    served: u64,
+    threads_live: usize,
+    evicted: usize,
+    probe_latencies: Vec<f64>,
+}
+
+/// Build a fresh net + server + client reactor, run the steady phase at
+/// `clients`, optionally follow with the slowloris phase, and tear down.
+fn run_point(
     clients: usize,
     requests: usize,
-    errors: &Arc<AtomicUsize>,
-) -> PhaseStats {
-    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
-    let done = net.runtime().signal();
-    let live = Arc::new(AtomicUsize::new(clients));
-    let t0 = net.now();
-    for i in 0..clients {
-        let net2 = net.clone();
-        let host = hosts[i % hosts.len()].clone();
-        let latencies = Arc::clone(&latencies);
-        let errors = Arc::clone(errors);
-        let done = Arc::clone(&done);
-        let live = Arc::clone(&live);
-        net.spawn(&format!("c10k-{i}"), move || {
-            // Stagger connects over 50 ms so the accept burst is a ramp,
-            // then overlap: every client holds its connection for the
-            // whole request loop.
-            net2.sleep(Duration::from_millis((i % 50) as u64));
-            match RawConn::open(&net2, &host, "server", 80) {
-                Ok(mut conn) => {
-                    for r in 0..requests {
-                        let rt0 = net2.now();
-                        match conn.get("server", &format!("/obj/{i}/{r}")) {
-                            Ok(body) if body.len() == BODY => {
-                                latencies.lock().push((net2.now() - rt0).as_secs_f64() * 1e3);
-                            }
-                            _ => {
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                break;
-                            }
-                        }
-                        net2.sleep(Duration::from_millis(10));
-                    }
-                }
-                Err(_) => {
-                    errors.fetch_add(requests, Ordering::Relaxed);
-                }
-            }
-            if live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                done.set();
-            }
-        });
-    }
-    let _g = net.enter();
-    done.wait(None);
-    let mut lat = latencies.lock().clone();
-    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    PhaseStats { latencies: lat, wall: net.now() - t0 }
-}
-
-/// A attackers trickle a partial head and stall; one probe client keeps
-/// issuing real requests throughout. Returns (408s received, probe stats).
-fn slowloris_phase(
-    net: &SimNet,
-    hosts: &[String],
+    threads: usize,
+    client_threads: usize,
     attackers: usize,
-    errors: &Arc<AtomicUsize>,
-) -> (usize, PhaseStats) {
-    let evicted: Arc<AtomicUsize> = Arc::new(AtomicUsize::new(0));
-    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
-    let done = net.runtime().signal();
-    let live = Arc::new(AtomicUsize::new(attackers + 1));
-    let t0 = net.now();
-    for a in 0..attackers {
-        let net2 = net.clone();
-        let host = hosts[a % hosts.len()].clone();
-        let evicted = Arc::clone(&evicted);
-        let done = Arc::clone(&done);
-        let live = Arc::clone(&live);
-        net.spawn(&format!("slowloris-{a}"), move || {
-            if let Ok(mut s) = net2.connect(&host, "server", 80) {
-                // A partial request head, then silence: the timer wheel
-                // must fire the header-read timeout.
-                let _ = s.write_all(b"GET /stall HTTP/1.1\r\nHost: serv");
-                net2.sleep(SLOWLORIS_TIMEOUT * 3);
-                let mut resp = Vec::new();
-                let _ = s.read_to_end(&mut resp);
-                if resp.windows(3).any(|w| w == b"408") {
-                    evicted.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            if live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                done.set();
-            }
-        });
-    }
-    {
-        let net2 = net.clone();
-        let host = hosts[0].clone();
-        let latencies = Arc::clone(&latencies);
-        let errors = Arc::clone(errors);
-        let done = Arc::clone(&done);
-        let live = Arc::clone(&live);
-        net.spawn("c10k-probe", move || {
-            match RawConn::open(&net2, &host, "server", 80) {
-                Ok(mut conn) => {
-                    for r in 0..20 {
-                        let rt0 = net2.now();
-                        match conn.get("server", &format!("/probe/{r}")) {
-                            Ok(body) if body.len() == BODY => {
-                                latencies.lock().push((net2.now() - rt0).as_secs_f64() * 1e3);
-                            }
-                            _ => {
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                break;
-                            }
-                        }
-                        net2.sleep(SLOWLORIS_TIMEOUT / 8);
-                    }
-                }
-                Err(_) => {
-                    errors.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            if live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                done.set();
-            }
-        });
-    }
-    let _g = net.enter();
-    done.wait(None);
-    let mut lat = latencies.lock().clone();
-    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (evicted.load(Ordering::Relaxed), PhaseStats { latencies: lat, wall: net.now() - t0 })
-}
-
-fn main() {
-    let clients = env_usize("DAVIX_BENCH_C10K_CLIENTS", 1000);
-    let requests = env_usize("DAVIX_BENCH_C10K_REQUESTS", 8);
-    let threads = env_usize("DAVIX_BENCH_C10K_THREADS", 4);
-    let attackers = env_usize("DAVIX_BENCH_C10K_ATTACKERS", 64);
-    println!("== Figure 7: c10k — {clients} keep-alive clients on {threads} reactor threads ==\n");
-
+) -> PointResult {
     let net = SimNet::new();
     net.add_host("server");
     let nhosts = 16.min(clients.max(1));
@@ -229,72 +337,177 @@ fn main() {
     );
     server.serve(Box::new(net.bind("server", 80).unwrap()), net.runtime());
     let stats = server.stats();
+
+    let rt: Arc<dyn netsim::Runtime> = net.runtime();
+    let reactor = Reactor::new(
+        Arc::clone(&rt),
+        ReactorConfig { threads: client_threads, name: "c10k-client".into(), ..Default::default() },
+    );
+
     let errors = Arc::new(AtomicUsize::new(0));
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
 
     // --- steady phase ---
-    let steady = steady_phase(&net, &hosts, clients, requests, &errors);
-    let threads_during = server.reactor_threads_live();
+    let _guard = net.enter();
+    let t0 = net.now();
+    let wall0 = std::time::Instant::now();
+    let fleet = Fleet::new(&rt);
+    for i in 0..clients {
+        let net2 = net.clone();
+        let host = hosts[i % hosts.len()].clone();
+        // Stagger connects over 50 ms so the accept burst is a ramp, then
+        // overlap: every client holds its connection for the whole loop.
+        let start_at = t0 + Duration::from_millis((i % 50) as u64);
+        fleet.launch(
+            &reactor,
+            start_at,
+            Box::new(move || {
+                net2.connect_start(&host, "server", 80).map(|s| Box::new(s) as BoxedStream)
+            }),
+            Box::new(HttpLoopSession::new(
+                i,
+                requests,
+                THINK,
+                Arc::clone(&latencies),
+                Arc::clone(&errors),
+            )),
+        );
+    }
+    let failures = fleet.wait();
+    let census = net.thread_census();
+    let real_wall = wall0.elapsed();
+    let virt_wall = net.now() - t0;
+
+    let threads_live = server.reactor_threads_live();
     let peak_open = stats.peak_open.load(Ordering::Relaxed);
     let served = stats.requests.load(Ordering::Relaxed);
-    let p50 = percentile(&steady.latencies, 50.0);
-    let p99 = percentile(&steady.latencies, 99.0);
-    let pmax = steady.latencies.last().copied().unwrap_or(0.0);
+    let mut lat = latencies.lock().clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
-    // --- slowloris phase ---
-    let timeouts_before = stats.timeouts.load(Ordering::Relaxed);
-    let (evicted, probe) = slowloris_phase(&net, &hosts, attackers, &errors);
-    let timeouts = stats.timeouts.load(Ordering::Relaxed) - timeouts_before;
-    let probe_p99 = percentile(&probe.latencies, 99.0);
-
-    server.stop();
-
-    let mut table = Table::new(&["phase", "conns", "requests", "p50 (ms)", "p99 (ms)", "max (ms)"]);
-    table.row(vec![
-        "steady keep-alive".into(),
-        clients.to_string(),
-        steady.latencies.len().to_string(),
-        format!("{p50:.1}"),
-        format!("{p99:.1}"),
-        format!("{pmax:.1}"),
-    ]);
-    table.row(vec![
-        "slowloris + probe".into(),
-        (attackers + 1).to_string(),
-        probe.latencies.len().to_string(),
-        format!("{:.1}", percentile(&probe.latencies, 50.0)),
-        format!("{probe_p99:.1}"),
-        format!("{:.1}", probe.latencies.last().copied().unwrap_or(0.0)),
-    ]);
-    table.print();
-    println!(
-        "\nreactor threads: {threads_during} (budget {threads}) for {clients} clients; \
-         peak open conns: {peak_open}; steady wall (virtual): {} s; \
-         slowloris evicted: {evicted}/{attackers} (server counted {timeouts})",
-        davix_bench::secs(steady.wall),
-    );
-
-    // The claim checks are hard assertions: this binary doubles as the CI
-    // gate for the reactor's concurrency behaviour.
     let errs = errors.load(Ordering::Relaxed);
-    assert_eq!(errs, 0, "{errs} request errors");
-    assert_eq!(steady.latencies.len(), clients * requests, "every steady request answered");
+    assert_eq!(errs, 0, "{errs} request errors at {clients} clients");
+    assert_eq!(failures, 0, "{failures} client sessions failed at {clients} clients");
+    assert_eq!(lat.len(), clients * requests, "every steady request answered");
     assert!(served >= (clients * requests) as u64, "server counted all requests");
-    assert_eq!(threads_during, threads, "reactor held its thread budget");
+    assert_eq!(threads_live, threads, "server reactor held its thread budget");
+    // The whole point of the refactor: OS thread count is O(reactor
+    // threads), independent of the client count. Census = server shards +
+    // client shards + acceptor/supervisor daemons + this entered thread.
+    assert!(
+        census <= threads + client_threads + 4,
+        "thread census {census} not O(reactor threads) for {clients} clients"
+    );
     assert!(
         peak_open >= (clients / 2) as u64,
-        "clients were actually concurrent (peak_open {peak_open} < {}/2)",
-        clients
+        "clients were actually concurrent (peak_open {peak_open} < {clients}/2)"
     );
+    let p99 = percentile(&lat, 99.0);
     assert!(p99 <= P99_BOUND_MS, "steady p99 {p99:.1} ms > bound {P99_BOUND_MS} ms");
-    assert_eq!(evicted, attackers, "every slowloris connection got a 408");
-    assert!(timeouts >= attackers as u64, "timer wheel counted the evictions");
-    assert!(probe_p99 <= P99_BOUND_MS, "probe p99 {probe_p99:.1} ms during attack");
+
+    // --- slowloris phase (optional) ---
+    let timeouts_before = stats.timeouts.load(Ordering::Relaxed);
+    let evicted_ctr = Arc::new(AtomicUsize::new(0));
+    let probe_lat: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut evicted = 0;
+    if attackers > 0 {
+        let fleet = Fleet::new(&rt);
+        let t1 = net.now();
+        for a in 0..attackers {
+            let net2 = net.clone();
+            let host = hosts[a % hosts.len()].clone();
+            fleet.launch(
+                &reactor,
+                t1,
+                Box::new(move || {
+                    net2.connect_start(&host, "server", 80).map(|s| Box::new(s) as BoxedStream)
+                }),
+                Box::new(SlowlorisSession {
+                    sent: 0,
+                    slept: false,
+                    resp: Vec::new(),
+                    evicted: Arc::clone(&evicted_ctr),
+                }),
+            );
+        }
+        {
+            let net2 = net.clone();
+            let host = hosts[0].clone();
+            fleet.launch(
+                &reactor,
+                t1,
+                Box::new(move || {
+                    net2.connect_start(&host, "server", 80).map(|s| Box::new(s) as BoxedStream)
+                }),
+                Box::new(HttpLoopSession::new(
+                    usize::MAX,
+                    20,
+                    SLOWLORIS_TIMEOUT / 8,
+                    Arc::clone(&probe_lat),
+                    Arc::clone(&errors),
+                )),
+            );
+        }
+        let failures = fleet.wait();
+        evicted = evicted_ctr.load(Ordering::Relaxed);
+        let timeouts = stats.timeouts.load(Ordering::Relaxed) - timeouts_before;
+        assert_eq!(failures, 0, "slowloris-phase sessions failed");
+        assert_eq!(evicted, attackers, "every slowloris connection got a 408");
+        assert!(timeouts >= attackers as u64, "timer wheel counted the evictions");
+        let probe_p99 = percentile(&probe_lat.lock(), 99.0);
+        assert!(probe_p99 <= P99_BOUND_MS, "probe p99 {probe_p99:.1} ms during attack");
+    }
+
+    let sched = net.sched_stats();
+    reactor.shutdown();
+    server.stop();
     assert_eq!(server.reactor_threads_live(), 0, "stop() joined every reactor thread");
+
+    let mut probe = probe_lat.lock().clone();
+    probe.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    PointResult {
+        latencies: lat,
+        virt_wall,
+        real_wall,
+        census,
+        sched,
+        peak_open,
+        served,
+        threads_live,
+        evicted,
+        probe_latencies: probe,
+    }
+}
+
+fn sweep_counts(main_clients: usize) -> Vec<usize> {
+    match std::env::var("DAVIX_BENCH_C10K_SWEEP") {
+        Err(_) => Vec::new(),
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| {
+                let t = t.trim();
+                if t.is_empty() {
+                    return None;
+                }
+                let n: usize = t
+                    .parse()
+                    .unwrap_or_else(|_| panic!("DAVIX_BENCH_C10K_SWEEP entry {t:?} not a count"));
+                // The main run already covers its own count.
+                (n != main_clients).then_some(n)
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let clients = env_usize("DAVIX_BENCH_C10K_CLIENTS", 10_000);
+    let requests = env_usize("DAVIX_BENCH_C10K_REQUESTS", 8);
+    let threads = env_usize("DAVIX_BENCH_C10K_THREADS", 4);
+    let client_threads = env_usize("DAVIX_BENCH_C10K_CLIENT_THREADS", 4);
+    let attackers = env_usize("DAVIX_BENCH_C10K_ATTACKERS", 64);
+    let sweep = sweep_counts(clients);
     println!(
-        "\nclaim check: {clients} concurrent keep-alive clients were served by \
-         {threads_during} reactor threads with p99 {p99:.1} ms (bound {P99_BOUND_MS} ms), \
-         and {evicted} slowloris connections were evicted by the timer wheel while the \
-         probe stayed at p99 {probe_p99:.1} ms."
+        "== Figure 7: c10k — {clients} keep-alive clients on {threads}+{client_threads} \
+         reactor threads ==\n"
     );
 
     let mut report = BenchReport::new("fig7_c10k");
@@ -302,17 +515,113 @@ fn main() {
         "workload",
         format!("{clients} clients x {requests} keep-alive GETs + {attackers} slowloris"),
     );
+
+    let mut scaling = Table::new(&[
+        "clients",
+        "requests",
+        "p50 (ms)",
+        "p99 (ms)",
+        "virt wall (s)",
+        "real wall (s)",
+        "census",
+        "parks",
+    ]);
+    let mut record_point = |n: usize, r: &PointResult, report: &mut BenchReport| {
+        let p50 = percentile(&r.latencies, 50.0);
+        let p99 = percentile(&r.latencies, 99.0);
+        scaling.row(vec![
+            n.to_string(),
+            r.latencies.len().to_string(),
+            format!("{p50:.1}"),
+            format!("{p99:.1}"),
+            format!("{:.2}", r.virt_wall.as_secs_f64()),
+            format!("{:.2}", r.real_wall.as_secs_f64()),
+            r.census.to_string(),
+            r.sched.parks.to_string(),
+        ]);
+        let pfx = format!("scale.c{n}");
+        report.metric(&format!("{pfx}.real_wall_s"), r.real_wall.as_secs_f64());
+        report.metric(&format!("{pfx}.virt_wall_s"), r.virt_wall.as_secs_f64());
+        report.metric(&format!("{pfx}.p99_ms"), p99);
+        report.metric(&format!("{pfx}.census"), r.census as f64);
+    };
+
+    // Scaling sweep (usually the smaller counts), then the main run.
+    for &n in &sweep {
+        println!("-- sweep point: {n} clients --");
+        let r = run_point(n, requests, threads, client_threads, 0);
+        record_point(n, &r, &mut report);
+    }
+    println!("-- main run: {clients} clients --");
+    let main_run = run_point(clients, requests, threads, client_threads, attackers);
+    record_point(clients, &main_run, &mut report);
+
+    let p50 = percentile(&main_run.latencies, 50.0);
+    let p99 = percentile(&main_run.latencies, 99.0);
+    let pmax = main_run.latencies.last().copied().unwrap_or(0.0);
+    let probe_p99 = percentile(&main_run.probe_latencies, 99.0);
+
+    let mut table = Table::new(&["phase", "conns", "requests", "p50 (ms)", "p99 (ms)", "max (ms)"]);
+    table.row(vec![
+        "steady keep-alive".into(),
+        clients.to_string(),
+        main_run.latencies.len().to_string(),
+        format!("{p50:.1}"),
+        format!("{p99:.1}"),
+        format!("{pmax:.1}"),
+    ]);
+    table.row(vec![
+        "slowloris + probe".into(),
+        (attackers + 1).to_string(),
+        main_run.probe_latencies.len().to_string(),
+        format!("{:.1}", percentile(&main_run.probe_latencies, 50.0)),
+        format!("{probe_p99:.1}"),
+        format!("{:.1}", main_run.probe_latencies.last().copied().unwrap_or(0.0)),
+    ]);
+    table.print();
+    println!();
+    scaling.print();
+    println!(
+        "\nserver reactor threads: {} (budget {threads}) for {clients} clients; \
+         peak open conns: {}; sim thread census: {}; steady wall: {} virtual s / \
+         {:.2} real s; slowloris evicted: {}/{attackers}",
+        main_run.threads_live,
+        main_run.peak_open,
+        main_run.census,
+        davix_bench::secs(main_run.virt_wall),
+        main_run.real_wall.as_secs_f64(),
+        main_run.evicted,
+    );
+    println!(
+        "\nclaim check: {clients} concurrent keep-alive clients were served by \
+         {} server reactor threads (clients multiplexed on {client_threads} more, \
+         sim census {}) with p99 {p99:.1} ms (bound {P99_BOUND_MS} ms), and {} \
+         slowloris connections were evicted by the timer wheel while the probe \
+         stayed at p99 {probe_p99:.1} ms.",
+        main_run.threads_live, main_run.census, main_run.evicted,
+    );
+
     report.metric("clients", clients as f64);
     report.metric("requests", (clients * requests) as f64);
-    report.metric("reactor_threads", threads_during as f64);
-    report.metric("peak_open_conns", peak_open as f64);
+    report.metric("reactor_threads", main_run.threads_live as f64);
+    report.metric("client_reactor_threads", client_threads as f64);
+    report.metric("thread_census", main_run.census as f64);
+    report.metric("peak_open_conns", main_run.peak_open as f64);
+    report.metric("served", main_run.served as f64);
     report.metric("steady.p50_ms", p50);
     report.metric("steady.p99_ms", p99);
     report.metric("steady.max_ms", pmax);
-    report.metric("steady.wall_s", steady.wall.as_secs_f64());
-    report.metric("slowloris.evicted", evicted as f64);
+    report.metric("steady.wall_s", main_run.virt_wall.as_secs_f64());
+    report.metric("steady.real_wall_s", main_run.real_wall.as_secs_f64());
+    report.metric("slowloris.evicted", main_run.evicted as f64);
     report.metric("slowloris.probe_p99_ms", probe_p99);
-    report.metric_ms("slowloris.wall_ms", probe.wall);
+    report.metric("sched.peak_registered", main_run.sched.peak_registered as f64);
+    report.metric("sched.peak_runnable", main_run.sched.peak_runnable as f64);
+    report.metric("sched.parks", main_run.sched.parks as f64);
+    report.metric("sched.unparks", main_run.sched.unparks as f64);
+    report.metric("sched.clock_advances", main_run.sched.clock_advances as f64);
+    report.metric("sched.events_applied", main_run.sched.events_applied as f64);
     report.table("main", &table);
+    report.table("scaling", &scaling);
     report.write();
 }

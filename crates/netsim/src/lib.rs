@@ -13,17 +13,25 @@
 //! * blocking [`std::io::Read`]/[`std::io::Write`] streams and listeners so
 //!   ordinary synchronous protocol code runs unmodified on top of it;
 //! * virtual time: a 300 ms RTT costs nothing to simulate, and timings are
-//!   reproducible run to run (modulo OS thread interleavings, which affect
-//!   event *insertion* order only when two threads race on the same link).
+//!   reproducible run to run — with a single-threaded [`Reactor`] driving
+//!   all actors the whole event trace is bit-identical per seed
+//!   ([`SimNet::record_trace`]/[`SimNet::take_trace`]); with free OS
+//!   threads, interleavings affect event *insertion* order only when two
+//!   threads race on the same link.
 //!
-//! The simulator coordinates real OS threads. Threads spawned through
-//! [`SimNet::spawn`] (or covered by a [`SimNet::enter`] guard) are
-//! *registered*: virtual time only advances when every registered thread is
-//! blocked on a simulator primitive, which keeps the clock honest. Blocking
-//! primitives are the streams themselves, [`SimNet::sleep`] and the
-//! [`Signal`]s handed out by the [`Runtime`] — protocol
-//! libraries must use those instead of bare condition variables so the
-//! simulator can see them.
+//! The simulator coordinates real OS threads through a cooperative
+//! scheduler (see [`sim`] for the full protocol): a dedicated clock thread
+//! owns time, and threads spawned through [`SimNet::spawn`] (or covered by
+//! a [`SimNet::enter`] guard) are *registered* — each parks on its own
+//! token, wakes are exact-key lookups rather than broadcasts, and virtual
+//! time only advances when every registered thread is parked, which keeps
+//! the clock honest at c10k+ waiter counts. Blocking primitives are the
+//! streams themselves, [`SimNet::sleep`] and the [`Signal`]s handed out by
+//! the [`Runtime`] — protocol libraries must use those instead of bare
+//! condition variables so the simulator can see them. For dense workloads,
+//! [`simclient`] runs whole client populations as event-driven
+//! [`simclient::ClientSession`] state machines on a [`Reactor`] instead of
+//! one thread per client.
 //!
 //! The same [`transport`] traits are implemented over real TCP sockets in
 //! [`tcp`], so everything built on top (the davix client, the storage server,
@@ -58,13 +66,15 @@
 
 pub mod reactor;
 pub mod sim;
+pub mod simclient;
 mod slab;
 pub mod tcp;
 pub mod transport;
 pub mod writeq;
 
 pub use reactor::{DriveOutcome, Driven, Reactor, ReactorConfig, TimerWheel};
-pub use sim::{LinkSpec, NetStats, SimListener, SimNet, SimRuntime, SimStream};
+pub use sim::{LinkSpec, NetStats, SchedStats, SimListener, SimNet, SimRuntime, SimStream};
+pub use simclient::{ClientSession, ClientTask, ConnectFn, Fleet, SessionPoll};
 pub use tcp::{RealRuntime, TcpConnector, TcpListenerWrap, TcpStreamWrap};
 pub use transport::{BoxedStream, Connector, Listener, Pollable, Runtime, Signal, Stream};
 pub use writeq::WriteQueue;

@@ -16,13 +16,37 @@
 //!   window — this is precisely the effect the paper's session recycling
 //!   exploits (§2.2).
 //! * **Virtual time** advances only when every *registered* thread is blocked
-//!   on a simulator primitive; the blocking thread then pops the earliest
-//!   scheduled events and applies them. Registered threads are those spawned
-//!   via [`SimNet::spawn`] or covered by an [`SimNet::enter`] guard.
+//!   on a simulator primitive. Registered threads are those spawned via
+//!   [`SimNet::spawn`] or covered by an [`SimNet::enter`] guard.
+//!
+//! ## Scheduler
+//!
+//! Time is owned by a single *clock thread* per net (`netsim-clock`), not by
+//! whichever blocked thread happens to notice quiescence:
+//!
+//! * **Parking protocol.** A thread blocking on a sim primitive inserts a
+//!   waiter record keyed by *what* it waits on into an exact-match index and
+//!   parks on its *own* condvar token. Wakes address exactly the waiters for one
+//!   key — there is no broadcast and no scan over the census, so total wake
+//!   cost is O(wakeups), not O(threads × wakeups).
+//! * **Quiescence rule.** The clock advances to the earliest scheduled event
+//!   only when no readiness wake is in flight, every registered thread is
+//!   parked (`reg_waiting == registered`) and at least one waiter exists.
+//!   Threads that park, deregister, schedule events from foreign threads or
+//!   finish delivering wakes *kick* the clock when that rule may have just
+//!   become true.
+//! * **Stall watchdog.** When the net is quiescent with nothing scheduled
+//!   and nothing changes for 10 s of real time, the clock
+//!   poisons the net and every parked thread panics with a census dump —
+//!   unless all waiters are sim-spawned daemons idle in `accept`/`Signal`
+//!   waits, which is ordinary quiescence (servers outliving their scenario).
+//! * **Clock hand-off.** When the last [`SimNet`] handle drops, the clock
+//!   thread retires and surviving daemon threads drive the clock themselves
+//!   from their park loops, so a scenario's servers still wind down cleanly.
 //!
 //! ## What is deliberately not modelled
 //!
-//! Packet loss, retransmission, Nagle's algorithm, receiver flow control and
+//! Packet loss, retransmission, receiver flow control and
 //! congestion-avoidance (linear) growth. The paper's observed effects —
 //! round-trip cost of chatty protocols, slow-start cost of fresh
 //! connections, bandwidth-delay-product ceilings — do not depend on them.
@@ -30,9 +54,10 @@
 use crate::slab::Slab;
 use crate::transport::{BoxedStream, Connector, Listener, Pollable, Runtime, Signal, Stream};
 use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,6 +79,27 @@ thread_local! {
     /// stuck there — or another net's daemon — is still a reportable
     /// deadlock.
     static SIM_DAEMON: Cell<usize> = const { Cell::new(0) };
+
+    /// This thread's park token for the net it last blocked on, keyed by
+    /// core address. One condvar per (thread, net) pair: a thread parks on
+    /// at most one primitive at a time, so the token is reusable across
+    /// waits, and re-keying on a different net allocates a fresh condvar so
+    /// a token is only ever paired with a single state mutex.
+    static PARK_TOKEN: RefCell<Option<(usize, Arc<Condvar>)>> = const { RefCell::new(None) };
+}
+
+fn park_token(core_id: usize) -> Arc<Condvar> {
+    PARK_TOKEN.with(|t| {
+        let mut t = t.borrow_mut();
+        match &*t {
+            Some((id, cv)) if *id == core_id => Arc::clone(cv),
+            _ => {
+                let cv = Arc::new(Condvar::new());
+                *t = Some((core_id, Arc::clone(&cv)));
+                cv
+            }
+        }
+    })
 }
 
 fn dur_ns(d: Duration) -> u64 {
@@ -185,6 +231,27 @@ pub struct NetStats {
     pub conns_per_host: HashMap<String, u64>,
 }
 
+/// Scheduler introspection counters (see [`SimNet::sched_stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct SchedStats {
+    /// Threads currently registered with the virtual clock.
+    pub registered: usize,
+    /// High-water mark of `registered`.
+    pub peak_registered: usize,
+    /// Registered threads currently runnable (not parked).
+    pub runnable: usize,
+    /// High-water mark of the runnable set.
+    pub peak_runnable: usize,
+    /// Total times a thread parked on a sim primitive.
+    pub parks: u64,
+    /// Total targeted wakeups delivered to parked threads.
+    pub unparks: u64,
+    /// Virtual-clock advances (one per batch of same-instant events).
+    pub clock_advances: u64,
+    /// Simulation events applied.
+    pub events_applied: u64,
+}
+
 // ---------------------------------------------------------------------------
 // internal state
 // ---------------------------------------------------------------------------
@@ -231,7 +298,7 @@ impl Ord for Event {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum WaitKind {
     Readable { conn: usize, dir: usize },
     Window { conn: usize, dir: usize },
@@ -250,6 +317,8 @@ struct Waiter {
     /// Thread created by [`SimNet::spawn`] (vs a foreground entered thread).
     daemon: bool,
     thread: String,
+    /// The parked thread's own wake token (no shared broadcast condvar).
+    cv: Arc<Condvar>,
 }
 
 #[derive(PartialEq, Eq)]
@@ -326,6 +395,9 @@ struct State {
     listeners: HashMap<(u32, u16), ListenerState>,
     conns: Slab<Conn>,
     waiters: Slab<Waiter>,
+    /// Exact-key index over parked waiters: wakes address precisely the
+    /// waiters for one key instead of scanning the whole census.
+    wait_index: HashMap<WaitKind, Vec<usize>>,
     waiter_gen: u64,
     signals: Slab<SignalState>,
     registered: usize,
@@ -335,8 +407,12 @@ struct State {
     idle_noted: bool,
     /// Reactor wakers registered per (connection, endpoint side) via
     /// [`Pollable::set_waker`]. Fired whenever that side may have become
-    /// readable (payload/FIN arrived) or writable (ACK opened the window).
+    /// readable (payload/FIN arrived) or writable (ACK opened the window,
+    /// the handshake finished).
     io_wakers: HashMap<(usize, usize), Arc<dyn Signal>>,
+    /// Reactor wakers fired when a listener's backlog grows (or the
+    /// listener closes), registered via [`SimListener::set_accept_waker`].
+    accept_wakers: HashMap<(u32, u16), Arc<dyn Signal>>,
     /// Wakers queued while the state lock is held; fired after release
     /// (a waker's `set()` may re-enter the simulator, e.g. a `SimSignal`).
     pending_wakes: Vec<Arc<dyn Signal>>,
@@ -348,6 +424,26 @@ struct State {
     /// idle timer racing the readiness wake for a request that already
     /// arrived).
     wakes_in_flight: usize,
+    /// Set by the stall watchdog: the net is poisoned and every thread that
+    /// parks (or is parked) panics with `stall_dump`.
+    stalled: bool,
+    stall_dump: String,
+    /// Set when the last `SimNet` handle drops; tells the clock thread to
+    /// retire.
+    shutdown: bool,
+    /// The clock thread has retired (shutdown or stall); parked waiters
+    /// self-drive the clock from their park loops.
+    clock_dead: bool,
+    /// Virtual-time event trace, recorded while `Some` (see
+    /// [`SimNet::record_trace`]).
+    trace: Option<Vec<(u64, String)>>,
+    // scheduler introspection counters
+    sched_parks: u64,
+    sched_unparks: u64,
+    peak_registered: usize,
+    peak_runnable: usize,
+    clock_advances: u64,
+    events_applied: u64,
 }
 
 impl State {
@@ -369,23 +465,75 @@ impl State {
         self.links.get(&(a, b)).copied().unwrap_or(self.default_link)
     }
 
-    /// Marks matching waiters ready; returns how many woke.
-    fn wake_where(&mut self, pred: impl Fn(&WaitKind) -> bool) -> usize {
-        let mut woke = 0;
-        let reg_waiting = &mut self.reg_waiting;
-        for (_, w) in self.waiters.iter_mut() {
-            if !w.ready && pred(&w.kind) {
+    /// Advance only when no wake is in flight, every registered thread is
+    /// parked and someone is actually waiting on the outcome.
+    fn quiescent(&self) -> bool {
+        self.wakes_in_flight == 0 && self.reg_waiting == self.registered && self.waiters.len() > 0
+    }
+
+    fn all_idle_daemons(&self) -> bool {
+        self.waiters.iter().all(|(_, w)| {
+            w.daemon && matches!(w.kind, WaitKind::Accept { .. } | WaitKind::Signal { .. })
+        })
+    }
+
+    fn note_runnable(&mut self) {
+        let runnable = self.registered.saturating_sub(self.reg_waiting);
+        if runnable > self.peak_runnable {
+            self.peak_runnable = runnable;
+        }
+    }
+
+    fn register_thread(&mut self) {
+        self.registered += 1;
+        if self.registered > self.peak_registered {
+            self.peak_registered = self.registered;
+        }
+        self.change_tick += 1;
+        self.note_runnable();
+    }
+
+    /// Mark one waiter ready and wake its token. No-op when already ready.
+    fn mark_ready(&mut self, wid: usize, timed_out: bool) {
+        let registered = match self.waiters.get_mut(wid) {
+            Some(w) if !w.ready => {
                 w.ready = true;
-                if w.registered {
-                    *reg_waiting -= 1;
-                }
-                woke += 1;
+                w.timed_out = timed_out;
+                w.cv.notify_one();
+                w.registered
+            }
+            _ => return,
+        };
+        if registered {
+            self.reg_waiting -= 1;
+        }
+        self.sched_unparks += 1;
+        self.change_tick += 1;
+        self.note_runnable();
+    }
+
+    /// Wake every waiter parked on exactly `kind`; returns how many woke.
+    fn wake_kind(&mut self, kind: WaitKind) -> usize {
+        let wids = match self.wait_index.remove(&kind) {
+            Some(v) => v,
+            None => return 0,
+        };
+        let n = wids.len();
+        for wid in wids {
+            self.mark_ready(wid, false);
+        }
+        n
+    }
+
+    fn unindex(&mut self, kind: WaitKind, wid: usize) {
+        if let Some(v) = self.wait_index.get_mut(&kind) {
+            if let Some(p) = v.iter().position(|&x| x == wid) {
+                v.swap_remove(p);
+            }
+            if v.is_empty() {
+                self.wait_index.remove(&kind);
             }
         }
-        if woke > 0 {
-            self.change_tick += 1;
-        }
-        woke
     }
 
     /// Queue the reactor waker (if any) for endpoint `side` of `conn`; the
@@ -396,16 +544,21 @@ impl State {
         }
     }
 
+    fn queue_accept_wake(&mut self, host: u32, port: u16) {
+        if let Some(w) = self.accept_wakers.get(&(host, port)) {
+            self.pending_wakes.push(Arc::clone(w));
+        }
+    }
+
     fn reset_conn(&mut self, cid: usize) {
         if let Some(c) = self.conns.get_mut(cid) {
             if !c.reset {
                 c.reset = true;
-                self.wake_where(|k| match *k {
-                    WaitKind::Readable { conn, .. }
-                    | WaitKind::Window { conn, .. }
-                    | WaitKind::ConnectDone { conn } => conn == cid,
-                    _ => false,
-                });
+                self.wake_kind(WaitKind::ConnectDone { conn: cid });
+                for dir in 0..2 {
+                    self.wake_kind(WaitKind::Readable { conn: cid, dir });
+                    self.wake_kind(WaitKind::Window { conn: cid, dir });
+                }
                 self.queue_io_wake(cid, 0);
                 self.queue_io_wake(cid, 1);
             }
@@ -413,6 +566,29 @@ impl State {
     }
 
     fn apply(&mut self, ev: EventKind) {
+        self.events_applied += 1;
+        if self.trace.is_some() {
+            // Network-level events only: WakeWaiter entries are scheduler
+            // internals whose waiter ids depend on OS-thread park patterns,
+            // while the network schedule is what determinism is about.
+            let label = match &ev {
+                EventKind::Deliver { conn, dir, data } => {
+                    Some(format!("deliver c{conn}.{dir} {}b", data.len()))
+                }
+                EventKind::Ack { conn, dir, bytes } => Some(format!("ack c{conn}.{dir} {bytes}b")),
+                EventKind::SynArrive { conn, host, port } => {
+                    Some(format!("syn c{conn} -> h{host}:{port}"))
+                }
+                EventKind::Established { conn } => Some(format!("established c{conn}")),
+                EventKind::Refuse { conn } => Some(format!("refuse c{conn}")),
+                EventKind::Fin { conn, dir } => Some(format!("fin c{conn}.{dir}")),
+                EventKind::WakeWaiter { .. } => None,
+            };
+            let now = self.now_ns;
+            if let (Some(label), Some(t)) = (label, self.trace.as_mut()) {
+                t.push((now, label));
+            }
+        }
         match ev {
             EventKind::Deliver { conn, dir, data } => {
                 let len = data.len();
@@ -424,7 +600,7 @@ impl State {
                     d.rbuf.push_back(data);
                     d.rbuf_len += len;
                     self.stats.bytes_delivered += len as u64;
-                    self.wake_where(|k| matches!(*k, WaitKind::Readable { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                    self.wake_kind(WaitKind::Readable { conn, dir });
                     // Direction `dir` is read by endpoint `1 - dir`.
                     self.queue_io_wake(conn, 1 - dir);
                 }
@@ -437,7 +613,7 @@ impl State {
                     let d = &mut c.dirs[dir];
                     d.inflight = d.inflight.saturating_sub(bytes);
                     d.cwnd = (d.cwnd + bytes).min(d.max_cwnd);
-                    self.wake_where(|k| matches!(*k, WaitKind::Window { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                    self.wake_kind(WaitKind::Window { conn, dir });
                     // Direction `dir` is written by endpoint `dir`.
                     self.queue_io_wake(conn, dir);
                 }
@@ -453,7 +629,8 @@ impl State {
                 if let Some(l) = self.listeners.get_mut(&(host, port)) {
                     l.backlog.push_back(conn);
                 }
-                self.wake_where(|k| matches!(*k, WaitKind::Accept { host: h2, port: p2 } if h2 == host && p2 == port));
+                self.wake_kind(WaitKind::Accept { host, port });
+                self.queue_accept_wake(host, port);
             }
             EventKind::Established { conn } => {
                 if let Some(c) = self.conns.get_mut(conn) {
@@ -461,34 +638,32 @@ impl State {
                         c.established = true;
                     }
                 }
-                self.wake_where(|k| matches!(*k, WaitKind::ConnectDone { conn: c2 } if c2 == conn));
+                self.wake_kind(WaitKind::ConnectDone { conn });
+                // The connecting side may have a non-blocking write parked
+                // on the handshake.
+                self.queue_io_wake(conn, 0);
             }
             EventKind::Refuse { conn } => {
                 if let Some(c) = self.conns.get_mut(conn) {
                     c.refused = true;
                 }
-                self.wake_where(|k| matches!(*k, WaitKind::ConnectDone { conn: c2 } if c2 == conn));
+                self.wake_kind(WaitKind::ConnectDone { conn });
+                self.queue_io_wake(conn, 0);
             }
             EventKind::Fin { conn, dir } => {
                 if let Some(c) = self.conns.get_mut(conn) {
                     c.dirs[dir].fin = true;
-                    self.wake_where(|k| matches!(*k, WaitKind::Readable { conn: c2, dir: d2 } if c2 == conn && d2 == dir));
+                    self.wake_kind(WaitKind::Readable { conn, dir });
                     self.queue_io_wake(conn, 1 - dir);
                 }
             }
             EventKind::WakeWaiter { wid, gen } => {
-                let mut woke = false;
-                if let Some(w) = self.waiters.get_mut(wid) {
-                    if w.gen == gen && !w.ready {
-                        w.ready = true;
-                        w.timed_out = true;
-                        woke = w.registered;
-                        self.change_tick += 1;
-                    }
-                }
-                if woke {
-                    self.reg_waiting -= 1;
-                }
+                let kind = match self.waiters.get(wid) {
+                    Some(w) if w.gen == gen && !w.ready => w.kind,
+                    _ => return,
+                };
+                self.unindex(kind, wid);
+                self.mark_ready(wid, true);
             }
         }
     }
@@ -509,6 +684,7 @@ impl State {
             let ev = self.events.pop().expect("peeked event");
             self.apply(ev.kind);
         }
+        self.clock_advances += 1;
         self.change_tick += 1;
     }
 
@@ -517,11 +693,13 @@ impl State {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "now={:?} events={} registered={} reg_waiting={}",
+            "now={:?} events={} registered={} reg_waiting={} parks={} unparks={}",
             Duration::from_nanos(self.now_ns),
             self.events.len(),
             self.registered,
-            self.reg_waiting
+            self.reg_waiting,
+            self.sched_parks,
+            self.sched_unparks,
         );
         for (id, w) in self.waiters.iter() {
             let _ = writeln!(
@@ -534,9 +712,20 @@ impl State {
     }
 }
 
+fn stall_panic(st: &State) -> ! {
+    panic!(
+        "netsim: simulation stalled — every registered thread is blocked, \
+         no events are scheduled and nothing changed for {STALL_TIMEOUT:?}\n{}",
+        st.stall_dump
+    );
+}
+
 struct SimCore {
     state: Mutex<State>,
-    cv: Condvar,
+    /// The clock thread's own park token.
+    clock_cv: Condvar,
+    /// Live `SimNet` handles; the clock thread retires when this hits zero.
+    net_handles: AtomicUsize,
 }
 
 impl std::fmt::Debug for SimCore {
@@ -546,10 +735,6 @@ impl std::fmt::Debug for SimCore {
 }
 
 impl SimCore {
-    /// Park the calling thread until `kind` is satisfied or `deadline_ns`
-    /// passes. The caller must hold (and pass) the state lock; the lock is
-    /// released while parked and re-acquired before returning. The parked
-    /// thread drives the virtual clock when it is the last runnable one.
     fn core_id(&self) -> usize {
         self as *const SimCore as usize
     }
@@ -570,43 +755,64 @@ impl SimCore {
             st.wakes_in_flight -= n;
             st.change_tick += 1;
         }
-        self.cv.notify_all();
     }
 
-    /// Release the lock, notify parked threads and fire any queued wakers.
-    /// The tail of every public operation that may have queued wakes.
+    /// Release the lock and fire any queued wakers. The tail of every public
+    /// operation that may have queued wakes.
     fn unlock_and_wake(&self, mut st: MutexGuard<'_, State>) {
         let wakes = std::mem::take(&mut st.pending_wakes);
         if wakes.is_empty() {
-            drop(st);
-            self.notify();
+            self.kick_clock(&st);
             return;
         }
         let n = wakes.len();
         st.wakes_in_flight += n;
         drop(st);
-        self.notify();
         for w in wakes {
             w.set();
         }
         let mut st = self.state.lock();
         st.wakes_in_flight -= n;
         st.change_tick += 1;
-        drop(st);
-        self.notify();
+        self.kick_clock(&st);
     }
 
+    /// Nudge the clock owner when the net may have just become quiescent (or
+    /// gained events while quiescent). Cheap no-op otherwise.
+    fn kick_clock(&self, st: &State) {
+        if !st.quiescent() {
+            return;
+        }
+        if st.clock_dead {
+            // No clock thread: nudge one parked (not-yet-ready) waiter to
+            // self-drive from its park loop.
+            if let Some((_, w)) = st.waiters.iter().find(|(_, w)| !w.ready) {
+                w.cv.notify_one();
+            }
+        } else {
+            self.clock_cv.notify_one();
+        }
+    }
+
+    /// Park the calling thread until `kind` is satisfied or `deadline_ns`
+    /// passes. The caller must hold (and pass) the state lock; the lock is
+    /// released while parked and re-acquired before returning. The thread
+    /// parks on its own token; virtual time is driven by the clock thread.
     fn wait_on(
         &self,
         st: &mut MutexGuard<'_, State>,
         kind: WaitKind,
         deadline_ns: Option<u64>,
     ) -> WaitOutcome {
+        if st.stalled {
+            stall_panic(st);
+        }
         let registered = IN_SIM.with(|c| c.get()) == self.core_id();
         let daemon = SIM_DAEMON.with(|c| c.get()) == self.core_id();
         st.waiter_gen += 1;
         let gen = st.waiter_gen;
         let thread = std::thread::current().name().unwrap_or("?").to_string();
+        let cv = park_token(self.core_id());
         let wid = st.waiters.insert(Waiter {
             kind,
             gen,
@@ -615,81 +821,144 @@ impl SimCore {
             registered,
             daemon,
             thread,
+            cv: Arc::clone(&cv),
         });
+        st.wait_index.entry(kind).or_default().push(wid);
         if registered {
             st.reg_waiting += 1;
         }
+        st.sched_parks += 1;
+        st.change_tick += 1;
         if let Some(d) = deadline_ns {
             st.schedule(d, EventKind::WakeWaiter { wid, gen });
         }
         loop {
-            let w = st.waiters.get(wid).expect("waiter alive");
-            if w.ready {
-                let timed_out = w.timed_out;
+            if st.stalled {
+                stall_panic(st);
+            }
+            if st.waiters.get(wid).expect("waiter alive").ready {
+                let timed_out = st.waiters.get(wid).expect("waiter alive").timed_out;
                 st.waiters.remove(wid);
-                // reg_waiting was already decremented when we were marked ready
+                st.unindex(kind, wid);
                 return if timed_out { WaitOutcome::TimedOut } else { WaitOutcome::Ready };
             }
-            if st.reg_waiting == st.registered {
-                if st.wakes_in_flight > 0 {
-                    // A readiness wake is being delivered outside the lock;
-                    // the thread it targets has not run yet. Advancing the
-                    // clock now would fire timeouts the wake pre-empts, so
-                    // wait for delivery to finish (real time, no virtual
-                    // cost).
-                    self.cv.wait(st);
-                    continue;
-                }
-                if !st.events.is_empty() {
-                    st.advance();
-                    self.flush_wakes(st);
-                    self.cv.notify_all();
-                    continue;
-                }
-                // No registered thread can run and nothing is scheduled.
-                // Either a foreign (unregistered) thread will act, or the
-                // simulation is stalled.
-                let tick = st.change_tick;
-                let timed_out = self.cv.wait_for(st, STALL_TIMEOUT).timed_out();
-                if timed_out && st.change_tick == tick {
-                    // Sim-spawned daemon threads (server accept loops,
-                    // reactor shards parked on their wakers) sitting in
-                    // `accept`/`Signal` waits with no events scheduled is
-                    // quiescence, not deadlock: servers routinely outlive
-                    // the scenario that spawned them and wait for
-                    // connections (or readiness wakes) that may never come.
-                    // The `daemon` bit keeps the watchdog intact for
-                    // foreground threads — a *test's own* thread stuck in
-                    // accept or on a signal still panics with the stall
-                    // dump below.
-                    if st.waiters.iter().all(|(_, w)| {
-                        w.daemon
-                            && matches!(w.kind, WaitKind::Accept { .. } | WaitKind::Signal { .. })
-                    }) {
-                        if !st.idle_noted {
-                            st.idle_noted = true;
-                            eprintln!(
-                                "netsim: all registered threads are server daemons idle in \
-                                 accept/signal waits with no scheduled events; treating as \
-                                 quiescent (servers outliving their scenario)."
-                            );
-                        }
-                        continue;
-                    }
-                    let dump = st.dump();
-                    panic!(
-                        "netsim: simulation stalled — every registered thread is blocked, \
-                         no events are scheduled and nothing changed for {STALL_TIMEOUT:?}\n{dump}"
+            if st.clock_dead {
+                self.drive_fallback(st, &cv);
+                continue;
+            }
+            self.kick_clock(st);
+            cv.wait(st);
+        }
+    }
+
+    /// Self-drive the clock from a parked waiter once the dedicated clock
+    /// thread has retired (all `SimNet` handles dropped): surviving daemon
+    /// threads keep making progress, old-engine style.
+    fn drive_fallback(&self, st: &mut MutexGuard<'_, State>, cv: &Arc<Condvar>) {
+        if !st.quiescent() {
+            cv.wait(st);
+            return;
+        }
+        if !st.events.is_empty() {
+            st.advance();
+            self.flush_wakes(st);
+            return;
+        }
+        let tick = st.change_tick;
+        let timed_out = cv.wait_for(st, STALL_TIMEOUT).timed_out();
+        if !(timed_out && st.change_tick == tick) {
+            return;
+        }
+        if !st.quiescent() || !st.events.is_empty() {
+            return;
+        }
+        if st.all_idle_daemons() {
+            if !st.idle_noted {
+                st.idle_noted = true;
+                eprintln!(
+                    "netsim: all registered threads are server daemons idle in accept/signal \
+                     waits with no scheduled events; treating as quiescent (servers outliving \
+                     their scenario)."
+                );
+            }
+            return;
+        }
+        st.stall_dump = st.dump();
+        st.stalled = true;
+        for (_, w) in st.waiters.iter() {
+            w.cv.notify_one();
+        }
+        // The caller's loop sees `stalled` and panics with the dump.
+    }
+
+    /// The dedicated clock thread: the sole owner of virtual-time
+    /// advancement while any `SimNet` handle is alive.
+    fn clock_main(core: Arc<SimCore>) {
+        let mut st = core.state.lock();
+        loop {
+            if st.shutdown {
+                break;
+            }
+            if !st.quiescent() {
+                core.clock_cv.wait(&mut st);
+                continue;
+            }
+            if !st.events.is_empty() {
+                st.advance();
+                core.flush_wakes(&mut st);
+                continue;
+            }
+            // Quiescent with nothing scheduled: either a foreign
+            // (unregistered) thread is about to act, or the simulation is
+            // stalled. Wait in real time; run the watchdog when nothing
+            // changed over the whole window.
+            let tick = st.change_tick;
+            let timed_out = core.clock_cv.wait_for(&mut st, STALL_TIMEOUT).timed_out();
+            if st.shutdown {
+                break;
+            }
+            if !(timed_out && st.change_tick == tick) {
+                continue;
+            }
+            if !st.quiescent() || !st.events.is_empty() {
+                continue;
+            }
+            // Sim-spawned daemon threads (server accept loops, reactor
+            // shards parked on their wakers) sitting in `accept`/`Signal`
+            // waits with no events scheduled is quiescence, not deadlock:
+            // servers routinely outlive the scenario that spawned them. The
+            // `daemon` bit keeps the watchdog intact for foreground
+            // threads — a *test's own* thread stuck in accept or on a
+            // signal still panics with the stall dump.
+            if st.all_idle_daemons() {
+                if !st.idle_noted {
+                    st.idle_noted = true;
+                    eprintln!(
+                        "netsim: all registered threads are server daemons idle in accept/signal \
+                         waits with no scheduled events; treating as quiescent (servers \
+                         outliving their scenario)."
                     );
                 }
                 continue;
             }
-            self.cv.wait(st);
+            // Stall: poison the net so every parked (and future) waiter
+            // panics with the census dump, then retire — the net is
+            // unusable either way.
+            st.stall_dump = st.dump();
+            st.stalled = true;
+            st.clock_dead = true;
+            for (_, w) in st.waiters.iter() {
+                w.cv.notify_one();
+            }
+            return;
         }
-    }
-
-    fn notify(&self) {
-        self.cv.notify_all();
+        // Last SimNet handle dropped: hand the clock to the surviving
+        // waiters (sim daemons can outlive the net handle); they self-drive
+        // via the `clock_dead` fallback in `wait_on`.
+        st.clock_dead = true;
+        for (_, w) in st.waiters.iter() {
+            w.cv.notify_one();
+        }
     }
 }
 
@@ -698,9 +967,27 @@ impl SimCore {
 // ---------------------------------------------------------------------------
 
 /// Handle to a simulated network. Cheap to clone.
-#[derive(Clone)]
 pub struct SimNet {
     core: Arc<SimCore>,
+}
+
+impl Clone for SimNet {
+    fn clone(&self) -> Self {
+        self.core.net_handles.fetch_add(1, Ordering::Relaxed);
+        SimNet { core: Arc::clone(&self.core) }
+    }
+}
+
+impl Drop for SimNet {
+    fn drop(&mut self) {
+        if self.core.net_handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut st = self.core.state.lock();
+            st.shutdown = true;
+            st.change_tick += 1;
+            drop(st);
+            self.core.clock_cv.notify_one();
+        }
+    }
 }
 
 impl Default for SimNet {
@@ -712,34 +999,52 @@ impl Default for SimNet {
 impl SimNet {
     /// Create an empty network at virtual time zero.
     pub fn new() -> Self {
-        SimNet {
-            core: Arc::new(SimCore {
-                state: Mutex::new(State {
-                    now_ns: 0,
-                    seq: 0,
-                    change_tick: 0,
-                    events: BinaryHeap::new(),
-                    hosts: Vec::new(),
-                    host_by_name: HashMap::new(),
-                    links: HashMap::new(),
-                    default_link: LinkSpec::default(),
-                    link_busy: HashMap::new(),
-                    listeners: HashMap::new(),
-                    conns: Slab::new(),
-                    waiters: Slab::new(),
-                    waiter_gen: 0,
-                    signals: Slab::new(),
-                    registered: 0,
-                    reg_waiting: 0,
-                    stats: NetStats::default(),
-                    idle_noted: false,
-                    wakes_in_flight: 0,
-                    io_wakers: HashMap::new(),
-                    pending_wakes: Vec::new(),
-                }),
-                cv: Condvar::new(),
+        let core = Arc::new(SimCore {
+            state: Mutex::new(State {
+                now_ns: 0,
+                seq: 0,
+                change_tick: 0,
+                events: BinaryHeap::new(),
+                hosts: Vec::new(),
+                host_by_name: HashMap::new(),
+                links: HashMap::new(),
+                default_link: LinkSpec::default(),
+                link_busy: HashMap::new(),
+                listeners: HashMap::new(),
+                conns: Slab::new(),
+                waiters: Slab::new(),
+                wait_index: HashMap::new(),
+                waiter_gen: 0,
+                signals: Slab::new(),
+                registered: 0,
+                reg_waiting: 0,
+                stats: NetStats::default(),
+                idle_noted: false,
+                io_wakers: HashMap::new(),
+                accept_wakers: HashMap::new(),
+                pending_wakes: Vec::new(),
+                wakes_in_flight: 0,
+                stalled: false,
+                stall_dump: String::new(),
+                shutdown: false,
+                clock_dead: false,
+                trace: None,
+                sched_parks: 0,
+                sched_unparks: 0,
+                peak_registered: 0,
+                peak_runnable: 0,
+                clock_advances: 0,
+                events_applied: 0,
             }),
-        }
+            clock_cv: Condvar::new(),
+            net_handles: AtomicUsize::new(1),
+        });
+        let clock_core = Arc::clone(&core);
+        std::thread::Builder::new()
+            .name("netsim-clock".into())
+            .spawn(move || SimCore::clock_main(clock_core))
+            .expect("spawn netsim clock thread");
+        SimNet { core }
     }
 
     /// Add a host (idempotent) and return its name back for chaining.
@@ -826,12 +1131,52 @@ impl SimNet {
         self.core.state.lock().stats.clone()
     }
 
+    /// Number of threads currently registered with the virtual clock.
+    pub fn thread_census(&self) -> usize {
+        self.core.state.lock().registered
+    }
+
+    /// Snapshot of the scheduler introspection counters.
+    pub fn sched_stats(&self) -> SchedStats {
+        let st = self.core.state.lock();
+        SchedStats {
+            registered: st.registered,
+            peak_registered: st.peak_registered,
+            runnable: st.registered.saturating_sub(st.reg_waiting),
+            peak_runnable: st.peak_runnable,
+            parks: st.sched_parks,
+            unparks: st.sched_unparks,
+            clock_advances: st.clock_advances,
+            events_applied: st.events_applied,
+        }
+    }
+
+    /// Start (`true`) or stop (`false`) recording the virtual-time event
+    /// trace. Starting resets any previously recorded trace.
+    pub fn record_trace(&self, on: bool) {
+        let mut st = self.core.state.lock();
+        st.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the recorded virtual-time event trace: `(virtual instant, event
+    /// summary)` pairs in application order. Recording continues (empty).
+    pub fn take_trace(&self) -> Vec<(Duration, String)> {
+        let mut st = self.core.state.lock();
+        match st.trace.as_mut() {
+            Some(t) => std::mem::take(t)
+                .into_iter()
+                .map(|(ns, label)| (Duration::from_nanos(ns), label))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Spawn a *registered* thread: the virtual clock waits for it whenever
     /// it is runnable. The closure must only block on simulator primitives.
     pub fn spawn<F: FnOnce() + Send + 'static>(&self, name: &str, f: F) {
         {
             let mut st = self.core.state.lock();
-            st.registered += 1;
+            st.register_thread();
         }
         let core = Arc::clone(&self.core);
         std::thread::Builder::new()
@@ -846,8 +1191,7 @@ impl SimNet {
                         let mut st = self.0.state.lock();
                         st.registered -= 1;
                         st.change_tick += 1;
-                        drop(st);
-                        self.0.notify();
+                        self.0.kick_clock(&st);
                     }
                 }
                 let _g = Dereg(core);
@@ -864,7 +1208,7 @@ impl SimNet {
         let prev = IN_SIM.with(|c| c.replace(id));
         if prev != id {
             let mut st = self.core.state.lock();
-            st.registered += 1;
+            st.register_thread();
         }
         EnterGuard { core: Arc::clone(&self.core), prev }
     }
@@ -888,17 +1232,15 @@ impl SimNet {
         })
     }
 
-    /// Connect from `from_host` to `to_host:port`, waiting at most `timeout`.
-    pub fn connect_timeout(
-        &self,
+    /// Create the connection record and schedule the handshake events.
+    fn begin_connect_locked(
+        st: &mut State,
         from_host: &str,
         to_host: &str,
         port: u16,
-        timeout: Option<Duration>,
-    ) -> io::Result<SimStream> {
-        let mut st = self.core.state.lock();
-        let a = Self::host_id(&st, from_host)?;
-        let b = Self::host_id(&st, to_host)?;
+    ) -> io::Result<usize> {
+        let a = Self::host_id(st, from_host)?;
+        let b = Self::host_id(st, to_host)?;
         let spec = st.link_spec(a, b);
         let rtt = 2 * dur_ns(spec.delay);
         let conn = Conn {
@@ -927,7 +1269,19 @@ impl SimNet {
             st.schedule(now + delay, EventKind::SynArrive { conn: cid, host: b, port });
             st.schedule(now + setup, EventKind::Established { conn: cid });
         }
-        self.core.notify();
+        Ok(cid)
+    }
+
+    /// Connect from `from_host` to `to_host:port`, waiting at most `timeout`.
+    pub fn connect_timeout(
+        &self,
+        from_host: &str,
+        to_host: &str,
+        port: u16,
+        timeout: Option<Duration>,
+    ) -> io::Result<SimStream> {
+        let mut st = self.core.state.lock();
+        let cid = Self::begin_connect_locked(&mut st, from_host, to_host, port)?;
         let deadline = timeout.map(|t| st.now_ns + dur_ns(t));
         loop {
             let c = st.conns.get(cid).expect("conn");
@@ -968,6 +1322,31 @@ impl SimNet {
         self.connect_timeout(from_host, to_host, port, None)
     }
 
+    /// Begin a *non-blocking* connect: the SYN goes out and the stream is
+    /// returned immediately. Until the handshake completes, `try_write`
+    /// returns `WouldBlock` (then `ConnectionRefused` on RST); register a
+    /// waker via [`Pollable::set_waker`] to learn when it resolves. Blocking
+    /// `write` on the stream waits for establishment first.
+    pub fn connect_start(
+        &self,
+        from_host: &str,
+        to_host: &str,
+        port: u16,
+    ) -> io::Result<SimStream> {
+        let mut st = self.core.state.lock();
+        let cid = Self::begin_connect_locked(&mut st, from_host, to_host, port)?;
+        self.core.kick_clock(&st);
+        drop(st);
+        Ok(SimStream {
+            core: Arc::clone(&self.core),
+            conn: cid,
+            side: 0,
+            peer: format!("{to_host}:{port}"),
+            read_timeout: None,
+            waker_set: false,
+        })
+    }
+
     /// A [`Connector`] whose outbound connections originate at `host`.
     pub fn connector(&self, host: &str) -> Arc<SimConnector> {
         Arc::new(SimConnector { net: self.clone(), host: host.to_string() })
@@ -992,8 +1371,7 @@ impl Drop for EnterGuard {
             let mut st = self.core.state.lock();
             st.registered -= 1;
             st.change_tick += 1;
-            drop(st);
-            self.core.notify();
+            self.core.kick_clock(&st);
         }
     }
 }
@@ -1071,6 +1449,9 @@ impl Read for SimStream {
             if c.reset {
                 return Err(io::Error::new(io::ErrorKind::ConnectionReset, "connection reset"));
             }
+            if c.refused {
+                return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "connection refused"));
+            }
             if d.fin {
                 return Ok(0);
             }
@@ -1092,6 +1473,26 @@ impl Write for SimStream {
         let core = Arc::clone(&self.core);
         let mut st = core.state.lock();
         let dir = self.side;
+        // The connecting side cannot transmit before the handshake finishes
+        // (streams from `connect_start` may still be mid-handshake).
+        if self.side == 0 {
+            loop {
+                let c = st.conns.get(self.conn).expect("conn alive");
+                if c.reset || c.refused {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "connection reset by peer",
+                    ));
+                }
+                if c.established {
+                    break;
+                }
+                match core.wait_on(&mut st, WaitKind::ConnectDone { conn: self.conn }, None) {
+                    WaitOutcome::Ready => continue,
+                    WaitOutcome::TimedOut => unreachable!("no deadline on connect waits"),
+                }
+            }
+        }
         let mut written = 0usize;
         loop {
             let (k, from, to, delay_ns, spec) = {
@@ -1146,7 +1547,7 @@ impl Write for SimStream {
             );
             st.stats.bytes_sent += k as u64;
             written += k;
-            core.notify();
+            core.kick_clock(&st);
             if written == buf.len() {
                 return Ok(written);
             }
@@ -1174,6 +1575,9 @@ impl Pollable for SimStream {
         if c.reset {
             return Err(io::Error::new(io::ErrorKind::ConnectionReset, "connection reset"));
         }
+        if c.refused {
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "connection refused"));
+        }
         if d.fin {
             return Ok(0);
         }
@@ -1189,8 +1593,16 @@ impl Pollable for SimStream {
         let dir = self.side;
         let (k, from, to, delay_ns, spec) = {
             let c = st.conns.get_mut(self.conn).expect("conn alive");
-            if c.reset || c.refused {
+            if c.reset {
                 return Err(io::Error::new(io::ErrorKind::BrokenPipe, "connection reset by peer"));
+            }
+            if c.refused {
+                return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "connection refused"));
+            }
+            // The connecting side cannot transmit before the handshake
+            // finishes; the Established/Refuse event fires the side-0 waker.
+            if self.side == 0 && !c.established {
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
             }
             let d = &mut c.dirs[dir];
             if d.fin_sent {
@@ -1224,8 +1636,7 @@ impl Pollable for SimStream {
             EventKind::Ack { conn: self.conn, dir, bytes: k as u64 },
         );
         st.stats.bytes_sent += k as u64;
-        drop(st);
-        core.notify();
+        core.kick_clock(&st);
         Ok(k)
     }
 
@@ -1276,7 +1687,7 @@ impl Stream for SimStream {
         let core = Arc::clone(&self.core);
         let mut st = core.state.lock();
         SimStream::send_fin_locked(&mut st, self.conn, self.side);
-        core.notify();
+        core.kick_clock(&st);
         Ok(())
     }
 }
@@ -1300,8 +1711,7 @@ impl Drop for SimStream {
         if send_fin {
             SimStream::send_fin_locked(&mut st, self.conn, self.side);
         }
-        drop(st);
-        core.notify();
+        core.kick_clock(&st);
     }
 }
 
@@ -1314,6 +1724,31 @@ pub struct SimListener {
 }
 
 impl SimListener {
+    fn stream_from_backlog(&self, st: &mut State, cid: usize) -> Option<(SimStream, String)> {
+        let (reset, peer_host) = {
+            let c = st.conns.get_mut(cid).expect("conn alive");
+            if c.reset {
+                (true, 0)
+            } else {
+                c.open_handles[1] += 1;
+                (false, c.hosts[0])
+            }
+        };
+        if reset {
+            return None;
+        }
+        let peer = st.hosts[peer_host as usize].name.clone();
+        let stream = SimStream {
+            core: Arc::clone(&self.core),
+            conn: cid,
+            side: 1,
+            peer: peer.clone(),
+            read_timeout: None,
+            waker_set: false,
+        };
+        Some((stream, peer))
+    }
+
     /// Accept the next inbound connection (blocking).
     pub fn accept_sim(&self) -> io::Result<(SimStream, String)> {
         let mut st = self.core.state.lock();
@@ -1326,30 +1761,10 @@ impl SimListener {
                 return Err(io::Error::new(io::ErrorKind::NotConnected, "listener closed"));
             }
             if let Some(cid) = l.backlog.pop_front() {
-                let (reset, peer_host) = {
-                    let c = st.conns.get_mut(cid).expect("conn alive");
-                    if c.reset {
-                        (true, 0)
-                    } else {
-                        c.open_handles[1] += 1;
-                        (false, c.hosts[0])
-                    }
-                };
-                let peer =
-                    if reset { String::new() } else { st.hosts[peer_host as usize].name.clone() };
-                if reset {
-                    continue;
+                match self.stream_from_backlog(&mut st, cid) {
+                    Some(pair) => return Ok(pair),
+                    None => continue,
                 }
-                let stream = SimStream {
-                    core: Arc::clone(&self.core),
-                    conn: cid,
-                    side: 1,
-                    peer,
-                    read_timeout: None,
-                    waker_set: false,
-                };
-                let peer = stream.peer.clone();
-                return Ok((stream, peer));
             }
             match self.core.wait_on(
                 &mut st,
@@ -1358,6 +1773,44 @@ impl SimListener {
             ) {
                 WaitOutcome::Ready => continue,
                 WaitOutcome::TimedOut => unreachable!("no deadline on accept"),
+            }
+        }
+    }
+
+    /// Non-blocking accept: `Ok(None)` when the backlog is empty. Register a
+    /// waker via [`set_accept_waker`](Self::set_accept_waker) to learn when
+    /// the backlog grows.
+    pub fn try_accept_sim(&self) -> io::Result<Option<(SimStream, String)>> {
+        let mut st = self.core.state.lock();
+        loop {
+            let l = st
+                .listeners
+                .get_mut(&(self.host, self.port))
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "listener closed"))?;
+            if !l.open {
+                return Err(io::Error::new(io::ErrorKind::NotConnected, "listener closed"));
+            }
+            match l.backlog.pop_front() {
+                None => return Ok(None),
+                Some(cid) => match self.stream_from_backlog(&mut st, cid) {
+                    Some(pair) => return Ok(Some(pair)),
+                    None => continue,
+                },
+            }
+        }
+    }
+
+    /// Register (or clear) a reactor waker fired when the backlog becomes
+    /// non-empty or the listener closes — the accept-side analogue of
+    /// [`Pollable::set_waker`], for event-driven acceptors.
+    pub fn set_accept_waker(&self, waker: Option<Arc<dyn Signal>>) {
+        let mut st = self.core.state.lock();
+        match waker {
+            Some(w) => {
+                st.accept_wakers.insert((self.host, self.port), w);
+            }
+            None => {
+                st.accept_wakers.remove(&(self.host, self.port));
             }
         }
     }
@@ -1390,7 +1843,8 @@ impl Listener for SimListener {
         for cid in backlog {
             st.reset_conn(cid);
         }
-        st.wake_where(|k| matches!(*k, WaitKind::Accept { host, port } if host == self.host && port == self.port));
+        st.wake_kind(WaitKind::Accept { host: self.host, port: self.port });
+        st.queue_accept_wake(self.host, self.port);
         self.core.unlock_and_wake(st);
     }
 }
@@ -1411,6 +1865,13 @@ impl Connector for SimConnector {
 /// Virtual-time [`Runtime`] backed by a [`SimNet`].
 pub struct SimRuntime {
     net: SimNet,
+}
+
+impl SimRuntime {
+    /// The underlying network handle.
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
 }
 
 impl Runtime for SimRuntime {
@@ -1460,10 +1921,8 @@ impl Signal for SimSignal {
         if let Some(s) = st.signals.get_mut(self.id) {
             s.set = true;
         }
-        let id = self.id;
-        st.wake_where(|k| matches!(*k, WaitKind::Signal { sig } if sig == id));
-        drop(st);
-        self.core.notify();
+        st.wake_kind(WaitKind::Signal { sig: self.id });
+        self.core.kick_clock(&st);
     }
 
     fn reset(&self) {
