@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! bench_compare <baseline-dir> <current-dir> [--tolerance PCT] [--strict]
+//!               [--github-annotations]
 //! ```
 //!
 //! * Metrics are matched by `(file, key)`. Time-like metrics (key ending in
@@ -17,8 +18,13 @@
 //!   two-sided **drift** (a changed request count is suspicious in either
 //!   direction).
 //! * Exit code is 0 unless `--strict` is given and at least one regression
-//!   or drift was found. The CI step runs without `--strict` first — a
-//!   non-blocking report, per the rollout plan — and can be tightened later.
+//!   or drift was found. The CI step runs with `--github-annotations`
+//!   instead of `--strict`: every regression/drift is emitted as a
+//!   `::warning::` [workflow command], so it surfaces on the run summary
+//!   and the PR checks page without gating the merge — the middle rung of
+//!   the rollout ladder (silent artifact → warning annotation → `--strict`).
+//!
+//! [workflow command]: https://docs.github.com/en/actions/reference/workflow-commands-for-github-actions
 //!
 //! The parser reads only the `"metrics"` object of the known
 //! [`BenchReport::to_json`] shape (one `"key": value` pair per line); it is
@@ -129,6 +135,7 @@ fn main() -> ExitCode {
     let mut dirs: Vec<PathBuf> = Vec::new();
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut strict = false;
+    let mut annotations = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--tolerance" => {
@@ -136,11 +143,15 @@ fn main() -> ExitCode {
                 tolerance = v.parse::<f64>().expect("--tolerance percentage") / 100.0;
             }
             "--strict" => strict = true,
+            "--github-annotations" => annotations = true,
             _ => dirs.push(PathBuf::from(a)),
         }
     }
     if dirs.len() != 2 {
-        eprintln!("usage: bench_compare <baseline-dir> <current-dir> [--tolerance PCT] [--strict]");
+        eprintln!(
+            "usage: bench_compare <baseline-dir> <current-dir> [--tolerance PCT] [--strict] \
+             [--github-annotations]"
+        );
         return ExitCode::from(2);
     }
     let (baseline, current) = (&dirs[0], &dirs[1]);
@@ -205,6 +216,18 @@ fn main() -> ExitCode {
     }
     for d in &drifts {
         println!("  drift       {d}");
+    }
+    if annotations {
+        // GitHub Actions picks `::warning::` lines off stdout and surfaces
+        // them on the run summary and the PR checks page — visible without
+        // failing the job. Workflow commands are one message per line, so
+        // any embedded newline (there are none today) must not split one.
+        for r in &regressions {
+            println!("::warning title=bench regression::{}", r.replace('\n', " "));
+        }
+        for d in &drifts {
+            println!("::warning title=bench drift::{}", d.replace('\n', " "));
+        }
     }
     if strict && (!regressions.is_empty() || !drifts.is_empty()) {
         return ExitCode::FAILURE;

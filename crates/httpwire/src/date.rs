@@ -77,6 +77,7 @@ pub fn parse_http_date(s: &str) -> Option<i64> {
 
 /// Current wall-clock time as Unix seconds (used for `Date` headers).
 pub fn unix_now() -> i64 {
+    // davix-lint: allow(determinism) — HTTP Date/Last-Modified headers are wall-clock by protocol (RFC 7231 §7.1.1)
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs() as i64)

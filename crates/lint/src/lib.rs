@@ -1,0 +1,191 @@
+//! **davix-lint** — the workspace invariant checker.
+//!
+//! The repo's hardest-won properties are disciplines, not language
+//! features: seeded sim runs are bit-identical (pinned by
+//! `crates/netsim/tests/determinism.rs` and required by the upcoming
+//! buggify fault-injection harness) only while *nothing* sim-reachable
+//! reads the wall clock, and the reactor/scheduler stack stays
+//! deadlock-free only while no lock is held across a blocking call. This
+//! crate turns those disciplines into machine-checked rules, enforced as a
+//! blocking CI job (`davix-lint --workspace --deny-all`).
+//!
+//! # Rule families
+//!
+//! * **`determinism`** — no `Instant::now`, `SystemTime::now`,
+//!   `thread::sleep`, `rand::thread_rng`/`rand::random` outside the
+//!   bench/CLI binaries (real-time programs, path-allowlisted). The
+//!   legitimate real-time sites elsewhere — the `netsim::tcp` real-TCP
+//!   runtime shim, the `httpwire::date` formatter (HTTP dates are
+//!   wall-clock by protocol) — each carry a per-site `allow` marker with
+//!   its reason. Everything else must route time through
+//!   `netsim::Runtime` virtual clocks and randomness through a seeded
+//!   RNG, or same-seed runs stop being bit-identical and every buggify
+//!   repro dies.
+//! * **`lock-discipline`** — a `let`-bound guard from a zero-arg
+//!   `.lock()`/`.read()`/`.write()` (or `try_*`, incl. `.unwrap()`) that
+//!   is still live at a call to a known-blocking function (`wait*`,
+//!   `execute*`, `connect`/`accept`, argument-taking stream
+//!   `read`/`write`, `park`/`join`/`recv`/`sleep`) is an error. Passing
+//!   the guard *into* the call (`cv.wait(&mut guard)`) is the sanctioned
+//!   condvar handoff and stays clean. The check is conservative and
+//!   intra-function: it tracks `let` bindings, `drop()`, and block scope —
+//!   it does not chase guards through function parameters or returns.
+//! * **`thread-hygiene`** — `thread::spawn`/`thread::Builder` only in the
+//!   sanctioned spawn modules (`core::iopool`, `netsim::reactor`,
+//!   `netsim::sim` — thread creation is their purpose) and the bench/CLI
+//!   binaries; `netsim::tcp`'s `Runtime::spawn` carries a per-site
+//!   marker. Stray threads are invisible to the sim scheduler's census
+//!   and break quiescence detection.
+//!
+//! # Suppressions
+//!
+//! Every exemption is explicit and documented in-source:
+//!
+//! ```text
+//! // davix-lint: allow(determinism) — bench reports real wall time
+//! ```
+//!
+//! A marker suppresses findings of its rule on the same line and the line
+//! below. A marker **must** carry a reason and name a known rule —
+//! violations of that policy are themselves findings (`bad-allow`) and can
+//! never be suppressed. `#[cfg(test)]` modules are skipped entirely: unit
+//! tests run under `cargo test` process rules, not sim rules.
+//!
+//! # Relationship to the runtime detector
+//!
+//! The static `lock-discipline` rule is complemented by the *runtime*
+//! lock-order cycle detector in the vendored `parking_lot` stand-in
+//! (feature `deadlock-detect`, on in the CI lint job's test pass): the
+//! static rule catches "guard held across a blocking call" shapes, the
+//! runtime detector catches ABBA ordering cycles the static view cannot
+//! see across functions.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Finding, Rule};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one file on disk. `root` anchors the allowlist-relative path; a
+/// file outside `root` is linted under its file name (no allowlists
+/// apply).
+pub fn lint_file(root: &Path, path: &Path) -> io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace(std::path::MAIN_SEPARATOR, "/");
+    Ok(rules::lint_source(&rel, &src))
+}
+
+/// Walk every `crates/*/src/**/*.rs` under `root` (the workspace layout)
+/// and lint each file. Test trees (`crates/*/tests`), benches and the
+/// vendored stand-ins are deliberately out of scope: the rules protect
+/// *sim-reachable shipping code*.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in &files {
+        findings.extend(lint_file(root, f)?);
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Render findings as a JSON array (machine mode). Hand-rolled — the tree
+/// has no serde — but proper: strings are escaped, output is stable.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            f.rule.name(),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_is_escaped_and_well_formed() {
+        let findings = vec![Finding {
+            rule: Rule::Determinism,
+            file: "a\\b.rs".into(),
+            line: 3,
+            message: "uses \"wall\" clock".into(),
+        }];
+        let j = to_json(&findings);
+        assert!(j.contains("\"a\\\\b.rs\""), "{j}");
+        assert!(j.contains("\\\"wall\\\""), "{j}");
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert_eq!(to_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_nested_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates").is_dir());
+    }
+}

@@ -1,0 +1,135 @@
+//! The `davix-lint` binary. See the crate docs ([`davix_lint`]) for the
+//! rule families and suppression policy.
+//!
+//! ```text
+//! davix-lint --workspace [--deny-all] [--json]
+//! davix-lint [--deny-all] [--json] <file-or-dir>...
+//! ```
+//!
+//! * `--workspace` lints every `crates/*/src/**/*.rs` under the enclosing
+//!   workspace root (found by walking up from the current directory).
+//! * `--deny-all` makes *any* finding fail the run (exit 1) — the CI mode.
+//!   Without it, findings print as warnings and only `bad-allow` findings
+//!   (a suppression without a reason, or naming an unknown rule) fail:
+//!   the marker policy is never advisory.
+//! * `--json` prints the findings as a JSON array instead of rustc-style
+//!   diagnostics.
+//!
+//! Exit codes: `0` clean (or warnings only), `1` findings denied, `2`
+//! usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use davix_lint::{find_workspace_root, lint_file, lint_workspace, to_json, Finding, Rule};
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut deny_all = false;
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: davix-lint [--workspace] [--deny-all] [--json] [paths...]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("davix-lint: unknown flag `{flag}`");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    if !workspace && paths.is_empty() {
+        eprintln!("usage: davix-lint [--workspace] [--deny-all] [--json] [paths...]");
+        return ExitCode::from(2);
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("davix-lint: cannot read current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+
+    let mut findings: Vec<Finding> = Vec::new();
+    if workspace {
+        match lint_workspace(&root) {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("davix-lint: workspace walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for p in &paths {
+        let result = if p.is_dir() {
+            let mut files = Vec::new();
+            match collect(p, &mut files) {
+                Ok(()) => {
+                    files.sort();
+                    files.iter().try_fold(Vec::new(), |mut acc, f| {
+                        acc.extend(lint_file(&root, f)?);
+                        Ok(acc)
+                    })
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            lint_file(&root, p)
+        };
+        match result {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("davix-lint: {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}\n", f.render());
+        }
+        let files: std::collections::BTreeSet<&str> =
+            findings.iter().map(|f| f.file.as_str()).collect();
+        if findings.is_empty() {
+            println!("davix-lint: clean");
+        } else {
+            println!(
+                "davix-lint: {} finding(s) in {} file(s){}",
+                findings.len(),
+                files.len(),
+                if deny_all { "" } else { " (advisory mode; --deny-all to gate)" }
+            );
+        }
+    }
+
+    let denied = deny_all && !findings.is_empty();
+    let bad_allow = findings.iter().any(|f| f.rule == Rule::BadAllow);
+    if denied || bad_allow {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn collect(dir: &std::path::Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            collect(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Fixture tests: every known-bad snippet under `tests/fixtures/bad/`
+//! produces exactly its expected diagnostics, and every known-good snippet
+//! under `tests/fixtures/good/` lints clean. The binary is exercised too:
+//! `--deny-all` exit codes and `file:line` diagnostics are part of the CI
+//! contract.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use davix_lint::{lint_file, lint_source, Rule};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint one fixture, returning `(rule, line)` pairs sorted by line.
+fn lint_fixture(rel: &str) -> Vec<(Rule, u32)> {
+    let root = fixture_dir();
+    let findings = lint_file(&root, &root.join(rel)).expect("fixture readable");
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn wall_clock_fixture_produces_exact_determinism_findings() {
+    assert_eq!(
+        lint_fixture("bad/wall_clock.rs"),
+        vec![(Rule::Determinism, 8), (Rule::Determinism, 12)]
+    );
+}
+
+#[test]
+fn guard_across_wait_fixture_produces_exact_lock_findings() {
+    assert_eq!(
+        lint_fixture("bad/guard_across_wait.rs"),
+        vec![(Rule::LockDiscipline, 11), (Rule::LockDiscipline, 17)]
+    );
+}
+
+#[test]
+fn rogue_spawn_fixture_produces_exact_thread_findings() {
+    assert_eq!(
+        lint_fixture("bad/rogue_spawn.rs"),
+        vec![(Rule::ThreadHygiene, 7), (Rule::ThreadHygiene, 13)]
+    );
+}
+
+#[test]
+fn reasonless_allow_fixture_flags_marker_and_does_not_suppress() {
+    assert_eq!(
+        lint_fixture("bad/reasonless_allow.rs"),
+        vec![(Rule::BadAllow, 6), (Rule::Determinism, 7), (Rule::BadAllow, 9)]
+    );
+}
+
+#[test]
+fn good_fixtures_lint_clean() {
+    for rel in ["good/disciplined.rs", "good/marked_realtime.rs"] {
+        let f = lint_fixture(rel);
+        assert!(f.is_empty(), "{rel} should be clean, got {f:?}");
+    }
+}
+
+#[test]
+fn bench_and_cli_paths_are_allowlisted() {
+    // The same wall-clock source that fails in sim-reachable code is fine
+    // in a bench binary: benches report real wall time on purpose.
+    let src = std::fs::read_to_string(fixture_dir().join("bad/wall_clock.rs")).unwrap();
+    assert!(lint_source("crates/bench/src/bin/fig9_new.rs", &src).is_empty());
+    assert!(lint_source("crates/cli/src/main.rs", &src).is_empty());
+    // ...but a test fixture path is not allowlisted.
+    assert!(!lint_source("crates/core/src/hot.rs", &src).is_empty());
+}
+
+#[test]
+fn sanctioned_spawn_modules_are_allowlisted_for_threads_only() {
+    let spawn_src = "pub fn s() { std::thread::spawn(|| {}); }";
+    assert!(lint_source("crates/core/src/iopool.rs", spawn_src).is_empty());
+    assert!(lint_source("crates/netsim/src/reactor.rs", spawn_src).is_empty());
+    assert!(lint_source("crates/netsim/src/sim.rs", spawn_src).is_empty());
+    // The spawn allowlist does not waive determinism there.
+    let clock_src = "pub fn t() { let _ = std::time::Instant::now(); }";
+    assert_eq!(lint_source("crates/netsim/src/sim.rs", clock_src).len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// binary contract
+// ---------------------------------------------------------------------------
+
+fn run_lint(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_davix-lint"))
+        .args(args)
+        .current_dir(fixture_dir())
+        .output()
+        .expect("run davix-lint");
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn binary_denies_each_bad_fixture_with_file_line_diagnostics() {
+    for (fixture, rule, line) in [
+        ("bad/wall_clock.rs", "determinism", 8),
+        ("bad/guard_across_wait.rs", "lock-discipline", 11),
+        ("bad/rogue_spawn.rs", "thread-hygiene", 7),
+    ] {
+        let path = fixture_dir().join(fixture);
+        let (code, text) = run_lint(&["--deny-all", path.to_str().unwrap()]);
+        assert_eq!(code, 1, "{fixture} must fail --deny-all:\n{text}");
+        assert!(text.contains(&format!("error[{rule}]")), "{fixture} names its rule:\n{text}");
+        assert!(
+            text.contains(&format!("{fixture}:{line}")),
+            "{fixture} diagnostic carries file:line:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn binary_passes_good_fixtures_under_deny_all() {
+    let good = fixture_dir().join("good");
+    let (code, text) = run_lint(&["--deny-all", good.to_str().unwrap()]);
+    assert_eq!(code, 0, "good fixtures must be clean:\n{text}");
+    assert!(text.contains("davix-lint: clean"), "{text}");
+}
+
+#[test]
+fn reasonless_marker_fails_even_without_deny_all() {
+    let path = fixture_dir().join("bad/reasonless_allow.rs");
+    let (code, text) = run_lint(&[path.to_str().unwrap()]);
+    assert_eq!(code, 1, "the marker policy is never advisory:\n{text}");
+    assert!(text.contains("error[bad-allow]"), "{text}");
+}
+
+#[test]
+fn json_mode_emits_machine_readable_findings() {
+    let path = fixture_dir().join("bad/wall_clock.rs");
+    let (code, text) = run_lint(&["--json", "--deny-all", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    let json = text.trim();
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    assert!(json.contains("\"rule\": \"determinism\""), "{json}");
+    assert!(json.contains("\"line\": 8"), "{json}");
+    assert!(json.contains("wall_clock.rs"), "{json}");
+}

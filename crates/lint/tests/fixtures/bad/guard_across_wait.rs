@@ -1,0 +1,20 @@
+//! BAD fixture: a lock guard held across a blocking wait. Expected
+//! findings: lock-discipline at line 11 (Signal::wait with the `state`
+//! guard live) and line 17 (executor call with the `pool` guard live).
+
+pub fn drain(&self) {
+    let mut state = self.state.lock();
+    state.draining = true;
+    // The guard is NOT handed to the wait: the signal is a different
+    // object, so `state` stays locked while this thread blocks — exactly
+    // the shape that deadlocked the PR 3 replica scheduler.
+    self.completed.wait(None);
+    state.draining = false;
+}
+
+pub fn refresh(&self) {
+    let pool = self.sessions.lock();
+    let resp = self.executor.execute(build_request());
+    drop(pool);
+    consume(resp);
+}

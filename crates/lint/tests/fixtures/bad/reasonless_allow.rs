@@ -1,0 +1,10 @@
+//! BAD fixture: suppression markers that violate the marker policy.
+//! Expected findings: bad-allow at line 6 (no reason) and line 9 (unknown
+//! rule) — and the reasonless marker does NOT suppress, so the
+//! determinism finding at line 7 fires too.
+
+// davix-lint: allow(determinism)
+pub fn now() -> std::time::Instant { std::time::Instant::now() }
+
+// davix-lint: allow(everything) — belt and braces
+pub fn quiet() {}

@@ -1,0 +1,17 @@
+//! BAD fixture: a raw OS thread spawned outside the sanctioned modules.
+//! Expected findings: thread-hygiene at lines 7 and 13.
+
+pub fn start_worker(&self) {
+    // A per-request thread: invisible to the sim census, unbounded under
+    // load — this is what IoPool exists to prevent.
+    std::thread::spawn(move || {
+        self.pump();
+    });
+}
+
+pub fn start_named(&self) {
+    std::thread::Builder::new()
+        .name("rogue".into())
+        .spawn(move || self.pump())
+        .unwrap();
+}

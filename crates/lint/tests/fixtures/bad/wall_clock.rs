@@ -1,0 +1,15 @@
+//! BAD fixture: wall-clock reads in sim-reachable code. Expected findings:
+//! determinism at lines 8 and 12.
+
+pub struct Poller;
+
+impl Poller {
+    pub fn deadline(&self) -> std::time::Instant {
+        std::time::Instant::now() + std::time::Duration::from_secs(1)
+    }
+
+    pub fn jittered(&self) -> u64 {
+        let noise = rand::thread_rng().next_u64();
+        noise
+    }
+}

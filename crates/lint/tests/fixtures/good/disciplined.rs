@@ -1,0 +1,33 @@
+//! GOOD fixture: every discipline observed — must lint clean.
+
+pub fn tick(&self) {
+    // Virtual time, not the wall clock.
+    let now = self.runtime.now();
+    self.wheel.advance_to(now);
+}
+
+pub fn block_until_done(&self) {
+    // Condvar handoff: the guard is passed INTO the wait, releasing the
+    // lock for the duration. Sanctioned.
+    let mut st = self.state.lock();
+    while !st.done {
+        self.cv.wait(&mut st);
+    }
+}
+
+pub fn snapshot(&self) -> Stats {
+    // Guard scoped tight: copied out, dropped, THEN the blocking call.
+    let stats = {
+        let st = self.state.lock();
+        st.stats.clone()
+    };
+    self.flush_signal.wait(None);
+    stats
+}
+
+pub fn lookup(&self, k: &Key) -> Option<Value> {
+    // Temporary guard: `.lock().get()` releases at end of statement.
+    let v = self.map.lock().get(k).cloned();
+    self.probe.wait(None);
+    v
+}

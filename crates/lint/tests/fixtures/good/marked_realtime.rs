@@ -1,0 +1,17 @@
+//! GOOD fixture: real-time sites with documented exemptions — must lint
+//! clean. Every marker carries its reason, so the policy is satisfied.
+
+pub fn epoch() -> std::time::Instant {
+    // davix-lint: allow(determinism) — this module is the real-time shim; wall clock is its job
+    std::time::Instant::now()
+}
+
+pub fn nap(d: std::time::Duration) {
+    // davix-lint: allow(determinism) — real sleep behind the Runtime trait
+    std::thread::sleep(d);
+}
+
+pub fn launch(f: impl FnOnce() + Send + 'static) {
+    // davix-lint: allow(thread-hygiene) — sanctioned spawn path, census-registered by the caller
+    std::thread::spawn(f);
+}

@@ -708,6 +708,22 @@ impl State {
                 w.thread, w.kind, w.ready, w.registered, w.daemon
             );
         }
+        // With the lock-order detector compiled in, show what every parked
+        // thread was still holding — a stall plus a non-empty census is the
+        // classic guard-held-across-wait signature davix-lint hunts for
+        // statically.
+        #[cfg(feature = "deadlock-detect")]
+        {
+            let census = parking_lot::deadlock::held_census();
+            if census.is_empty() {
+                let _ = writeln!(s, "held-lock census: empty");
+            } else {
+                let _ = writeln!(s, "held-lock census:");
+                for line in census {
+                    let _ = writeln!(s, "  {line}");
+                }
+            }
+        }
         s
     }
 }

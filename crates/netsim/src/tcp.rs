@@ -184,6 +184,7 @@ impl Default for RealRuntime {
 impl RealRuntime {
     /// A runtime whose epoch is "now".
     pub fn new() -> Self {
+        // davix-lint: allow(determinism) — RealRuntime maps the virtual-time API onto the wall clock by definition
         RealRuntime { start: Instant::now() }
     }
 }
@@ -194,10 +195,12 @@ impl Runtime for RealRuntime {
     }
 
     fn sleep(&self, d: Duration) {
+        // davix-lint: allow(determinism) — the real runtime's sleep IS the OS sleep
         std::thread::sleep(d);
     }
 
     fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
+        // davix-lint: allow(thread-hygiene) — Runtime::spawn is the sanctioned spawn path for real-TCP daemons
         std::thread::Builder::new().name(name.to_string()).spawn(f).expect("spawn thread");
     }
 
@@ -223,6 +226,7 @@ impl Signal for RealSignal {
                 true
             }
             Some(t) => {
+                // davix-lint: allow(determinism) — real-runtime signal deadlines are wall-clock deadlines
                 let deadline = Instant::now() + t;
                 while !*set {
                     if self.cv.wait_until(&mut set, deadline).timed_out() {

@@ -55,6 +55,11 @@ fn foreground_signal_wait_panics_with_census_dump() {
     // The census dump must name what everyone was blocked on.
     assert!(msg.contains("Signal"), "dump does not show the blocked waiter:\n{msg}");
     assert!(msg.contains("registered="), "dump does not show the census:\n{msg}");
+    // With the lock-order detector compiled in, the dump also reports what
+    // every thread was still holding when the sim stalled (nothing, here —
+    // the foreground thread released the sim state lock before parking).
+    #[cfg(feature = "deadlock-detect")]
+    assert!(msg.contains("held-lock census"), "dump does not show the lock census:\n{msg}");
 }
 
 #[test]

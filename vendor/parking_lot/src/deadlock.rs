@@ -1,0 +1,249 @@
+//! Runtime lock-order cycle detection (the `deadlock-detect` feature).
+//!
+//! Every [`crate::Mutex`]/[`crate::RwLock`] owns a `LockSite`: a lazily
+//! assigned process-unique ID tagged with the source location of its first
+//! acquisition. Blocking acquisitions update a global *held-before* graph
+//! — taking `B` while holding `A` inserts the edge `A → B` — and check,
+//! **before** blocking, whether `B` can already reach `A`: if it can, two
+//! threads can interleave the two orders into an ABBA deadlock, so the
+//! acquisition panics right away with both acquisition sites and the
+//! previously recorded reverse ordering. The graph remembers orderings for
+//! the life of the process, so the two orders never need to race: running
+//! them *sequentially on one thread* is enough to be caught, which is what
+//! makes the check testable and deterministic.
+//!
+//! The detector also keeps a per-thread census of currently held locks
+//! ([`held_census`]); the netsim stall watchdog appends it to its dump so
+//! a stalled simulation shows not just *where* threads are parked but
+//! *what they were holding* when they parked.
+//!
+//! Everything lives behind one `std::sync::Mutex` (deliberately the std
+//! primitive: the registry must never recurse into the instrumented
+//! types). This serializes lock traffic process-wide — acceptable for the
+//! test builds the feature targets, which is why release builds compile
+//! the whole module out.
+
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex as StdMutex, PoisonError};
+use std::thread::ThreadId;
+
+/// Identity carried by every instrumented lock: a process-unique ID,
+/// assigned on first acquisition together with that acquisition's source
+/// location (the lock's *site*).
+pub(crate) struct LockSite {
+    id: AtomicUsize, // 0 = not yet acquired
+}
+
+impl Default for LockSite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockSite {
+    pub(crate) const fn new() -> Self {
+        LockSite { id: AtomicUsize::new(0) }
+    }
+
+    /// The lock's ID, assigning it (and registering `loc` as the lock's
+    /// site) on first use.
+    fn id(&self, loc: &'static Location<'static>) -> usize {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self.id.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                with_registry(|r| {
+                    r.sites.insert(fresh, loc);
+                });
+                fresh
+            }
+            Err(existing) => existing,
+        }
+    }
+}
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+struct HeldLock {
+    id: usize,
+    /// Where *this* acquisition happened (not the lock's first site).
+    at: &'static Location<'static>,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Lock ID → first-acquisition site.
+    sites: HashMap<usize, &'static Location<'static>>,
+    /// Held-before edges: `edges[a]` holds every `b` acquired while `a`
+    /// was held, with the pair of acquisition sites that first observed
+    /// the ordering.
+    edges: HashMap<usize, HashMap<usize, (&'static Location<'static>, &'static Location<'static>)>>,
+    /// Per-thread stack of currently held locks.
+    held: HashMap<ThreadId, (String, Vec<HeldLock>)>,
+}
+
+static REGISTRY: StdMutex<Option<Registry>> = StdMutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+impl Registry {
+    /// Is `to` reachable from `from` over the held-before edges?
+    /// Iterative DFS; the graph is tiny (one node per lock instance ever
+    /// acquired) and this only runs on *new* edge insertions.
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&n) {
+                stack.extend(next.keys().copied());
+            }
+        }
+        false
+    }
+
+    fn site(&self, id: usize) -> String {
+        match self.sites.get(&id) {
+            Some(l) => format!("{}:{}:{}", l.file(), l.line(), l.column()),
+            None => "<unknown>".to_string(),
+        }
+    }
+}
+
+/// Record an acquisition of `site` at `loc`. `blocking` is false for
+/// `try_*` acquisitions, which cannot deadlock and therefore add no edges.
+/// Panics when a held-before cycle (potential ABBA deadlock) appears.
+///
+/// Called *before* the underlying lock is taken, so a true ABBA race
+/// panics instead of deadlocking.
+#[track_caller]
+pub(crate) fn on_acquire(site: &LockSite, blocking: bool) {
+    let loc = Location::caller();
+    let id = site.id(loc);
+    let thread = std::thread::current();
+    let tid = thread.id();
+    // Returning the message out of the closure keeps the panic outside the
+    // registry lock.
+    let cycle: Option<String> = with_registry(|r| {
+        let (_, held) = r
+            .held
+            .entry(tid)
+            .or_insert_with(|| (thread.name().unwrap_or("<unnamed>").to_string(), Vec::new()));
+        let held_ids: Vec<(usize, &'static Location<'static>)> =
+            held.iter().map(|h| (h.id, h.at)).collect();
+        r.held.get_mut(&tid).expect("just inserted").1.push(HeldLock { id, at: loc });
+        if !blocking {
+            return None;
+        }
+        for (held_id, held_at) in held_ids {
+            if held_id == id {
+                continue; // RwLock read re-entrancy; not an ordering edge
+            }
+            let already = r.edges.get(&held_id).is_some_and(|m| m.contains_key(&id));
+            if already {
+                continue;
+            }
+            // New ordering: check for the reverse path BEFORE inserting,
+            // so the cycle report can name the offending reverse edge.
+            if r.reaches(id, held_id) {
+                let reverse = r
+                    .edges
+                    .get(&id)
+                    .and_then(|m| m.get(&held_id))
+                    .map(|(a, b)| {
+                        format!(
+                            "reverse order observed at {}:{}:{} (holding) -> {}:{}:{} (acquiring)",
+                            a.file(),
+                            a.line(),
+                            a.column(),
+                            b.file(),
+                            b.line(),
+                            b.column()
+                        )
+                    })
+                    .unwrap_or_else(|| "reverse path goes through intermediate locks".to_string());
+                return Some(format!(
+                    "parking_lot deadlock-detect: lock-order cycle (potential ABBA deadlock)\n  \
+                     thread '{}' is acquiring lock #{id} (site {}) at {}:{}:{}\n  \
+                     while holding lock #{held_id} (site {}) acquired at {}:{}:{}\n  {}",
+                    std::thread::current().name().unwrap_or("<unnamed>"),
+                    r.site(id),
+                    loc.file(),
+                    loc.line(),
+                    loc.column(),
+                    r.site(held_id),
+                    held_at.file(),
+                    held_at.line(),
+                    held_at.column(),
+                    reverse,
+                ));
+            }
+            r.edges.entry(held_id).or_default().insert(id, (held_at, loc));
+        }
+        None
+    });
+    if let Some(msg) = cycle {
+        // The acquisition that would close the cycle is *not* recorded as
+        // held: unwind with the held stack telling the truth.
+        on_release(site);
+        panic!("{msg}");
+    }
+}
+
+/// Record the release of `site` by the current thread (guard drop, or the
+/// release half of a condvar wait).
+pub(crate) fn on_release(site: &LockSite) {
+    let id = site.id.load(Ordering::Relaxed);
+    if id == 0 {
+        return;
+    }
+    let tid = std::thread::current().id();
+    with_registry(|r| {
+        if let Some((_, held)) = r.held.get_mut(&tid) {
+            if let Some(pos) = held.iter().rposition(|h| h.id == id) {
+                held.remove(pos);
+            }
+            if held.is_empty() {
+                r.held.remove(&tid);
+            }
+        }
+    });
+}
+
+/// Census of currently held locks, one line per thread:
+/// `thread '<name>': #<id> @ <file>:<line>:<col>, …`. Empty when nothing
+/// is held. The netsim stall watchdog appends this to its census dump so
+/// a stalled run shows what every parked thread was still holding.
+pub fn held_census() -> Vec<String> {
+    with_registry(|r| {
+        let mut lines: Vec<String> = r
+            .held
+            .iter()
+            .filter(|(_, (_, held))| !held.is_empty())
+            .map(|(_, (name, held))| {
+                let locks: Vec<String> = held
+                    .iter()
+                    .map(|h| {
+                        format!("#{} @ {}:{}:{}", h.id, h.at.file(), h.at.line(), h.at.column())
+                    })
+                    .collect();
+                format!("thread '{name}': {}", locks.join(", "))
+            })
+            .collect();
+        lines.sort();
+        lines
+    })
+}

@@ -6,16 +6,61 @@
 //! signatures: poison-free [`Mutex`], [`RwLock`] and [`Condvar`] (lock
 //! acquisition never returns a `Result`; a poisoned std lock is recovered
 //! transparently, matching parking_lot's "no poisoning" semantics).
+//!
+//! # Lock-order deadlock detection (`deadlock-detect` feature)
+//!
+//! With the `deadlock-detect` feature enabled (CI's lint job turns it on
+//! for the whole workspace test suite; release builds keep it off), every
+//! [`Mutex`]/[`RwLock`] gets a site ID on first acquisition and each
+//! *blocking* acquisition records held-before edges in a process-global
+//! graph: acquiring `B` while holding `A` adds `A → B`. A cycle means two
+//! threads can interleave into an ABBA deadlock, so the acquisition
+//! **panics immediately** — naming both acquisition sites and the
+//! previously-observed reverse ordering — instead of deadlocking some day
+//! in production. `try_*` acquisitions cannot block, so they record the
+//! lock as held (for the census and for edges *from* it) but add no
+//! edges of their own. See `deadlock::held_census` (only compiled with
+//! the feature) for the census hook the netsim stall watchdog folds
+//! into its dump.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
 use std::time::{Duration, Instant};
 
+#[cfg(feature = "deadlock-detect")]
+pub mod deadlock;
+
+/// No-op stand-ins when the detector is compiled out: every instrumented
+/// site below collapses to nothing, keeping release builds zero-cost.
+#[cfg(not(feature = "deadlock-detect"))]
+mod deadlock_stub {
+    #[derive(Default)]
+    pub(crate) struct LockSite;
+
+    impl LockSite {
+        pub(crate) const fn new() -> Self {
+            LockSite
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_acquire(_site: &LockSite, _blocking: bool) {}
+
+    #[inline(always)]
+    pub(crate) fn on_release(_site: &LockSite) {}
+}
+
+#[cfg(feature = "deadlock-detect")]
+use deadlock::{on_acquire, on_release, LockSite};
+#[cfg(not(feature = "deadlock-detect"))]
+use deadlock_stub::{on_acquire, on_release, LockSite};
+
 /// A mutual exclusion primitive. Unlike `std::sync::Mutex`, `lock` cannot
 /// fail and the guard derefs directly to the data.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    site: LockSite,
     inner: sync::Mutex<T>,
 }
 
@@ -26,23 +71,36 @@ pub struct MutexGuard<'a, T: ?Sized> {
     // reacquire it. Invariant: always `Some` outside those internals.
     inner: Option<sync::MutexGuard<'a, T>>,
     lock: &'a sync::Mutex<T>,
+    site: &'a LockSite,
 }
 
 impl<'a, T: ?Sized> MutexGuard<'a, T> {
     /// Temporarily unlocks the mutex to execute `f` (parking_lot API). The
     /// mutex is reacquired before returning.
+    #[track_caller]
     pub fn unlocked<U>(s: &mut Self, f: impl FnOnce() -> U) -> U {
+        on_release(s.site);
         drop(s.inner.take().expect("guard invariant"));
         let r = f();
+        on_acquire(s.site, true);
         s.inner = Some(s.lock.lock().unwrap_or_else(PoisonError::into_inner));
         r
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `Condvar` internals leave `inner` as `None` only transiently and
+        // re-register through the hooks themselves, so an armed guard is
+        // always holding exactly once here.
+        on_release(self.site);
     }
 }
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex { site: LockSite::new(), inner: sync::Mutex::new(value) }
     }
 
     /// Consumes the mutex, returning the underlying data.
@@ -53,22 +111,30 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available. Never poisons.
+    ///
+    /// Under the `deadlock-detect` feature this first records the
+    /// acquisition in the held-before graph and panics on an ordering
+    /// cycle (potential ABBA deadlock) *instead of* blocking.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        on_acquire(&self.site, true);
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
             lock: &self.inner,
+            site: &self.site,
         }
     }
 
     /// Attempts to acquire the mutex without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g), lock: &self.inner }),
-            Err(sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { inner: Some(e.into_inner()), lock: &self.inner })
-            }
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        on_acquire(&self.site, false);
+        Some(MutexGuard { inner: Some(g), lock: &self.inner, site: &self.site })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -100,23 +166,38 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 /// A reader-writer lock. Like [`Mutex`], acquisition never fails.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    site: LockSite,
     inner: sync::RwLock<T>,
 }
 
 /// RAII guard for [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: sync::RwLockReadGuard<'a, T>,
+    site: &'a LockSite,
 }
 
 /// RAII guard for [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: sync::RwLockWriteGuard<'a, T>,
+    site: &'a LockSite,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        on_release(self.site);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        on_release(self.site);
+    }
 }
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock { site: LockSite::new(), inner: sync::RwLock::new(value) }
     }
 
     /// Consumes the lock, returning the underlying data.
@@ -126,14 +207,27 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquires shared read access, blocking until available.
+    /// Acquires shared read access, blocking until available. Under
+    /// `deadlock-detect` both read and write acquisitions feed the same
+    /// held-before graph (a reader blocking a writer deadlocks just as
+    /// hard).
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(PoisonError::into_inner) }
+        on_acquire(&self.site, true);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            site: &self.site,
+        }
     }
 
     /// Acquires exclusive write access, blocking until available.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(PoisonError::into_inner) }
+        on_acquire(&self.site, true);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            site: &self.site,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -197,21 +291,29 @@ impl Condvar {
     }
 
     /// Blocks until notified, atomically releasing and reacquiring the lock.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The wait releases the mutex for its duration: mirror that in the
+        // held-lock census, and re-check ordering on the reacquisition.
+        on_release(guard.site);
         let inner = guard.inner.take().expect("guard invariant");
         let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        on_acquire(guard.site, true);
         guard.inner = Some(inner);
     }
 
     /// Blocks until notified or `timeout` elapses.
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        on_release(guard.site);
         let inner = guard.inner.take().expect("guard invariant");
         let (inner, result) =
             self.inner.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        on_acquire(guard.site, true);
         guard.inner = Some(inner);
         WaitTimeoutResult { timed_out: result.timed_out() }
     }

@@ -1,0 +1,116 @@
+//! Lock-order detector contract: an intentional ABBA acquisition across two
+//! mutexes panics with both site IDs under `deadlock-detect`, and the very
+//! same sequence runs clean with the feature off.
+//!
+//! The detector keeps its held-before graph for the life of the process, so
+//! the two orders are exercised *sequentially on one thread* — no racing
+//! threads, no flakiness: A→B records the edge, B→A closes the cycle.
+
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `a then b`, drop both, then `b then a`, returning the panic message
+/// of the second phase if it panicked.
+fn abba(a: &Mutex<u32>, b: &Mutex<u32>) -> Option<String> {
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }))
+    .err()
+    .map(|e| {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    })
+}
+
+#[cfg(feature = "deadlock-detect")]
+#[test]
+fn abba_panics_naming_both_sites() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+
+    // First acquisitions assign each lock's site; record those lines so we
+    // can assert the panic names them.
+    let site_a = line!() + 1;
+    let ga = a.lock();
+    let site_b = line!() + 1;
+    let gb = b.lock(); // edge A → B
+    drop(gb);
+    drop(ga);
+
+    let msg = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock(); // closes the cycle: B → A
+    }))
+    .err()
+    .map(|e| {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    })
+    .expect("reverse-order acquisition must panic under deadlock-detect");
+
+    assert!(msg.contains("lock-order cycle"), "unexpected panic: {msg}");
+    assert!(msg.contains(&format!("{}:{}", file!(), site_a)), "panic must name A's site: {msg}");
+    assert!(msg.contains(&format!("{}:{}", file!(), site_b)), "panic must name B's site: {msg}");
+}
+
+#[cfg(feature = "deadlock-detect")]
+#[test]
+fn try_lock_adds_no_ordering_edges() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+    {
+        let _ga = a.lock();
+        let _gb = b.try_lock().expect("uncontended"); // held, but no A → B edge
+    }
+    // Without the A → B edge, the reverse order is not a cycle.
+    let _gb = b.lock();
+    let _ga = a.lock();
+}
+
+#[cfg(feature = "deadlock-detect")]
+#[test]
+fn held_census_reports_thread_and_acquisition_site() {
+    let m = Mutex::new(0u32);
+    let at = line!() + 1;
+    let _g = m.lock();
+    let census = parking_lot::deadlock::held_census();
+    let mine = census
+        .iter()
+        .find(|l| l.contains(&format!("{}:{}", file!(), at)))
+        .unwrap_or_else(|| panic!("census must list this acquisition: {census:?}"));
+    let name = std::thread::current().name().unwrap_or("<unnamed>").to_string();
+    assert!(mine.contains(&format!("thread '{name}'")), "census line: {mine}");
+    drop(_g);
+    let census = parking_lot::deadlock::held_census();
+    assert!(
+        !census.iter().any(|l| l.contains(&format!("{}:{}", file!(), at))),
+        "released lock must leave the census: {census:?}"
+    );
+}
+
+#[cfg(not(feature = "deadlock-detect"))]
+#[test]
+fn abba_runs_clean_with_feature_off() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+    assert_eq!(abba(&a, &b), None, "feature off: no instrumentation, no panic");
+}
+
+// Keep `abba` referenced in both configurations so neither build warns.
+#[cfg(feature = "deadlock-detect")]
+#[test]
+fn abba_helper_panics_too() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+    let msg = abba(&a, &b).expect("ABBA must panic under deadlock-detect");
+    assert!(msg.contains("potential ABBA deadlock"), "panic: {msg}");
+}
