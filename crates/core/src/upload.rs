@@ -431,8 +431,15 @@ fn resolve_target(
 
 fn segmented_target(uri: &Uri, size: u64) -> Target {
     let token = UPLOAD_TOKEN.fetch_add(1, Ordering::Relaxed);
-    let temp =
-        uri.with_path(&format!("{}.davix-upload-{:x}-{:x}", uri.path, std::process::id(), token));
+    // Fixed-width fields keep the temp name's *length* independent of the
+    // pid and token values: under simulation, request sizes (and therefore
+    // virtual-time schedules) must not vary from process to process.
+    let temp = uri.with_path(&format!(
+        "{}.davix-upload-{:08x}-{:08x}",
+        uri.path,
+        std::process::id(),
+        token
+    ));
     Target::Segmented { temp, total: size }
 }
 

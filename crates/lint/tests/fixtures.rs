@@ -45,6 +45,20 @@ fn rogue_spawn_fixture_produces_exact_thread_findings() {
 }
 
 #[test]
+fn fault_hook_rng_fixture_produces_exact_determinism_findings() {
+    // Fault-injection decision points are exactly where ambient entropy
+    // would be most tempting and most damaging: one `rand::random` in a
+    // fault hook breaks `davix-simfuzz --seed N` replay. The determinism
+    // rule catches both ambient-RNG spellings with no new allow markers —
+    // the engine's own decisions run on `netsim::SplitRng`, which is lint-
+    // clean by construction.
+    assert_eq!(
+        lint_fixture("bad/fault_hook_rng.rs"),
+        vec![(Rule::Determinism, 11), (Rule::Determinism, 15)]
+    );
+}
+
+#[test]
 fn reasonless_allow_fixture_flags_marker_and_does_not_suppress() {
     assert_eq!(
         lint_fixture("bad/reasonless_allow.rs"),
@@ -101,6 +115,7 @@ fn run_lint(args: &[&str]) -> (i32, String) {
 fn binary_denies_each_bad_fixture_with_file_line_diagnostics() {
     for (fixture, rule, line) in [
         ("bad/wall_clock.rs", "determinism", 8),
+        ("bad/fault_hook_rng.rs", "determinism", 11),
         ("bad/guard_across_wait.rs", "lock-discipline", 11),
         ("bad/rogue_spawn.rs", "thread-hygiene", 7),
     ] {

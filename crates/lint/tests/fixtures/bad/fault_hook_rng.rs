@@ -1,0 +1,18 @@
+//! BAD fixture: ad-hoc randomness inside a fault-injection decision hook.
+//! Fault decisions must come from the seeded splittable streams
+//! (`netsim::SplitRng`), never from process entropy — a `rand::random` here
+//! silently breaks `davix-simfuzz --seed N` replay. Expected findings:
+//! determinism at lines 11 and 15.
+
+pub struct FaultHook;
+
+impl FaultHook {
+    pub fn should_drop(&self) -> bool {
+        rand::random::<f64>() < 0.01
+    }
+
+    pub fn extra_delay_ns(&self) -> u64 {
+        let mut rng = rand::thread_rng();
+        rng.next_u64() % 1_000_000
+    }
+}

@@ -64,6 +64,7 @@
 //! assert!(net.now() >= Duration::from_millis(1)); // at least 2 LAN RTTs
 //! ```
 
+pub mod fault;
 pub mod reactor;
 pub mod sim;
 pub mod simclient;
@@ -72,6 +73,7 @@ pub mod tcp;
 pub mod transport;
 pub mod writeq;
 
+pub use fault::{FaultPlan, FaultStats, SplitRng};
 pub use reactor::{DriveOutcome, Driven, Reactor, ReactorConfig, TimerWheel};
 pub use sim::{LinkSpec, NetStats, SchedStats, SimListener, SimNet, SimRuntime, SimStream};
 pub use simclient::{ClientSession, ClientTask, ConnectFn, Fleet, SessionPoll};

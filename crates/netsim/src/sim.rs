@@ -51,6 +51,7 @@
 //! round-trip cost of chatty protocols, slow-start cost of fresh
 //! connections, bandwidth-delay-product ceilings — do not depend on them.
 
+use crate::fault::{self, FaultPlan, FaultState, FaultStats, SplitRng};
 use crate::slab::Slab;
 use crate::transport::{BoxedStream, Connector, Listener, Pollable, Runtime, Signal, Stream};
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -270,6 +271,13 @@ enum EventKind {
     Refuse { conn: usize },
     /// FIN arrives at the receiver of direction `dir`.
     Fin { conn: usize, dir: usize },
+    /// Fault plan: a scheduled outage window begins on `host`.
+    FaultDown { host: u32 },
+    /// Fault plan: the outage window on `host` ends.
+    FaultHeal { host: u32 },
+    /// Fault plan: a dropped segment surfaces as a reset of `conn` at the
+    /// instant the segment would have arrived.
+    FaultReset { conn: usize },
     /// A sleep or timeout deadline fires.
     WakeWaiter { wid: usize, gen: u64 },
 }
@@ -437,6 +445,9 @@ struct State {
     /// Virtual-time event trace, recorded while `Some` (see
     /// [`SimNet::record_trace`]).
     trace: Option<Vec<(u64, String)>>,
+    /// Installed seeded fault plan (see [`SimNet::install_fault_plan`]);
+    /// `None` means every fault hook is a no-op.
+    fault: Option<FaultState>,
     // scheduler introspection counters
     sched_parks: u64,
     sched_unparks: u64,
@@ -565,6 +576,155 @@ impl State {
         }
     }
 
+    /// Take host `id` down — resetting its live connections and clearing
+    /// its listener backlogs — or bring it back. Shared by
+    /// [`SimNet::set_host_down`] and fault-plan outage events.
+    fn set_host_down_locked(&mut self, id: u32, down: bool) {
+        match self.hosts.get_mut(id as usize) {
+            Some(h) => h.down = down,
+            None => return,
+        }
+        if down {
+            let cids: Vec<usize> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.reset && (c.hosts[0] == id || c.hosts[1] == id))
+                .map(|(cid, _)| cid)
+                .collect();
+            for cid in cids {
+                self.reset_conn(cid);
+            }
+            let keys: Vec<(u32, u16)> =
+                self.listeners.keys().copied().filter(|(h, _)| *h == id).collect();
+            for k in keys {
+                if let Some(l) = self.listeners.get_mut(&k) {
+                    l.backlog.clear();
+                }
+            }
+        }
+        self.change_tick += 1;
+    }
+
+    /// Record a fault-injection decision in the trace at the current
+    /// instant; injected decisions are part of the determinism contract.
+    fn trace_fault(&mut self, label: String) {
+        let now = self.now_ns;
+        if let Some(t) = self.trace.as_mut() {
+            t.push((now, label));
+        }
+    }
+
+    /// Consult the installed fault plan for one outgoing segment on
+    /// `(conn, dir)`. Returns the (possibly jittered) arrival instant, or
+    /// `None` when the segment is dropped — the lossless transport models
+    /// no retransmission, so a drop schedules an [`EventKind::FaultReset`]
+    /// at the would-be arrival instead. Decisions are keyed statelessly by
+    /// `(seed, conn, dir, per-direction counter)`, so traffic on one
+    /// connection never perturbs another's fault schedule.
+    fn fault_arrival(&mut self, conn: usize, dir: usize, arrive: u64) -> Option<u64> {
+        enum Decision {
+            Pass,
+            Drop,
+            Delay(u64),
+        }
+        let decision = match self.fault.as_mut() {
+            None => return Some(arrive),
+            Some(f) => {
+                let counter = {
+                    let c = f.seg_counters.entry((conn, dir)).or_insert(0);
+                    *c += 1;
+                    *c
+                };
+                let stream = fault::stream_key(fault::STREAM_DELIVERY, conn as u64, dir as u64);
+                let mut rng = SplitRng::at(f.seed, stream, counter);
+                if rng.chance(f.plan.drop_prob) {
+                    f.stats.drops_injected += 1;
+                    Decision::Drop
+                } else if rng.chance(f.plan.delay_prob) {
+                    f.stats.delays_injected += 1;
+                    Decision::Delay(rng.range(1, dur_ns(f.plan.delay_max).max(2)))
+                } else {
+                    Decision::Pass
+                }
+            }
+        };
+        let mut arrive = match decision {
+            Decision::Drop => {
+                self.trace_fault(format!("fault drop c{conn}.{dir}"));
+                self.schedule(arrive, EventKind::FaultReset { conn });
+                return None;
+            }
+            Decision::Delay(extra) => {
+                self.trace_fault(format!("fault delay c{conn}.{dir} +{extra}ns"));
+                arrive + extra
+            }
+            Decision::Pass => arrive,
+        };
+        // Jitter must not reorder the in-order byte stream: clamp each
+        // arrival above the previous one for this direction, so a delayed
+        // segment holds back everything queued behind it (head-of-line
+        // blocking — how reordering pressure manifests in a stream model).
+        if let Some(f) = self.fault.as_mut() {
+            let last = f.last_arrival.entry((conn, dir)).or_insert(0);
+            if arrive <= *last {
+                arrive = *last + 1;
+            }
+            *last = arrive;
+        }
+        Some(arrive)
+    }
+
+    /// Consult the fault plan for one connect attempt: `true` means the
+    /// plan refuses it (SYN blackholed) even though the listener is up.
+    fn fault_refuses_connect(&mut self, cid: usize) -> bool {
+        let refuse = match self.fault.as_mut() {
+            None => return false,
+            Some(f) => {
+                let stream = fault::stream_key(fault::STREAM_CONNECT, cid as u64, 0);
+                let mut rng = SplitRng::at(f.seed, stream, 0);
+                if rng.chance(f.plan.connect_fail_prob) {
+                    f.stats.connects_refused += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if refuse {
+            self.trace_fault(format!("fault connect-refuse c{cid}"));
+        }
+        refuse
+    }
+
+    /// Evaluate one `buggify!` decision point (see [`SimNet::buggify`]).
+    fn buggify_decision(&mut self, ctx: &str, prob: Option<f64>) -> bool {
+        let hit = match self.fault.as_mut() {
+            None => return false,
+            Some(f) => {
+                f.stats.buggify_decisions += 1;
+                let p = prob.unwrap_or(f.plan.buggify_prob);
+                let ctx_hash = fault::hash_str(ctx);
+                let counter = {
+                    let c = f.buggify_counters.entry(ctx_hash).or_insert(0);
+                    *c += 1;
+                    *c
+                };
+                let stream = fault::stream_key(fault::STREAM_BUGGIFY, ctx_hash, 0);
+                let mut rng = SplitRng::at(f.seed, stream, counter);
+                if rng.chance(p) {
+                    f.stats.buggify_hits += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if hit {
+            self.trace_fault(format!("buggify {ctx}"));
+        }
+        hit
+    }
+
     fn apply(&mut self, ev: EventKind) {
         self.events_applied += 1;
         if self.trace.is_some() {
@@ -582,6 +742,9 @@ impl State {
                 EventKind::Established { conn } => Some(format!("established c{conn}")),
                 EventKind::Refuse { conn } => Some(format!("refuse c{conn}")),
                 EventKind::Fin { conn, dir } => Some(format!("fin c{conn}.{dir}")),
+                EventKind::FaultDown { host } => Some(format!("fault down h{host}")),
+                EventKind::FaultHeal { host } => Some(format!("fault heal h{host}")),
+                EventKind::FaultReset { conn } => Some(format!("fault reset c{conn}")),
                 EventKind::WakeWaiter { .. } => None,
             };
             let now = self.now_ns;
@@ -656,6 +819,30 @@ impl State {
                     self.wake_kind(WaitKind::Readable { conn, dir });
                     self.queue_io_wake(conn, 1 - dir);
                 }
+            }
+            EventKind::FaultDown { host } => {
+                // Ignored once the plan is cleared: the harness may end the
+                // fault phase early and let the scenario settle.
+                if let Some(f) = self.fault.as_mut() {
+                    f.stats.outages += 1;
+                } else {
+                    return;
+                }
+                self.set_host_down_locked(host, true);
+            }
+            EventKind::FaultHeal { host } => {
+                if let Some(f) = self.fault.as_mut() {
+                    f.stats.heals += 1;
+                } else {
+                    return;
+                }
+                self.set_host_down_locked(host, false);
+            }
+            EventKind::FaultReset { conn } => {
+                // Always applied, plan or not: the dropped segment's Deliver
+                // was never scheduled, so the reset must land or the stream
+                // would hang forever.
+                self.reset_conn(conn);
             }
             EventKind::WakeWaiter { wid, gen } => {
                 let kind = match self.waiters.get(wid) {
@@ -1045,6 +1232,7 @@ impl SimNet {
                 shutdown: false,
                 clock_dead: false,
                 trace: None,
+                fault: None,
                 sched_parks: 0,
                 sched_unparks: 0,
                 peak_registered: 0,
@@ -1103,26 +1291,7 @@ impl SimNet {
             Ok(id) => id,
             Err(_) => return,
         };
-        st.hosts[id as usize].down = down;
-        if down {
-            let cids: Vec<usize> = st
-                .conns
-                .iter()
-                .filter(|(_, c)| !c.reset && (c.hosts[0] == id || c.hosts[1] == id))
-                .map(|(cid, _)| cid)
-                .collect();
-            for cid in cids {
-                st.reset_conn(cid);
-            }
-            let keys: Vec<(u32, u16)> =
-                st.listeners.keys().copied().filter(|(h, _)| *h == id).collect();
-            for k in keys {
-                if let Some(l) = st.listeners.get_mut(&k) {
-                    l.backlog.clear();
-                }
-            }
-        }
-        st.change_tick += 1;
+        st.set_host_down_locked(id, down);
         self.core.unlock_and_wake(st);
     }
 
@@ -1185,6 +1354,91 @@ impl SimNet {
                 .collect(),
             None => Vec::new(),
         }
+    }
+
+    /// Install a seeded [`FaultPlan`]: arms the per-segment delivery and
+    /// connect hooks and pre-schedules the plan's partition/heal windows on
+    /// `targets` (host names; unknown names are ignored). At most
+    /// `plan.max_down` targets — and never all of them — are down at once,
+    /// so an N ≥ 2 replica scenario always keeps one reachable. Returns the
+    /// `(plan, seed)` fingerprint that failure reports print alongside the
+    /// seed; replaying with the same pair reproduces the schedule exactly.
+    ///
+    /// Install from a *registered* thread (one under [`enter`](Self::enter)
+    /// or spawned via [`spawn`](Self::spawn)) that stays runnable until the
+    /// workload's own timers exist: the outage windows are ordinary heap
+    /// events, and on an otherwise idle net the clock would fast-forward
+    /// straight through them before the scenario starts.
+    pub fn install_fault_plan(&self, plan: FaultPlan, seed: u64, targets: &[&str]) -> u64 {
+        let mut st = self.core.state.lock();
+        let tids: Vec<u32> =
+            targets.iter().filter_map(|n| st.host_by_name.get(*n).copied()).collect();
+        let mut rng = SplitRng::at(seed, fault::STREAM_PLAN, 0);
+        let horizon = dur_ns(plan.horizon).max(1);
+        let omin = dur_ns(plan.outage_min).max(1);
+        let omax = dur_ns(plan.outage_max).max(omin + 1);
+        let max_down = plan.max_down.min(tids.len().saturating_sub(1));
+        let mut windows: Vec<(u32, u64, u64)> = Vec::new();
+        if max_down > 0 {
+            for _ in 0..plan.partitions {
+                let host = *rng.pick(&tids);
+                let start = rng.range(0, horizon);
+                let end = start + rng.range(omin, omax);
+                // A window is placed only if it keeps the concurrently-down
+                // set within bounds; rejected draws are simply skipped so
+                // the schedule stays a pure function of (plan, seed).
+                let host_busy =
+                    windows.iter().any(|(h, s, e)| *h == host && *s < end && start < *e);
+                let concurrent = windows.iter().filter(|(_, s, e)| *s < end && start < *e).count();
+                if host_busy || concurrent >= max_down {
+                    continue;
+                }
+                windows.push((host, start, end));
+            }
+        }
+        let now = st.now_ns;
+        for (host, s, e) in &windows {
+            st.schedule(now + s, EventKind::FaultDown { host: *host });
+            st.schedule(now + e, EventKind::FaultHeal { host: *host });
+        }
+        let fs = FaultState::new(plan, seed);
+        let fp = fs.fingerprint;
+        st.fault = Some(fs);
+        self.core.kick_clock(&st);
+        fp
+    }
+
+    /// Remove the installed fault plan, returning its final stats. Pending
+    /// outage events become no-ops, so a harness can end the fault phase
+    /// and let the scenario settle (heal + re-probe) undisturbed. Hosts a
+    /// fault window left down stay down until healed with
+    /// [`set_host_down`](Self::set_host_down).
+    pub fn clear_fault_plan(&self) -> Option<FaultStats> {
+        let mut st = self.core.state.lock();
+        st.fault.take().map(|f| f.stats)
+    }
+
+    /// Snapshot of the installed plan's decision counters, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.core.state.lock().fault.as_ref().map(|f| f.stats.clone())
+    }
+
+    /// The installed plan's `(plan, seed)` fingerprint, if any.
+    pub fn fault_fingerprint(&self) -> Option<u64> {
+        self.core.state.lock().fault.as_ref().map(|f| f.fingerprint)
+    }
+
+    /// Evaluate a named fault decision point at the plan's default
+    /// probability ([`FaultPlan::buggify_prob`]). Always `false` without an
+    /// installed plan, so instrumented sim-only code costs nothing in
+    /// plain runs. Prefer the [`buggify!`](crate::buggify) macro.
+    pub fn buggify(&self, ctx: &str) -> bool {
+        self.core.state.lock().buggify_decision(ctx, None)
+    }
+
+    /// Like [`buggify`](Self::buggify) with an explicit probability.
+    pub fn buggify_with(&self, ctx: &str, prob: f64) -> bool {
+        self.core.state.lock().buggify_decision(ctx, Some(prob))
     }
 
     /// Spawn a *registered* thread: the virtual clock waits for it whenever
@@ -1273,8 +1527,10 @@ impl SimNet {
 
         let target_down = st.hosts[b as usize].down;
         let listener_open = st.listeners.get(&(b, port)).map(|l| l.open).unwrap_or(false);
+        // Only a connect that would otherwise succeed can be fault-refused.
+        let fault_refused = !target_down && listener_open && st.fault_refuses_connect(cid);
         let now = st.now_ns;
-        if target_down || !listener_open {
+        if target_down || !listener_open || fault_refused {
             // Refusal costs one RTT (SYN out, RST back).
             st.schedule(now + rtt, EventKind::Refuse { conn: cid });
         } else {
@@ -1549,18 +1805,20 @@ impl Write for SimStream {
             let tx = spec.tx_ns(k as u64);
             *busy = start + tx;
             let arrive = start + tx + delay_ns;
-            let data = buf[written..written + k].to_vec();
-            st.schedule(arrive, EventKind::Deliver { conn: self.conn, dir, data });
-            // Delayed ACK: a sub-MSS segment's ACK sits on the receiver's
-            // timer (real stacks ACK every second full segment immediately).
-            let ack_hold = match spec.delayed_ack {
-                Some(t) if (k as u64) < MSS => dur_ns(t),
-                _ => 0,
-            };
-            st.schedule(
-                arrive + ack_hold + delay_ns,
-                EventKind::Ack { conn: self.conn, dir, bytes: k as u64 },
-            );
+            if let Some(arrive) = st.fault_arrival(self.conn, dir, arrive) {
+                let data = buf[written..written + k].to_vec();
+                st.schedule(arrive, EventKind::Deliver { conn: self.conn, dir, data });
+                // Delayed ACK: a sub-MSS segment's ACK sits on the receiver's
+                // timer (real stacks ACK every second full segment immediately).
+                let ack_hold = match spec.delayed_ack {
+                    Some(t) if (k as u64) < MSS => dur_ns(t),
+                    _ => 0,
+                };
+                st.schedule(
+                    arrive + ack_hold + delay_ns,
+                    EventKind::Ack { conn: self.conn, dir, bytes: k as u64 },
+                );
+            }
             st.stats.bytes_sent += k as u64;
             written += k;
             core.kick_clock(&st);
@@ -1641,16 +1899,18 @@ impl Pollable for SimStream {
         let tx = spec.tx_ns(k as u64);
         *busy = start + tx;
         let arrive = start + tx + delay_ns;
-        let data = buf[..k].to_vec();
-        st.schedule(arrive, EventKind::Deliver { conn: self.conn, dir, data });
-        let ack_hold = match spec.delayed_ack {
-            Some(t) if (k as u64) < MSS => dur_ns(t),
-            _ => 0,
-        };
-        st.schedule(
-            arrive + ack_hold + delay_ns,
-            EventKind::Ack { conn: self.conn, dir, bytes: k as u64 },
-        );
+        if let Some(arrive) = st.fault_arrival(self.conn, dir, arrive) {
+            let data = buf[..k].to_vec();
+            st.schedule(arrive, EventKind::Deliver { conn: self.conn, dir, data });
+            let ack_hold = match spec.delayed_ack {
+                Some(t) if (k as u64) < MSS => dur_ns(t),
+                _ => 0,
+            };
+            st.schedule(
+                arrive + ack_hold + delay_ns,
+                EventKind::Ack { conn: self.conn, dir, bytes: k as u64 },
+            );
+        }
         st.stats.bytes_sent += k as u64;
         core.kick_clock(&st);
         Ok(k)

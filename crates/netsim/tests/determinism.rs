@@ -16,8 +16,8 @@
 use netsim::simclient::{ClientSession, Fleet, SessionPoll};
 use netsim::transport::Listener as _;
 use netsim::{
-    BoxedStream, DriveOutcome, Driven, LinkSpec, Reactor, ReactorConfig, Runtime, Signal,
-    SimListener, SimNet,
+    BoxedStream, DriveOutcome, Driven, FaultPlan, LinkSpec, Reactor, ReactorConfig, Runtime,
+    Signal, SimListener, SimNet,
 };
 use rand::{Rng, SeedableRng};
 use std::io;
@@ -176,11 +176,25 @@ impl ClientSession for EchoClient {
 
 /// Run the seeded scenario once and return its virtual-time event trace.
 fn run_scenario(seed: u64, clients: usize) -> Vec<(Duration, String)> {
+    run_scenario_with_plan(seed, clients, None)
+}
+
+/// Same scenario, optionally under a seeded [`FaultPlan`]. The plan's
+/// partition windows target two *idle* hosts so the workload still
+/// completes cleanly while FaultDown/FaultHeal events land in the trace;
+/// delivery jitter applies to the live traffic.
+fn run_scenario_with_plan(
+    seed: u64,
+    clients: usize,
+    plan: Option<FaultPlan>,
+) -> Vec<(Duration, String)> {
     let net = SimNet::new();
     net.add_host("server");
     for i in 0..4 {
         net.add_host(&format!("c{i}"));
     }
+    net.add_host("spare0");
+    net.add_host("spare1");
     net.set_default_link(LinkSpec::lan());
     net.record_trace(true);
 
@@ -200,6 +214,12 @@ fn run_scenario(seed: u64, clients: usize) -> Vec<(Duration, String)> {
     // advance when the reactor shard parks — launch-order races with the
     // clock are impossible.
     let guard = net.enter();
+    // Installed from the entered (registered, runnable) thread: the clock
+    // cannot advance through the pre-scheduled fault windows before the
+    // workload's own timers are in the heap.
+    if let Some(plan) = plan {
+        net.install_fault_plan(plan, seed, &["spare0", "spare1"]);
+    }
     let t0 = net.now();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let fleet = Fleet::new(&rt);
@@ -252,4 +272,44 @@ fn different_seed_different_trace() {
     let a = run_scenario(1, 12);
     let b = run_scenario(2, 12);
     assert_ne!(a, b, "different seeds should produce different schedules");
+}
+
+/// A fault plan whose injected events are guaranteed to show up: heavy
+/// delivery jitter on the live traffic plus partition/heal windows (placed
+/// on the idle spare hosts by `run_scenario_with_plan`).
+fn test_plan() -> FaultPlan {
+    FaultPlan {
+        delay_prob: 0.2,
+        delay_max: Duration::from_millis(2),
+        partitions: 4,
+        outage_min: Duration::from_millis(20),
+        outage_max: Duration::from_millis(120),
+        horizon: Duration::from_millis(400),
+        max_down: 1,
+        ..FaultPlan::default()
+    }
+}
+
+#[test]
+fn same_seed_same_fault_plan_same_trace() {
+    let a = run_scenario_with_plan(0xB0661F, 24, Some(test_plan()));
+    let b = run_scenario_with_plan(0xB0661F, 24, Some(test_plan()));
+    assert!(
+        a.iter().any(|(_, l)| l.starts_with("fault ")),
+        "plan injected no fault events into the trace"
+    );
+    assert_eq!(a.len(), b.len(), "trace lengths differ between identical faulted runs");
+    for (i, (ea, eb)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(ea, eb, "faulted trace diverges at event {i}");
+    }
+}
+
+#[test]
+fn different_seed_different_fault_schedule() {
+    let a = run_scenario_with_plan(3, 12, Some(test_plan()));
+    let b = run_scenario_with_plan(4, 12, Some(test_plan()));
+    let faults = |t: &[(Duration, String)]| {
+        t.iter().filter(|(_, l)| l.starts_with("fault ")).cloned().collect::<Vec<_>>()
+    };
+    assert_ne!(faults(&a), faults(&b), "different seeds should draw different fault schedules");
 }

@@ -120,12 +120,30 @@ impl PendingSegments {
     }
 }
 
+/// Snapshot of a node's in-flight upload staging state, for harnesses that
+/// check the all-or-nothing commit invariant (committed uploads leave no
+/// staging debris; aborted uploads leave no visible object).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StagingStats {
+    /// S3-style multipart uploads in flight.
+    pub multipart_uploads: usize,
+    /// Segmented (ranged-PUT) uploads in flight.
+    pub segment_uploads: usize,
+    /// Bytes currently buffered across all staging state.
+    pub staged_bytes: u64,
+    /// Destination paths with staging state attached (sorted).
+    pub paths: Vec<String>,
+}
+
 /// The handler. Also carries the node's fault-injection switches.
 pub struct StorageHandler {
     store: Arc<ObjectStore>,
     opts: StorageOptions,
     unavailable: AtomicBool,
     fail_next: AtomicU32,
+    /// Deliberate bug switch for harness validation (see
+    /// [`set_eager_segment_commit`](Self::set_eager_segment_commit)).
+    eager_segment_commit: AtomicBool,
     boundary_counter: AtomicU64,
     upload_counter: AtomicU64,
     multipart: Mutex<HashMap<u64, PendingMultipart>>,
@@ -140,6 +158,7 @@ impl StorageHandler {
             opts,
             unavailable: AtomicBool::new(false),
             fail_next: AtomicU32::new(0),
+            eager_segment_commit: AtomicBool::new(false),
             boundary_counter: AtomicU64::new(0),
             upload_counter: AtomicU64::new(0),
             multipart: Mutex::new(HashMap::new()),
@@ -155,6 +174,40 @@ impl StorageHandler {
     /// Fail the next `n` requests with 500.
     pub fn fail_next(&self, n: u32) {
         self.fail_next.store(n, Ordering::SeqCst);
+    }
+
+    /// **Deliberately re-introduce a commit-atomicity bug** (off by
+    /// default): segmented PUTs materialize their partially-covered buffer
+    /// (zeros in the gaps) at the target path after every segment instead
+    /// of only once fully covered. An upload interrupted mid-flight then
+    /// leaves a visible object whose bytes differ from any full payload —
+    /// exactly the all-or-nothing violation `davix-simfuzz` exists to
+    /// catch. Used to validate that the harness actually detects it.
+    pub fn set_eager_segment_commit(&self, v: bool) {
+        self.eager_segment_commit.store(v, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the in-flight upload staging state.
+    pub fn staging_stats(&self) -> StagingStats {
+        let mut stats = StagingStats::default();
+        {
+            let mp = self.multipart.lock();
+            stats.multipart_uploads = mp.len();
+            for p in mp.values() {
+                stats.staged_bytes += p.parts.values().map(|b| b.len() as u64).sum::<u64>();
+                stats.paths.push(p.path.clone());
+            }
+        }
+        {
+            let seg = self.segments.lock();
+            stats.segment_uploads = seg.len();
+            for (path, p) in seg.iter() {
+                stats.staged_bytes += p.covered.iter().map(|(s, e)| e - s).sum::<u64>();
+                stats.paths.push(path.clone());
+            }
+        }
+        stats.paths.sort_unstable();
+        stats
     }
 
     fn object_path(&self, req: &Request) -> Option<String> {
@@ -198,8 +251,23 @@ impl StorageHandler {
             return Response::error(StatusCode::FORBIDDEN);
         }
         match self.store.rename(path, &dest_path) {
-            Some(true) => Response::empty(StatusCode::NO_CONTENT),
-            Some(false) => Response::empty(StatusCode::CREATED),
+            Some(replaced) => {
+                // A rename supersedes any pending segmented upload on either
+                // name. Without this, a retried final segment (its first
+                // response lost in transit after the server had already
+                // materialized the entity) re-opens staging state that the
+                // commit MOVE would then orphan forever — found by the
+                // sim-fuzz all-or-nothing sweep.
+                let mut segments = self.segments.lock();
+                segments.remove(path);
+                segments.remove(&dest_path);
+                drop(segments);
+                if replaced {
+                    Response::empty(StatusCode::NO_CONTENT)
+                } else {
+                    Response::empty(StatusCode::CREATED)
+                }
+            }
             None => Response::error(StatusCode::NOT_FOUND),
         }
     }
@@ -386,6 +454,12 @@ impl StorageHandler {
         };
         pending.data[cr.first as usize..=cr.last as usize].copy_from_slice(body);
         pending.record(cr.first, cr.last + 1);
+        if !pending.complete() && self.eager_segment_commit.load(Ordering::SeqCst) {
+            // Canary bug: publish the partially-covered buffer (zeros in
+            // the gaps) before the entity is complete.
+            let partial = Bytes::from(pending.data.clone());
+            self.store.put(path, partial);
+        }
         let done = pending.complete().then(|| std::mem::take(&mut pending.data));
         if let Some(data) = done {
             segments.remove(path);
@@ -986,6 +1060,33 @@ mod tests {
         let r = h.handle(request(Method::Move, "/seg/obj.tmp", &[("Destination", "/seg/obj")]));
         assert_eq!(r.status, StatusCode::CREATED);
         assert_eq!(h.store.get("/seg/obj").unwrap().data.as_ref(), &payload[..]);
+    }
+
+    #[test]
+    fn move_clears_staging_reopened_by_a_retried_final_segment() {
+        // A client whose final-segment response is lost retries the segment
+        // after the server already materialized the entity: the retry
+        // re-opens a pending (partial) upload under the temp name. The
+        // commit MOVE must supersede that staging state, not orphan it.
+        let h = handler_with(RangeSupport::MultiRange);
+        let payload: Vec<u8> = (0..500u32).map(|i| (i % 163) as u8).collect();
+        for (range, slice) in
+            [("bytes 0-249/500", &payload[..250]), ("bytes 250-499/500", &payload[250..])]
+        {
+            let mut req = request(Method::Put, "/seg/r.tmp", &[("Content-Range", range)]);
+            req.body = slice.to_vec();
+            assert!(h.handle(req).status.is_success());
+        }
+        // The retried final segment (its first response never reached the
+        // client) starts a fresh, partially-covered pending entity.
+        let mut req = request(Method::Put, "/seg/r.tmp", &[("Content-Range", "bytes 250-499/500")]);
+        req.body = payload[250..].to_vec();
+        assert!(h.handle(req).status.is_success());
+        assert_eq!(h.staging_stats().segment_uploads, 1, "retry re-opened staging");
+        let r = h.handle(request(Method::Move, "/seg/r.tmp", &[("Destination", "/seg/r")]));
+        assert_eq!(r.status, StatusCode::CREATED);
+        assert_eq!(h.store.get("/seg/r").unwrap().data.as_ref(), &payload[..]);
+        assert_eq!(h.staging_stats(), StagingStats::default(), "MOVE must clear staging debris");
     }
 
     #[test]

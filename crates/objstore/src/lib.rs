@@ -19,7 +19,7 @@ pub mod checksum;
 pub mod handler;
 pub mod store;
 
-pub use handler::{MetalinkSource, RangeSupport, StorageHandler, StorageOptions};
+pub use handler::{MetalinkSource, RangeSupport, StagingStats, StorageHandler, StorageOptions};
 pub use store::{ObjectMeta, ObjectStore};
 
 use httpd::{HttpServer, ServerConfig};
