@@ -34,13 +34,13 @@
 //! before the main one, e.g. `256,1000`; default none).
 
 use davix_bench::{env_usize, BenchReport, Table};
+use davix_sync::{AtomicUsize, Ordering};
 use httpd::{HttpServer, Request, Response, ServerConfig};
 use httpwire::StatusCode;
 use netsim::simclient::{ClientSession, Fleet, SessionPoll};
 use netsim::{BoxedStream, LinkSpec, Reactor, ReactorConfig, SchedStats, SimNet};
 use parking_lot::Mutex;
 use std::io;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -621,6 +621,14 @@ fn main() {
     report.metric("sched.unparks", main_run.sched.unparks as f64);
     report.metric("sched.clock_advances", main_run.sched.clock_advances as f64);
     report.metric("sched.events_applied", main_run.sched.events_applied as f64);
+    // Detector-overhead datapoint: `steady.real_wall_s` above measures this
+    // same run, so recording whether the race sanitizer was compiled in
+    // lets a bench-trajectory diff attribute a real-wall shift to the
+    // detector instead of a reactor regression. The virtual-time numbers
+    // must not move either way. `reports` must stay 0: the c10k path runs
+    // under the detector with no modeled race.
+    report.metric("race_detect.enabled", if netsim::race::enabled() { 1.0 } else { 0.0 });
+    report.metric("race_detect.reports", netsim::race::take_reports().len() as f64);
     report.table("main", &table);
     report.table("scaling", &scaling);
     report.write();

@@ -596,8 +596,8 @@ impl std::fmt::Debug for FileCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use davix_sync::{AtomicU64, Ordering};
     use netsim::RealRuntime;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// In-memory fetcher that counts upstream calls.
     struct MemFetch {

@@ -32,6 +32,11 @@ struct PoolState {
     peak_live: usize,
     /// Monotonic spawn counter (names threads).
     spawned: u64,
+    /// Happens-before clock for the submit→run handoff: everything the
+    /// submitter did before `submit` is ordered before the job body, even
+    /// though the job may run on a worker that skipped the submitter's
+    /// unlock (no-op without the `race-detect` feature).
+    handoff: davix_sync::race::SyncObj,
 }
 
 /// Bounded spawn-on-demand worker pool shared by one client.
@@ -53,6 +58,7 @@ impl IoPool {
                 live: 0,
                 peak_live: 0,
                 spawned: 0,
+                handoff: davix_sync::race::SyncObj::new(),
             }),
         })
     }
@@ -63,6 +69,7 @@ impl IoPool {
         let spawn_name = {
             let mut st = self.state.lock();
             st.queue.push_back(Box::new(job));
+            st.handoff.release();
             if st.live < self.max {
                 st.live += 1;
                 st.peak_live = st.peak_live.max(st.live);
@@ -86,7 +93,10 @@ impl IoPool {
             let job = {
                 let mut st = self.state.lock();
                 match st.queue.pop_front() {
-                    Some(j) => j,
+                    Some(j) => {
+                        st.handoff.acquire();
+                        j
+                    }
                     None => {
                         st.live -= 1;
                         return;
@@ -116,8 +126,8 @@ impl IoPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use davix_sync::{AtomicUsize, Ordering};
     use netsim::SimNet;
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
     #[test]

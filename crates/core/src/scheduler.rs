@@ -30,11 +30,11 @@
 
 use crate::config::Config;
 use crate::metrics::Metrics;
+use davix_sync::{AtomicBool, Ordering};
 use httpwire::{Method, RequestHead, Uri};
 use netsim::{Connector, Runtime};
 use parking_lot::Mutex;
 use std::io::{BufReader, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -29,6 +29,7 @@ use crate::error::{DavixError, Result};
 use crate::executor::{HttpExecutor, PreparedRequest};
 use crate::metrics::Metrics;
 use bytes::Bytes;
+use davix_sync::{AtomicU64, Ordering};
 use httpwire::{ContentRange, Method, ResponseHead, StatusCode, Uri};
 use ioapi::checksum::{adler32, adler32_combine, to_hex};
 use metalink::xml::Element;
@@ -36,7 +37,6 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Random-access source of upload data. Chunk workers read disjoint
@@ -309,6 +309,7 @@ pub fn multistream_upload(
 
     let workers = streams.min(n_chunks).max(1);
     *live.lock() = workers;
+    let metrics = Arc::clone(ex.metrics());
     for _ in 0..workers {
         let client = client.clone();
         let source = Arc::clone(&source);
@@ -317,10 +318,18 @@ pub fn multistream_upload(
         let done = Arc::clone(&done);
         let live = Arc::clone(&live);
         let max_failures = opts.max_chunk_failures;
+        let worker_metrics = Arc::clone(&metrics);
         pool.submit(move || {
+            worker_metrics.canary_bump();
             upload_worker(client, source, target, shared, &done, &live, max_failures);
         });
     }
+    // The driver-side canary touch: deliberately after the submits (so the
+    // pool handoff edge does not cover it) and before `done.wait` (so the
+    // completion edge does not either). Racing pair with the worker-side
+    // touch above — inert unless the `unsync-metric` canary is armed under
+    // `race-detect`.
+    metrics.canary_bump();
     // `done` fires either when every chunk has succeeded or when the *last
     // worker exits* — never while a chunk PUT is still in flight. That
     // ordering matters for the abort below: a late segment landing after

@@ -7,8 +7,8 @@
 //! monitor share one implementation.
 
 use crate::catalog::ReplicaCatalog;
+use davix_sync::{AtomicBool, Ordering};
 use netsim::{Connector, Runtime};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

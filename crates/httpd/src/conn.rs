@@ -16,11 +16,11 @@
 //! budget expires, having cost one timer-wheel entry instead of a thread.
 
 use crate::server::{encode_response, Handler, Request, Response, ServerConfig, ServerStats};
+use davix_sync::{AtomicUsize, Ordering};
 use httpwire::parse::{read_request_head, request_body_len, BodyLen, MAX_HEAD_BYTES};
 use httpwire::{RequestHead, StatusCode, Version};
 use netsim::{BoxedStream, DriveOutcome, Driven, Signal};
 use std::io::{self, Cursor};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

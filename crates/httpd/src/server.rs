@@ -10,10 +10,10 @@
 
 use crate::conn::{ConnSlotGuard, ConnSlots, HttpConn};
 use bytes::Bytes;
+use davix_sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use httpwire::parse::BodyReader;
 use httpwire::{date, HeaderMap, RequestHead, StatusCode, Version};
 use netsim::{Listener, Reactor, ReactorConfig, Runtime};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 

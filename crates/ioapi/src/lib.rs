@@ -10,8 +10,8 @@
 pub mod checksum;
 
 use bytes::Bytes;
+use davix_sync::{AtomicU64, Ordering};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Positional, thread-safe, random-access reads over some byte source.

@@ -27,15 +27,23 @@
 //!   `execute*`, `connect`/`accept`, argument-taking stream
 //!   `read`/`write`, `park`/`join`/`recv`/`sleep`) is an error. Passing
 //!   the guard *into* the call (`cv.wait(&mut guard)`) is the sanctioned
-//!   condvar handoff and stays clean. The check is conservative and
-//!   intra-function: it tracks `let` bindings, `drop()`, and block scope —
-//!   it does not chase guards through function parameters or returns.
+//!   condvar handoff and stays clean. The check tracks `let` bindings,
+//!   `drop()`, and block scope, and — in workspace mode — consults a
+//!   name-based [`CallGraph`] so a guard live across a call to a
+//!   *transitively* blocking workspace function is flagged too, with the
+//!   witness chain (`flush -> drain -> wait(..)`) in the message. It still
+//!   does not chase guards through function parameters or returns.
 //! * **`thread-hygiene`** — `thread::spawn`/`thread::Builder` only in the
 //!   sanctioned spawn modules (`core::iopool`, `netsim::reactor`,
 //!   `netsim::sim` — thread creation is their purpose) and the bench/CLI
 //!   binaries; `netsim::tcp`'s `Runtime::spawn` carries a per-site
 //!   marker. Stray threads are invisible to the sim scheduler's census
 //!   and break quiescence detection.
+//! * **`shared-state`** — no bare `std::sync::atomic` paths, `static mut`,
+//!   or `UnsafeCell` outside `crates/sync` (the shim itself) and the
+//!   real-time binaries. The `race-detect` sanitizer only sees
+//!   synchronization routed through `davix_sync::{Atomic*, CheckedCell}`
+//!   and the vendored locks; bare primitives are edges it cannot model.
 //!
 //! # Suppressions
 //!
@@ -60,45 +68,89 @@
 //! runtime detector catches ABBA ordering cycles the static view cannot
 //! see across functions.
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
 
-pub use rules::{lint_source, Finding, Rule};
+pub use callgraph::CallGraph;
+pub use rules::{file_kind, lint_scanned, lint_source, FileKind, Finding, Rule};
 
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lint one file on disk. `root` anchors the allowlist-relative path; a
-/// file outside `root` is linted under its file name (no allowlists
-/// apply).
+/// Lint one file on disk in isolation (no workspace call graph). `root`
+/// anchors the allowlist-relative path; a file outside `root` is linted
+/// under its file name (no allowlists apply).
 pub fn lint_file(root: &Path, path: &Path) -> io::Result<Vec<Finding>> {
     let src = std::fs::read_to_string(path)?;
-    let rel = path
-        .strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .replace(std::path::MAIN_SEPARATOR, "/");
-    Ok(rules::lint_source(&rel, &src))
+    Ok(rules::lint_source(&rel_path(root, path), &src))
 }
 
-/// Walk every `crates/*/src/**/*.rs` under `root` (the workspace layout)
-/// and lint each file. Test trees (`crates/*/tests`), benches and the
-/// vendored stand-ins are deliberately out of scope: the rules protect
-/// *sim-reachable shipping code*.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace(std::path::MAIN_SEPARATOR, "/")
+}
+
+/// Walk the workspace's first-party Rust sources under `root`: every
+/// `crates/*/src/**/*.rs` and `crates/*/tests/**/*.rs`, plus root-level
+/// `src/` and `tests/` if present. Benches-as-data (`*.json`), the
+/// vendored stand-ins (`vendor/`) and lint fixtures (any `fixtures/`
+/// segment — they *must* violate rules) stay out of scope.
+///
+/// Files are scanned once, a workspace [`CallGraph`] is built over the
+/// whole set, and each file is then linted with the graph so the
+/// interprocedural `lock-discipline` check sees cross-file, cross-crate
+/// call chains. Integration tests (`tests/` trees) get the relaxed
+/// [`FileKind::IntegrationTest`] treatment.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
     for entry in std::fs::read_dir(&crates_dir)? {
-        let src = entry?.path().join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files)?;
+        let krate = entry?.path();
+        for sub in ["src", "tests"] {
+            let dir = krate.join(sub);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut files)?;
+            }
         }
     }
-    files.sort();
-    let mut findings = Vec::new();
-    for f in &files {
-        findings.extend(lint_file(root, f)?);
+    for sub in ["src", "tests"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
     }
+    files.retain(|p| !p.components().any(|c| c.as_os_str() == "fixtures"));
+    lint_files(root, files)
+}
+
+/// Lint a set of files *together*: scan them all, build one [`CallGraph`]
+/// over the whole set, then lint each file with the graph — so the
+/// interprocedural `lock-discipline` check sees call chains that span the
+/// set. Findings come back stably sorted by (file, line, rule, message).
+pub fn lint_files(root: &Path, mut files: Vec<PathBuf>) -> io::Result<Vec<Finding>> {
+    files.sort();
+    files.dedup();
+    let mut scanned: Vec<(String, lexer::Scanned)> = Vec::with_capacity(files.len());
+    for f in &files {
+        let src = std::fs::read_to_string(f)?;
+        scanned.push((rel_path(root, f), lexer::scan(&src)));
+    }
+    let graph = CallGraph::build(scanned.iter().map(|(_, s)| s));
+    let mut findings = Vec::new();
+    for (rel, s) in &scanned {
+        findings.extend(rules::lint_scanned(rel, s, Some(&graph)));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name(), a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule.name(),
+            b.message.as_str(),
+        ))
+    });
     Ok(findings)
 }
 

@@ -6,8 +6,12 @@
 //! davix-lint [--deny-all] [--json] <file-or-dir>...
 //! ```
 //!
-//! * `--workspace` lints every `crates/*/src/**/*.rs` under the enclosing
-//!   workspace root (found by walking up from the current directory).
+//! * `--workspace` lints every `crates/*/{src,tests}/**/*.rs` plus the
+//!   root-level `src/` and `tests/` trees under the enclosing workspace
+//!   root (found by walking up from the current directory), with one call
+//!   graph spanning the whole set. Integration tests get the relaxed
+//!   test treatment (no determinism/thread-hygiene); lint fixtures are
+//!   excluded.
 //! * `--deny-all` makes *any* finding fail the run (exit 1) — the CI mode.
 //!   Without it, findings print as warnings and only `bad-allow` findings
 //!   (a suppression without a reason, or naming an unknown rule) fail:
@@ -21,7 +25,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use davix_lint::{find_workspace_root, lint_file, lint_workspace, to_json, Finding, Rule};
+use davix_lint::{find_workspace_root, lint_files, lint_workspace, to_json, Finding, Rule};
 
 fn main() -> ExitCode {
     let mut workspace = false;
@@ -68,26 +72,24 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Explicit paths are linted as one set: the call graph spans all of
+    // them, so cross-file chains among the given files are visible.
+    let mut files: Vec<PathBuf> = Vec::new();
     for p in &paths {
-        let result = if p.is_dir() {
-            let mut files = Vec::new();
-            match collect(p, &mut files) {
-                Ok(()) => {
-                    files.sort();
-                    files.iter().try_fold(Vec::new(), |mut acc, f| {
-                        acc.extend(lint_file(&root, f)?);
-                        Ok(acc)
-                    })
-                }
-                Err(e) => Err(e),
+        if p.is_dir() {
+            if let Err(e) = collect(p, &mut files) {
+                eprintln!("davix-lint: {}: {e}", p.display());
+                return ExitCode::from(2);
             }
         } else {
-            lint_file(&root, p)
-        };
-        match result {
+            files.push(p.clone());
+        }
+    }
+    if !files.is_empty() {
+        match lint_files(&root, files) {
             Ok(f) => findings.extend(f),
             Err(e) => {
-                eprintln!("davix-lint: {}: {e}", p.display());
+                eprintln!("davix-lint: {e}");
                 return ExitCode::from(2);
             }
         }

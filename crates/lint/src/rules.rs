@@ -7,6 +7,7 @@
 //! documented `// davix-lint: allow(<rule>) — <reason>` marker instead of
 //! silently rotting in reviewer memory.
 
+use crate::callgraph::CallGraph;
 use crate::lexer::{scan, AllowMarker, Scanned, TokKind, Token};
 
 /// A rule family. `BadAllow` is the meta-rule policing the markers
@@ -21,12 +22,21 @@ pub enum Rule {
     Determinism,
     /// A lock guard still live at a call that can block (Signal waits,
     /// `execute*`, `connect`/`accept`, stream `read`/`write`, park/join
-    /// points): the "never hold a lock across I/O" discipline.
+    /// points): the "never hold a lock across I/O" discipline. With a
+    /// workspace [`CallGraph`], the check is interprocedural: a guard live
+    /// across a call to a *transitively* blocking workspace function is
+    /// flagged too, with the witness chain in the message.
     LockDiscipline,
     /// `std::thread::spawn` / `thread::Builder` outside the sanctioned
     /// spawn sites (`IoPool`, the reactor, the netsim scheduler): stray
     /// threads break the sim's thread census and quiescence detection.
     ThreadHygiene,
+    /// Bare shared mutable state outside the `davix-sync` shim: direct
+    /// `std::sync::atomic` paths, `static mut`, or `UnsafeCell`. The
+    /// `race-detect` sanitizer can only see synchronization it models —
+    /// shared state must go through `davix_sync::{Atomic*, CheckedCell}`
+    /// (or the vendored locks) so every edge is instrumented.
+    SharedState,
     /// A malformed suppression: `allow` marker without a reason, or naming
     /// an unknown rule.
     BadAllow,
@@ -39,6 +49,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::LockDiscipline => "lock-discipline",
             Rule::ThreadHygiene => "thread-hygiene",
+            Rule::SharedState => "shared-state",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -50,8 +61,38 @@ impl Rule {
             "determinism" => Some(Rule::Determinism),
             "lock-discipline" => Some(Rule::LockDiscipline),
             "thread-hygiene" => Some(Rule::ThreadHygiene),
+            "shared-state" => Some(Rule::SharedState),
             _ => None,
         }
+    }
+}
+
+/// How strictly a file is linted, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Sim-reachable shipping code: every rule applies.
+    Shipping,
+    /// An integration test (`tests/` at the workspace root or under a
+    /// crate). Tests run under `cargo test` process rules, so ambient time
+    /// and stray threads are the author's business — but `lock-discipline`
+    /// and `shared-state` apply in full: a test deadlocking the suite or
+    /// smuggling unchecked shared state is no better than shipping code
+    /// doing it.
+    IntegrationTest,
+}
+
+/// Classify a workspace-relative path (with `/` separators). Lint fixtures
+/// (a `fixtures/` segment) model shipping code and are always classified
+/// [`FileKind::Shipping`], even though they live under a `tests/` tree —
+/// they exist precisely to exercise the full rule set.
+pub fn file_kind(rel_path: &str) -> FileKind {
+    if rel_path.contains("/fixtures/") || rel_path.starts_with("fixtures/") {
+        return FileKind::Shipping;
+    }
+    if rel_path.starts_with("tests/") || rel_path.contains("/tests/") {
+        FileKind::IntegrationTest
+    } else {
+        FileKind::Shipping
     }
 }
 
@@ -87,10 +128,19 @@ const THREAD_ALLOW_FILES: &[&str] =
 /// talk to terminals); every determinism/thread rule is waived there.
 const REALTIME_PREFIXES: &[&str] = &["crates/bench/src/", "crates/cli/src/"];
 
+/// The one place bare `std::sync::atomic` / `UnsafeCell` is the point:
+/// `davix-sync` *is* the shim everything else must use, so the rule that
+/// bans bare primitives cannot apply to the crate that wraps them.
+const SHARED_STATE_ALLOW_PREFIXES: &[&str] = &["crates/sync/"];
+
 fn path_allowed(rule: Rule, rel_path: &str) -> bool {
     let whole_file = match rule {
         Rule::Determinism => false,
         Rule::ThreadHygiene => THREAD_ALLOW_FILES.contains(&rel_path),
+        Rule::SharedState => {
+            return SHARED_STATE_ALLOW_PREFIXES.iter().any(|p| rel_path.starts_with(p))
+                || REALTIME_PREFIXES.iter().any(|p| rel_path.starts_with(p));
+        }
         _ => return false,
     };
     whole_file || REALTIME_PREFIXES.iter().any(|p| rel_path.starts_with(p))
@@ -100,20 +150,36 @@ fn path_allowed(rule: Rule, rel_path: &str) -> bool {
 // lint driver
 // ---------------------------------------------------------------------------
 
-/// Lint one file's source. `rel_path` is the path relative to the workspace
-/// root with `/` separators — it selects the path allowlists.
+/// Lint one file's source in isolation (no call graph): the single-file
+/// mode of the CLI and the unit tests. `rel_path` is the path relative to
+/// the workspace root with `/` separators — it selects the path allowlists
+/// and the [`FileKind`].
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let scanned = scan(src);
-    let mut ctx = Ctx::new(rel_path, &scanned);
+    lint_scanned(rel_path, &scan(src), None)
+}
+
+/// Lint an already-scanned file, optionally with the workspace
+/// [`CallGraph`] enabling the interprocedural `lock-discipline` check.
+pub fn lint_scanned(rel_path: &str, scanned: &Scanned, graph: Option<&CallGraph>) -> Vec<Finding> {
+    let kind = file_kind(rel_path);
+    let mut ctx = Ctx::new(rel_path, scanned);
     ctx.validate_markers();
     let skip = test_mod_ranges(&scanned.tokens);
-    if !path_allowed(Rule::Determinism, rel_path) {
-        ctx.determinism(&skip);
+    // Integration tests run under `cargo test` process rules: ambient time,
+    // randomness and threads are relaxed there. Lock discipline and
+    // shared-state hygiene are not — see [`FileKind::IntegrationTest`].
+    if kind == FileKind::Shipping {
+        if !path_allowed(Rule::Determinism, rel_path) {
+            ctx.determinism(&skip);
+        }
+        if !path_allowed(Rule::ThreadHygiene, rel_path) {
+            ctx.thread_hygiene(&skip);
+        }
     }
-    if !path_allowed(Rule::ThreadHygiene, rel_path) {
-        ctx.thread_hygiene(&skip);
+    if !path_allowed(Rule::SharedState, rel_path) {
+        ctx.shared_state(&skip);
     }
-    ctx.lock_discipline(&skip);
+    ctx.lock_discipline(&skip, graph);
     ctx.findings.sort_by_key(|f| f.line);
     ctx.findings
 }
@@ -160,7 +226,7 @@ impl<'a> Ctx<'a> {
                     m.line,
                     format!(
                         "allow marker names unknown rule `{}` (known: determinism, \
-                         lock-discipline, thread-hygiene)",
+                         lock-discipline, thread-hygiene, shared-state)",
                         m.rule
                     ),
                 );
@@ -239,9 +305,39 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    // -- shared state -------------------------------------------------------
+
+    /// Bare shared-mutable-state primitives outside the `davix-sync` shim:
+    /// a `std::sync::atomic` path, `static mut`, or `UnsafeCell`. Each one
+    /// is invisible to the `race-detect` sanitizer (its edges and checks
+    /// live in the shim), so using them bare re-opens exactly the holes the
+    /// detector exists to close.
+    fn shared_state(&mut self, skip: &[(usize, usize)]) {
+        let toks = self.tokens;
+        for i in 0..toks.len() {
+            if in_ranges(i, skip) {
+                continue;
+            }
+            let t = &toks[i];
+            let what = if path3(toks, i) == Some(("sync", "atomic")) {
+                "bare `std::sync::atomic` — use the `davix_sync` shim (`AtomicU64`, \
+                 `AtomicBool`, …) so the race detector sees the ordering edges"
+            } else if t.is_ident("static") && toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+                "`static mut` is unsynchronized shared state — use a `davix_sync` atomic, \
+                 `CheckedCell`, or a lock"
+            } else if t.is_ident("UnsafeCell") {
+                "bare `UnsafeCell` shared state — use `davix_sync::CheckedCell` so every \
+                 access is race-checked"
+            } else {
+                continue;
+            };
+            self.emit_unless_allowed(Rule::SharedState, t.line, what.to_string());
+        }
+    }
+
     // -- lock discipline ----------------------------------------------------
 
-    fn lock_discipline(&mut self, skip: &[(usize, usize)]) {
+    fn lock_discipline(&mut self, skip: &[(usize, usize)], graph: Option<&CallGraph>) {
         let toks = self.tokens;
         let mut depth: i32 = 0;
         let mut guards: Vec<GuardBinding> = Vec::new();
@@ -270,7 +366,7 @@ impl<'a> Ctx<'a> {
                 if let Some(binding) = guard_binding(toks, i, depth) {
                     guards.push(binding);
                 }
-            } else if let Some(callee) = blocking_call(toks, i) {
+            } else if let Some(blocking) = classify_call(toks, i, graph) {
                 let args_end = matching_paren(toks, i + 1);
                 let live: Vec<&GuardBinding> =
                     guards.iter().filter(|g| g.active_after < i && g.depth <= depth).collect();
@@ -282,11 +378,20 @@ impl<'a> Ctx<'a> {
                 if let (Some(g), false) = (live.first(), handed_off) {
                     let (gname, gline) = (g.name.clone(), g.line);
                     let line = t.line;
-                    let msg = format!(
-                        "`{callee}` may block while lock guard `{gname}` (bound on line \
-                         {gline}) is still held — release the guard before blocking, or \
-                         hand it to the wait"
-                    );
+                    let msg = match blocking {
+                        BlockingCall::Primitive(callee) => format!(
+                            "`{callee}` may block while lock guard `{gname}` (bound on line \
+                             {gline}) is still held — release the guard before blocking, or \
+                             hand it to the wait"
+                        ),
+                        BlockingCall::Transitive(chain) => format!(
+                            "`{}` transitively blocks ({}) while lock guard `{gname}` (bound \
+                             on line {gline}) is still held — release the guard before the \
+                             call",
+                            chain[0],
+                            chain.join(" -> "),
+                        ),
+                    };
                     if !self.suppressed(Rule::LockDiscipline, line)
                         && !self.suppressed(Rule::LockDiscipline, gline)
                     {
@@ -299,6 +404,37 @@ impl<'a> Ctx<'a> {
             i += 1;
         }
     }
+}
+
+/// What makes a call site dangerous under a held guard.
+enum BlockingCall<'g> {
+    /// A known-blocking primitive (`wait`, `connect`, argful `read`, …).
+    Primitive(String),
+    /// A workspace function the [`CallGraph`] proved transitively blocking;
+    /// the witness chain ends at the primitive.
+    Transitive(&'g [String]),
+}
+
+/// Classify `toks[i]` as a blocking call: primitives first (they carry
+/// their own zero-arg disambiguation), then the call graph's transitive
+/// verdicts for plain `name(..)` / `.name(..)` call sites.
+fn classify_call<'g>(
+    toks: &[Token],
+    i: usize,
+    graph: Option<&'g CallGraph>,
+) -> Option<BlockingCall<'g>> {
+    if let Some(callee) = blocking_call(toks, i) {
+        return Some(BlockingCall::Primitive(callee));
+    }
+    let g = graph?;
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident || !toks.get(i + 1)?.is_punct("(") {
+        return None;
+    }
+    if i > 0 && toks[i - 1].is_ident("fn") {
+        return None; // definition, not a call
+    }
+    g.blocking_chain(&t.text).map(BlockingCall::Transitive)
 }
 
 /// A `let`-bound lock guard that is still in scope.
@@ -327,14 +463,14 @@ fn path3(toks: &[Token], i: usize) -> Option<(&str, &str)> {
     }
 }
 
-fn in_ranges(i: usize, ranges: &[(usize, usize)]) -> bool {
+pub(crate) fn in_ranges(i: usize, ranges: &[(usize, usize)]) -> bool {
     ranges.iter().any(|&(s, e)| i >= s && i < e)
 }
 
 /// Token ranges of `#[cfg(test)] mod … { … }` bodies. Unit-test modules run
 /// under `cargo test` process rules, not sim rules — `thread::spawn` or a
 /// real sleep in a unit test is the test author's business.
-fn test_mod_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_mod_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i + 6 < toks.len() {
@@ -428,7 +564,8 @@ fn matching_paren(toks: &[Token], open: usize) -> usize {
 
 /// Guard-producing terminal calls: zero-arg `.lock()`, `.read()`,
 /// `.write()` and their `try_` variants.
-const GUARD_CALLS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+pub(crate) const GUARD_CALLS: &[&str] =
+    &["lock", "read", "write", "try_lock", "try_read", "try_write"];
 
 /// Inspect a `let` statement starting at `toks[i]`. Returns a binding when
 /// the initializer's *last* chained call produces a lock guard.
@@ -506,8 +643,11 @@ fn guard_binding(toks: &[Token], let_idx: usize, depth: i32) -> Option<GuardBind
     if !produces_guard {
         return None;
     }
-    // Re-verify the terminal guard call really has zero args: find the last
-    // `.call(` occurrence and peek inside.
+    // Re-verify the terminal guard call really has zero args (find the last
+    // `.call(` occurrence and peek inside), and that the statement *binds*
+    // the guard rather than reading through a temporary: in
+    // `let n = self.progress.lock().failures;` the guard dies at the end of
+    // the statement — only `.unwrap()` / `.expect(..)` may follow the call.
     let zero_arg = {
         let mut ok = false;
         for k in (eq + 1)..j {
@@ -517,7 +657,8 @@ fn guard_binding(toks: &[Token], let_idx: usize, depth: i32) -> Option<GuardBind
                 && toks[k - 1].is_punct(".")
                 && toks.get(k + 1).is_some_and(|n| n.is_punct("("))
             {
-                ok = toks.get(k + 2).is_some_and(|n| n.is_punct(")"));
+                ok = toks.get(k + 2).is_some_and(|n| n.is_punct(")"))
+                    && only_unwraps_follow(toks, k + 3, j);
             }
         }
         ok
@@ -533,20 +674,29 @@ fn guard_binding(toks: &[Token], let_idx: usize, depth: i32) -> Option<GuardBind
     })
 }
 
-/// Calls that can block the thread. `read`/`write` count only with a
-/// non-empty argument list (zero-arg `.read()`/`.write()` are lock
-/// acquisitions, not I/O).
-fn blocking_call(toks: &[Token], i: usize) -> Option<String> {
-    let t = toks.get(i)?;
-    if t.kind != TokKind::Ident || !toks.get(i + 1)?.is_punct("(") {
-        return None;
+/// True when `toks[i..end]` is nothing but `.unwrap()` / `.expect(..)`
+/// chains — i.e. the statement binds the guard itself. Anything else (a
+/// field access, a further method call) reads through a temporary guard
+/// that is dropped at the end of the statement, so nothing stays held.
+fn only_unwraps_follow(toks: &[Token], mut i: usize, end: usize) -> bool {
+    while i < end {
+        if !toks[i].is_punct(".") {
+            return false;
+        }
+        let named_unwrap =
+            toks.get(i + 1).is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"));
+        if !named_unwrap || !toks.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+            return false;
+        }
+        i = matching_paren(toks, i + 2);
     }
-    // `fn wait(...)` is a definition, not a call.
-    if i > 0 && toks[i - 1].is_ident("fn") {
-        return None;
-    }
-    let name = t.text.as_str();
-    let any_args = matches!(
+    true
+}
+
+/// Names that block regardless of argument count (waits, parks, joins,
+/// connects, the executor entry points).
+pub(crate) fn blocking_name_any_args(name: &str) -> bool {
+    matches!(
         name,
         "wait"
             | "wait_for"
@@ -562,8 +712,13 @@ fn blocking_call(toks: &[Token], i: usize) -> Option<String> {
             | "connect"
             | "accept"
             | "sleep"
-    ) || name.starts_with("execute");
-    let with_args = matches!(
+    ) || name.starts_with("execute")
+}
+
+/// Names that block only when called *with* arguments: zero-arg
+/// `.read()`/`.write()` are RwLock acquisitions, argful ones are I/O.
+pub(crate) fn blocking_name_with_args(name: &str) -> bool {
+    matches!(
         name,
         "read"
             | "write"
@@ -572,11 +727,26 @@ fn blocking_call(toks: &[Token], i: usize) -> Option<String> {
             | "read_vectored"
             | "write_all"
             | "write_vectored"
-    );
-    if any_args {
+    )
+}
+
+/// Calls that can block the thread. `read`/`write` count only with a
+/// non-empty argument list (zero-arg `.read()`/`.write()` are lock
+/// acquisitions, not I/O).
+pub(crate) fn blocking_call(toks: &[Token], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident || !toks.get(i + 1)?.is_punct("(") {
+        return None;
+    }
+    // `fn wait(...)` is a definition, not a call.
+    if i > 0 && toks[i - 1].is_ident("fn") {
+        return None;
+    }
+    let name = t.text.as_str();
+    if blocking_name_any_args(name) {
         return Some(name.to_string());
     }
-    if with_args && !toks.get(i + 2)?.is_punct(")") {
+    if blocking_name_with_args(name) && !toks.get(i + 2)?.is_punct(")") {
         return Some(name.to_string());
     }
     None

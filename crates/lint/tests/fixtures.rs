@@ -7,7 +7,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use davix_lint::{lint_file, lint_source, Rule};
+use davix_lint::{lint_file, lint_files, lint_source, Rule};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -67,8 +67,46 @@ fn reasonless_allow_fixture_flags_marker_and_does_not_suppress() {
 }
 
 #[test]
+fn bare_atomic_fixture_produces_exact_shared_state_findings() {
+    assert_eq!(
+        lint_fixture("bad/bare_atomic.rs"),
+        vec![(Rule::SharedState, 5), (Rule::SharedState, 13), (Rule::SharedState, 14)]
+    );
+}
+
+#[test]
+fn static_mut_fixture_produces_exact_shared_state_findings() {
+    assert_eq!(lint_fixture("bad/static_mut.rs"), vec![(Rule::SharedState, 4)]);
+}
+
+#[test]
+fn guard_across_call_chain_needs_the_graph() {
+    let root = fixture_dir();
+    let path = root.join("bad/guard_across_call_chain.rs");
+    // Alone, without a call graph, the file looks clean: the wait hides one
+    // hop away in `drain_queue` and the intra-function rule cannot see it.
+    assert!(lint_file(&root, &path).unwrap().is_empty());
+    // Linted as a set (even a set of one), the graph proves the chain.
+    let findings = lint_files(&root, vec![path]).unwrap();
+    assert_eq!(
+        findings.iter().map(|f| (f.rule, f.line)).collect::<Vec<_>>(),
+        vec![(Rule::LockDiscipline, 14)]
+    );
+    assert!(
+        findings[0].message.contains("drain_queue -> wait(..)"),
+        "finding must carry the witness chain: {}",
+        findings[0].message
+    );
+}
+
+#[test]
 fn good_fixtures_lint_clean() {
-    for rel in ["good/disciplined.rs", "good/marked_realtime.rs"] {
+    for rel in [
+        "good/disciplined.rs",
+        "good/marked_realtime.rs",
+        "good/shim_state.rs",
+        "good/marked_shared_state.rs",
+    ] {
         let f = lint_fixture(rel);
         assert!(f.is_empty(), "{rel} should be clean, got {f:?}");
     }
@@ -118,6 +156,11 @@ fn binary_denies_each_bad_fixture_with_file_line_diagnostics() {
         ("bad/fault_hook_rng.rs", "determinism", 11),
         ("bad/guard_across_wait.rs", "lock-discipline", 11),
         ("bad/rogue_spawn.rs", "thread-hygiene", 7),
+        ("bad/bare_atomic.rs", "shared-state", 5),
+        ("bad/static_mut.rs", "shared-state", 4),
+        // The binary lints explicit paths as one set with a call graph, so
+        // the transitive chain is visible even for a single file.
+        ("bad/guard_across_call_chain.rs", "lock-discipline", 14),
     ] {
         let path = fixture_dir().join(fixture);
         let (code, text) = run_lint(&["--deny-all", path.to_str().unwrap()]);

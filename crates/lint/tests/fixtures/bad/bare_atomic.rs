@@ -1,0 +1,15 @@
+//! Bare `std::sync::atomic` outside the `davix-sync` shim: the race
+//! detector models edges only for shim atomics, so these stores/loads are
+//! synchronization it cannot see.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static HITS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn make_flag() -> std::sync::atomic::AtomicBool {
+    std::sync::atomic::AtomicBool::new(false)
+}

@@ -1,0 +1,17 @@
+//! Interprocedural lock-discipline: the guard is live across a call to a
+//! helper that only *transitively* blocks — the wait hides one hop away in
+//! `drain_queue`, so the intra-function rule alone cannot see it. The
+//! workspace call graph proves `flush -> drain_queue -> wait(..)` and the
+//! finding lands on the call site in `flush`.
+
+impl Flusher {
+    fn drain_queue(&self) {
+        self.sig.wait(None);
+    }
+
+    pub fn flush(&self) {
+        let g = self.state.lock();
+        self.drain_queue();
+        drop(g);
+    }
+}

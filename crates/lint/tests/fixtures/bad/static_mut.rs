@@ -1,0 +1,10 @@
+//! `static mut` is unsynchronized shared state: every access is a
+//! potential data race the `race-detect` sanitizer cannot check.
+
+pub static mut TICKS: u64 = 0;
+
+pub fn tick() {
+    unsafe {
+        TICKS += 1;
+    }
+}

@@ -1,0 +1,9 @@
+//! A documented `shared-state` exemption: the marker must carry a reason,
+//! and then (and only then) the bare atomic passes.
+
+// davix-lint: allow(shared-state) — FFI-shared header mandates a raw AtomicU32 field layout
+use std::sync::atomic::AtomicU32;
+
+pub struct FfiRefcount {
+    pub count: AtomicU32,
+}

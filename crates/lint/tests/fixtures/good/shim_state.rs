@@ -1,0 +1,17 @@
+//! Shared state routed through the `davix-sync` shim: every ordering edge
+//! and every `CheckedCell` access is visible to the race detector, so the
+//! `shared-state` rule has nothing to say.
+
+use davix_sync::{AtomicU64, CheckedCell, Ordering};
+
+pub struct Counters {
+    hits: AtomicU64,
+    last: CheckedCell<u64>,
+}
+
+impl Counters {
+    pub fn hit(&self, v: u64) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.last.set(v);
+    }
+}

@@ -65,6 +65,7 @@
 //! ```
 
 pub mod fault;
+pub mod race;
 pub mod reactor;
 pub mod sim;
 pub mod simclient;

@@ -1,0 +1,34 @@
+//! Race detection inside the simulator: where the happens-before edges are.
+//!
+//! This module is a façade over [`davix_sync::race`] documenting how the
+//! simulator wires itself into the vector-clock detector when the
+//! `race-detect` feature is on (it re-exports the pieces integration tests
+//! need). The edges the simulator owns:
+//!
+//! | Operation | Edge |
+//! |---|---|
+//! | `parking_lot` lock / unlock | acquire / release on the lock's clock (vendored hooks) |
+//! | [`SimNet::spawn`](crate::sim::SimNet::spawn), `Runtime::spawn` | fork packet: child adopts the parent's clock |
+//! | sim thread exit | covered by the state-lock release in its deregistration guard |
+//! | `Signal::set` → `Signal::wait`/`is_set` | release on set, acquire on the observed wake |
+//! | message delivery → `Stream::read` | release when payload lands in the receive buffer, acquire on drain |
+//! | shim atomics ([`davix_sync`]) | release on `Release`-or-stronger stores, acquire on `Acquire`-or-stronger loads; `Relaxed` is **not** an edge |
+//!
+//! Because every sim interaction already funnels through the single
+//! `State` mutex, the lock edges alone order most pairs; the explicit
+//! signal/delivery/spawn edges keep the model honest where code hands data
+//! across threads *without* re-taking that lock (and document the intended
+//! synchronization rather than an incidental one).
+//!
+//! # Seed-replayable races
+//!
+//! `sim-fuzz` runs with [`set_panic_on_race`]`(false)` and drains
+//! [`take_reports`] after each scenario: a detected race becomes a
+//! `FAIL seed=<u64> ... invariant=race` line, and replaying that seed
+//! reproduces the identical report (see
+//! [`RaceReport::stable_detail`]).
+
+pub use davix_sync::race::{
+    adopt_packet, census, enabled, fork_packet, set_panic_on_race, take_reports, Packet,
+    RaceReport, SyncObj,
+};

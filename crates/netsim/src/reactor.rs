@@ -31,9 +31,9 @@
 
 use crate::slab::Slab;
 use crate::transport::{Runtime, Signal};
+use davix_sync::{AtomicBool, AtomicUsize, Ordering};
 use parking_lot::Mutex;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -54,11 +54,11 @@
 use crate::fault::{self, FaultPlan, FaultState, FaultStats, SplitRng};
 use crate::slab::Slab;
 use crate::transport::{BoxedStream, Connector, Listener, Pollable, Runtime, Signal, Stream};
+use davix_sync::{AtomicUsize, Ordering};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::cell::{Cell, RefCell};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -348,6 +348,11 @@ struct DirState {
     rbuf_len: usize,
     fin: bool,
     fin_sent: bool,
+    /// Happens-before clock for message delivery on this direction: the
+    /// delivering thread releases when payload lands in `rbuf`, the reader
+    /// acquires when it drains — so "data I wrote before send is visible
+    /// after recv" is a modeled edge, not just a state-lock side effect.
+    race: davix_sync::race::SyncObj,
 }
 
 impl DirState {
@@ -363,6 +368,7 @@ impl DirState {
             rbuf_len: 0,
             fin: false,
             fin_sent: false,
+            race: davix_sync::race::SyncObj::new(),
         }
     }
 }
@@ -388,6 +394,9 @@ struct ListenerState {
 
 struct SignalState {
     set: bool,
+    /// Happens-before clock for this signal: `set` releases, an observed
+    /// wake (or `is_set() == true`) acquires.
+    race: davix_sync::race::SyncObj,
 }
 
 struct State {
@@ -762,6 +771,7 @@ impl State {
                     let d = &mut c.dirs[dir];
                     d.rbuf.push_back(data);
                     d.rbuf_len += len;
+                    d.race.release();
                     self.stats.bytes_delivered += len as u64;
                     self.wake_kind(WaitKind::Readable { conn, dir });
                     // Direction `dir` is read by endpoint `1 - dir`.
@@ -1448,10 +1458,16 @@ impl SimNet {
             let mut st = self.core.state.lock();
             st.register_thread();
         }
+        // Spawn is a happens-before edge: the child adopts the parent's
+        // vector clock as of the fork point (no-op without race-detect).
+        // Joins need no twin hook — a sim thread's last act is releasing
+        // the state lock in `Dereg`, which any joiner reacquires.
+        let pkt = davix_sync::race::fork_packet();
         let core = Arc::clone(&self.core);
         std::thread::Builder::new()
             .name(name.to_string())
             .spawn(move || {
+                davix_sync::race::adopt_packet(&pkt);
                 let id = core.core_id();
                 IN_SIM.with(|c| c.set(id));
                 SIM_DAEMON.with(|c| c.set(id));
@@ -1650,6 +1666,9 @@ impl Drop for EnterGuard {
 
 /// Copy buffered bytes out of a direction's receive buffer into `buf`.
 fn drain_rbuf(d: &mut DirState, buf: &mut [u8]) -> usize {
+    // Delivery edge: everything the delivering thread did before the
+    // payload landed happens-before this read.
+    d.race.acquire();
     let mut n = 0;
     while n < buf.len() && d.rbuf_len > 0 {
         let chunk = d.rbuf.front().expect("nonempty rbuf");
@@ -2165,7 +2184,8 @@ impl Runtime for SimRuntime {
 
     fn signal(&self) -> Arc<dyn Signal> {
         let mut st = self.net.core.state.lock();
-        let id = st.signals.insert(SignalState { set: false });
+        let id =
+            st.signals.insert(SignalState { set: false, race: davix_sync::race::SyncObj::new() });
         drop(st);
         Arc::new(SimSignal { core: Arc::clone(&self.net.core), id })
     }
@@ -2182,7 +2202,9 @@ impl Signal for SimSignal {
         let mut st = self.core.state.lock();
         let deadline = timeout.map(|t| st.now_ns + dur_ns(t));
         loop {
-            if st.signals.get(self.id).map(|s| s.set).unwrap_or(false) {
+            if let Some(s) = st.signals.get(self.id).filter(|s| s.set) {
+                // Notify→wake edge: the setter's clock joins this thread.
+                s.race.acquire();
                 return true;
             }
             match self.core.wait_on(&mut st, WaitKind::Signal { sig: self.id }, deadline) {
@@ -2196,6 +2218,8 @@ impl Signal for SimSignal {
         let mut st = self.core.state.lock();
         if let Some(s) = st.signals.get_mut(self.id) {
             s.set = true;
+            // Notify edge: publish this thread's clock for whoever wakes.
+            s.race.release();
         }
         st.wake_kind(WaitKind::Signal { sig: self.id });
         self.core.kick_clock(&st);
@@ -2209,7 +2233,15 @@ impl Signal for SimSignal {
     }
 
     fn is_set(&self) -> bool {
-        self.core.state.lock().signals.get(self.id).map(|s| s.set).unwrap_or(false)
+        let st = self.core.state.lock();
+        match st.signals.get(self.id).filter(|s| s.set) {
+            Some(s) => {
+                // Observing `set` is as good as waking from the wait.
+                s.race.acquire();
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -18,8 +18,8 @@
 
 use crate::reactor::{DriveOutcome, Driven, Reactor};
 use crate::transport::{BoxedStream, Runtime, Signal};
+use davix_sync::{AtomicUsize, Ordering};
 use std::io;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

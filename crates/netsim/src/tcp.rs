@@ -7,10 +7,10 @@
 //! network is only one backend.
 
 use crate::transport::{BoxedStream, Connector, Listener, Pollable, Runtime, Signal, Stream};
+use davix_sync::{AtomicBool, Ordering};
 use parking_lot::{Condvar, Mutex};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -200,8 +200,17 @@ impl Runtime for RealRuntime {
     }
 
     fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
+        // Spawn is a happens-before edge: the child adopts the parent's
+        // vector clock as of the fork point (no-op without race-detect).
+        let pkt = davix_sync::race::fork_packet();
         // davix-lint: allow(thread-hygiene) — Runtime::spawn is the sanctioned spawn path for real-TCP daemons
-        std::thread::Builder::new().name(name.to_string()).spawn(f).expect("spawn thread");
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                davix_sync::race::adopt_packet(&pkt);
+                f()
+            })
+            .expect("spawn thread");
     }
 
     fn signal(&self) -> Arc<dyn Signal> {

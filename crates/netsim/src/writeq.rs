@@ -24,10 +24,10 @@
 //! [`Signal::wait`]: crate::transport::Signal::wait
 
 use crate::transport::{BoxedStream, Runtime, Signal};
+use davix_sync::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// FIFO queue of byte buffers drained onto a stream by a dedicated thread.

@@ -26,9 +26,14 @@
 //! [`FuzzReport::summary`], which two consecutive runs must reproduce
 //! byte-for-byte — pinned by this crate's tests).
 //!
-//! The deliberate-bug switch ([`Canary::EagerSegmentCommit`]) re-introduces
-//! a commit-atomicity bug in the storage nodes and exists to prove the
-//! harness catches what it claims to catch.
+//! The deliberate-bug switches exist to prove the harness catches what it
+//! claims to catch: [`Canary::EagerSegmentCommit`] re-introduces a
+//! commit-atomicity bug in the storage nodes, and [`Canary::UnsyncMetric`]
+//! arms a deliberately-unsynchronized metrics counter that only the
+//! `race-detect` happens-before sanitizer can observe (see
+//! `netsim::race`). When the detector is compiled in, every run also
+//! collects its data-race reports as `race` violations, so a racing seed
+//! prints the same `seed=<u64>` reproduction line as any other failure.
 
 use bytes::Bytes;
 use davix::{multistream_upload, Config, UploadOptions, UploadProtocol};
@@ -47,6 +52,13 @@ pub enum Canary {
     /// interrupted by a fault leaves a visible object whose bytes differ
     /// from the payload — an all-or-nothing violation the sweep must find.
     EagerSegmentCommit,
+    /// Arm the writer client's deliberately-unsynchronized metrics counter
+    /// (see `davix::Metrics::unsync_canary`): the upload driver and a pool
+    /// worker both touch a plain cell with no happens-before edge between
+    /// the touches. Invisible to the federation invariants — only the
+    /// `race-detect` vector-clock sanitizer flags it, as a `race`
+    /// violation. Inert unless that feature is compiled in.
+    UnsyncMetric,
 }
 
 /// Parameters of one fuzz run. Everything that shapes the scenario is
@@ -83,8 +95,8 @@ impl Default for FuzzConfig {
 /// One invariant violation, with enough detail to debug from the report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Which invariant: `all-or-nothing`, `cache-coherence`, `readmission`
-    /// or `progress`.
+    /// Which invariant: `all-or-nothing`, `cache-coherence`, `readmission`,
+    /// `progress` or (under the `race-detect` feature) `race`.
     pub invariant: &'static str,
     /// What exactly was observed.
     pub detail: String,
@@ -181,8 +193,27 @@ fn payload_bytes(seed: u64, tag: u64, len: usize) -> Bytes {
     Bytes::from(v)
 }
 
+/// Serializes whole scenarios while the race detector is collecting: race
+/// reports land in one process-global registry, so two concurrent
+/// `run_one`s (the test harness runs seeds in parallel) would otherwise
+/// drain each other's findings. A `std` mutex on purpose — taking the
+/// instrumented vendored lock here would add a synchronization edge of its
+/// own around every run.
+static RACE_RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Run one seeded scenario end to end and report what it found.
 pub fn run_one(cfg: &FuzzConfig) -> FuzzReport {
+    // Collect data races as violations instead of panicking mid-scenario:
+    // a race then prints the same `FAIL seed=…` reproduction line as any
+    // invariant failure. Leftover reports from earlier runs in this
+    // process are drained so they cannot bleed into this seed's report.
+    let _race_guard = netsim::race::enabled().then(|| {
+        let g = RACE_RUN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        netsim::race::set_panic_on_race(false);
+        netsim::race::take_reports();
+        g
+    });
+
     let origin = payload_bytes(cfg.seed, 0, cfg.payload_len);
     let tb = Testbed::start(TestbedConfig {
         replicas: vec![
@@ -222,6 +253,9 @@ pub fn run_one(cfg: &FuzzConfig) -> FuzzReport {
     );
     let writer =
         tb.davix_client(Config::default().with_io_threads(1).with_upload(1, 8192).no_retry());
+    if cfg.canary == Canary::UnsyncMetric {
+        writer.set_unsync_metric_canary(true);
+    }
     let connector = tb.net.connector(CLIENT);
 
     // The scheduler under the readmission invariant: it sees failures
@@ -466,6 +500,18 @@ pub fn run_one(cfg: &FuzzConfig) -> FuzzReport {
     let trace = tb.net.take_trace();
     drop(file);
     drop(guard);
+
+    // ---- invariant (race-detect builds): no unordered shared-memory
+    // access anywhere in the run. Reports use the replay-stable rendering
+    // (sites + thread names, no epochs) and are sorted + deduplicated so
+    // the summary is byte-identical across replays of the same seed.
+    if netsim::race::enabled() {
+        let mut races: Vec<String> =
+            netsim::race::take_reports().iter().map(|r| r.stable_detail()).collect();
+        races.sort();
+        races.dedup();
+        violations.extend(races.into_iter().map(|detail| Violation { invariant: "race", detail }));
+    }
 
     FuzzReport {
         seed: cfg.seed,

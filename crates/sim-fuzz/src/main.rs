@@ -4,6 +4,7 @@
 //! davix-simfuzz --seed 42                        # one seed
 //! davix-simfuzz --seeds-file crates/sim-fuzz/seeds.txt --fresh 4 --base 12345
 //! davix-simfuzz --seed 7 --canary eager-commit   # prove the harness catches bugs
+//! davix-simfuzz --seed 7 --canary unsync-metric  # ditto for the race-detect sanitizer
 //! davix-simfuzz --seed 7 --trace out.jsonl       # dump the virtual-time event trace
 //! ```
 //!
@@ -29,7 +30,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: davix-simfuzz [--seed N]... [--seeds-file F] [--fresh N [--base B]]\n\
-         \x20                    [--ops N] [--canary eager-commit] [--trace PATH]\n\
+         \x20                    [--ops N] [--canary eager-commit|unsync-metric] [--trace PATH]\n\
          \x20                    [--github-annotations]"
     );
     std::process::exit(2);
@@ -65,9 +66,19 @@ fn parse_args() -> Args {
             "--ops" => args.ops = Some(val("--ops").parse().unwrap_or_else(|_| usage())),
             "--canary" => match val("--canary").as_str() {
                 "eager-commit" => args.canary = Canary::EagerSegmentCommit,
+                "unsync-metric" => {
+                    if !netsim::race::enabled() {
+                        eprintln!(
+                            "--canary unsync-metric needs the race detector: rebuild with \
+                             --features davix-repro/race-detect"
+                        );
+                        std::process::exit(2);
+                    }
+                    args.canary = Canary::UnsyncMetric;
+                }
                 "none" => args.canary = Canary::None,
                 other => {
-                    eprintln!("unknown canary {other:?} (try: eager-commit)");
+                    eprintln!("unknown canary {other:?} (try: eager-commit, unsync-metric)");
                     usage()
                 }
             },

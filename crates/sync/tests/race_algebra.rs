@@ -1,0 +1,145 @@
+//! Pins the happens-before algebra of the race detector: which edges order
+//! accesses (release→acquire, fork/adopt) and which do not (`Relaxed`
+//! atomics, a plain OS `join` with no packet). Compiled only with the
+//! `race-detect` feature — `cargo test -p davix-sync --features race-detect`
+//! or the workspace-wide `--features davix-repro/race-detect`.
+#![cfg(feature = "race-detect")]
+
+use davix_sync::race::{adopt_packet, fork_packet, set_panic_on_race, take_reports, RaceReport};
+use davix_sync::{AtomicUsize, CheckedCell, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+use std::thread;
+
+/// The report registry is process-global; serialize tests so one test's
+/// drain cannot steal another's reports. A `std` mutex: the vendored
+/// instrumented lock would add a happens-before edge around every test
+/// body, which is exactly what these tests must control precisely.
+static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+fn isolated(f: impl FnOnce()) -> Vec<RaceReport> {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    set_panic_on_race(false);
+    take_reports(); // drop leftovers from other tests in this process
+    f();
+    take_reports()
+}
+
+#[test]
+fn unordered_writes_race() {
+    let reports = isolated(|| {
+        // Register the main thread *before* the racer exists. Otherwise the
+        // racer's freed slot can be handed to main at its first access, and
+        // the slot-reuse clock continuation (a deliberate false-negative
+        // tradeoff, see the module docs) would order the writes.
+        let _ = fork_packet();
+        let cell = Arc::new(CheckedCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let h = thread::Builder::new().name("racer".to_string()).spawn(move || c2.set(1)).unwrap();
+        h.join().unwrap();
+        // The OS-level join is real ordering, but no *modeled* edge was
+        // recorded (no packet adopted) — the detector must flag the hole.
+        cell.set(2);
+    });
+    assert_eq!(reports.len(), 1, "expected exactly one report: {reports:?}");
+    let r = &reports[0];
+    assert_eq!((r.kind_a, r.kind_b), ("write", "write"));
+    assert!(r.site_a.contains("race_algebra.rs"), "site_a = {}", r.site_a);
+    assert!(r.site_b.contains("race_algebra.rs"), "site_b = {}", r.site_b);
+    assert!(
+        [&r.thread_a, &r.thread_b].iter().any(|t| t.as_str() == "racer"),
+        "one side must name the racer thread: {r:?}"
+    );
+    assert!(r.epoch_a.starts_with('t') && r.epoch_a.contains('@'), "epoch = {}", r.epoch_a);
+    assert!(!r.census.is_empty(), "census must list live threads");
+    // Both renderings carry the two sites.
+    assert!(r.detail().contains(&r.site_a) && r.detail().contains(&r.site_b));
+    assert!(r.stable_detail().contains(&r.site_a) && !r.stable_detail().contains(&r.epoch_a));
+}
+
+#[test]
+fn release_store_then_acquire_load_orders() {
+    let reports = isolated(|| {
+        let cell = Arc::new(CheckedCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        cell.set(41);
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            while f2.load(Ordering::Acquire) == 0 {
+                thread::yield_now();
+            }
+            // Ordered after the main thread's write by the Release store →
+            // Acquire load edge alone (the spawn adopted no packet).
+            c2.set(c2.get() + 1);
+        });
+        flag.store(1, Ordering::Release);
+        h.join().unwrap();
+    });
+    assert!(reports.is_empty(), "release/acquire pair must order the writes: {reports:?}");
+}
+
+#[test]
+fn relaxed_atomics_are_not_an_edge() {
+    let reports = isolated(|| {
+        let cell = Arc::new(CheckedCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        cell.set(41);
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            while f2.load(Ordering::Relaxed) == 0 {
+                thread::yield_now();
+            }
+            // Really ordered on today's hardware, but *not* by the memory
+            // model: a Relaxed pair publishes nothing.
+            c2.set(1);
+        });
+        flag.store(1, Ordering::Relaxed);
+        h.join().unwrap();
+    });
+    assert_eq!(reports.len(), 1, "relaxed flag must not order the writes: {reports:?}");
+    assert_eq!((reports[0].kind_a, reports[0].kind_b), ("write", "write"));
+}
+
+#[test]
+fn fork_and_join_packets_order_both_directions() {
+    let reports = isolated(|| {
+        let cell = Arc::new(CheckedCell::new(0u64));
+        cell.set(1);
+        let pkt = fork_packet();
+        let c2 = Arc::clone(&cell);
+        let h = thread::spawn(move || {
+            adopt_packet(&pkt); // spawn edge: parent's write → child
+            c2.set(c2.get() + 1);
+            fork_packet() // join edge: child's write → joiner
+        });
+        let back = h.join().unwrap();
+        adopt_packet(&back);
+        cell.set(cell.get() + 1);
+    });
+    assert!(reports.is_empty(), "fork/adopt packets must order spawn and join: {reports:?}");
+}
+
+#[test]
+fn rmw_success_and_failure_both_publish() {
+    // A failed compare_exchange still performs an Acquire load in this
+    // model (conservative: extra ordering, never missing ordering).
+    let reports = isolated(|| {
+        let cell = Arc::new(CheckedCell::new(0u64));
+        let turn = Arc::new(AtomicUsize::new(0));
+        cell.set(7);
+        let (c2, t2) = (Arc::clone(&cell), Arc::clone(&turn));
+        let h = thread::spawn(move || {
+            loop {
+                // Fails until the main thread publishes 1, then succeeds.
+                match t2.compare_exchange(1, 2, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => break,
+                    Err(_) => thread::yield_now(),
+                }
+            }
+            c2.set(c2.get() + 1);
+        });
+        turn.store(1, Ordering::Release);
+        h.join().unwrap();
+    });
+    assert!(reports.is_empty(), "CAS must carry the release→acquire edge: {reports:?}");
+}

@@ -4,12 +4,12 @@
 
 use crate::mux::Reassembler;
 use crate::wire::{self, Frame, Op, PayloadReader, PayloadWriter, Status};
+use davix_sync::{AtomicBool, AtomicU64, Ordering};
 use ioapi::{IoStats, IoStatsSnapshot, RandomAccess};
 use netsim::{Connector, Runtime, Signal, WriteQueue};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

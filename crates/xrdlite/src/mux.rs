@@ -19,11 +19,11 @@
 //! invisible-block hazard this avoids).
 
 use crate::wire::{self, Frame};
+use davix_sync::{AtomicBool, AtomicU64, Ordering};
 use netsim::{BoxedStream, Runtime, Signal};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One response being streamed out: header fields plus the unsent payload

@@ -8,11 +8,11 @@
 
 use crate::mux::FrameScheduler;
 use crate::wire::{self, Frame, Op, PayloadReader, PayloadWriter, Status};
+use davix_sync::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use netsim::{BoxedStream, Listener, Runtime};
 use objstore::ObjectStore;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

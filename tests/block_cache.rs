@@ -8,6 +8,7 @@
 use bytes::Bytes;
 use davix::{Config, DavixClient};
 use davix_repro::testbed::{Testbed, TestbedConfig, FED};
+use davix_sync::{AtomicUsize, Ordering};
 use httpd::ServerConfig;
 use httpwire::parse::read_request_head;
 use httpwire::Method;
@@ -15,7 +16,6 @@ use ioapi::RandomAccess;
 use netsim::{LinkSpec, Listener as _, Runtime as _, SimNet};
 use objstore::{ObjectStore, StorageNode, StorageOptions};
 use std::io::{BufReader, Write};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -190,8 +190,8 @@ fn real_tcp_namespace_ops_with_encoded_names() {
 #[test]
 fn sim_upload_chunk_failure_is_retried() {
     use davix::{multistream_upload, UploadOptions, UploadProtocol};
+    use davix_sync::{AtomicBool, Ordering};
     use httpwire::{Method, StatusCode};
-    use std::sync::atomic::{AtomicBool, Ordering};
 
     let net = netsim::SimNet::new();
     net.add_host("c");
@@ -242,8 +242,8 @@ fn sim_upload_chunk_failure_is_retried() {
 #[test]
 fn sim_upload_corruption_is_detected_and_not_committed() {
     use davix::{multistream_upload, DavixError, UploadOptions, UploadProtocol};
+    use davix_sync::{AtomicBool, Ordering};
     use httpwire::Method;
-    use std::sync::atomic::{AtomicBool, Ordering};
 
     for protocol in [UploadProtocol::S3Multipart, UploadProtocol::SegmentedPut] {
         let net = netsim::SimNet::new();

@@ -7,10 +7,10 @@
 use bytes::Bytes;
 use davix::{Config, DavixClient, DavixError, PreparedRequest, RetryPolicy};
 use davix_repro::testbed::{Testbed, TestbedConfig};
+use davix_sync::{AtomicU32, Ordering};
 use httpd::{HttpServer, Response, ServerConfig};
 use httpwire::StatusCode;
 use netsim::{LinkSpec, SimNet};
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -10,10 +10,10 @@ use davix::{
     MultistreamOptions,
 };
 use davix_repro::testbed::{Testbed, TestbedConfig, DATA_PATH, FED};
+use davix_sync::{AtomicUsize, Ordering};
 use httpd::ServerConfig;
 use netsim::{LinkSpec, Runtime as _, SimNet};
 use objstore::{ObjectStore, StorageNode, StorageOptions};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -147,8 +147,8 @@ fn multipart_part_outside_requested_span_is_rejected() {
 fn transient_mid_body_failure_is_retried() {
     // The first GET stalls halfway through its body (client read times out);
     // the retry budget must absorb it, like the old buffered executor did.
+    use davix_sync::{AtomicU32, Ordering};
     use netsim::{Runtime as _, Stream as _};
-    use std::sync::atomic::{AtomicU32, Ordering};
 
     let net = sim();
     let data = payload(10_000);

@@ -47,7 +47,7 @@ fn open_stat_read_over_real_sockets() {
     let mut buf = vec![0u8; 4096];
     let n = f.read_at_cached(32_768, &mut buf).unwrap();
     assert_eq!(&buf[..n], &data[32_768..32_768 + n]);
-    assert!(server.requests.load(std::sync::atomic::Ordering::Relaxed) >= 3);
+    assert!(server.requests.load(davix_sync::Ordering::Relaxed) >= 3);
 }
 
 #[test]
@@ -102,7 +102,7 @@ fn concurrent_readers_multiplex_one_connection() {
         h.join().unwrap();
     }
     // All of that went over exactly one TCP connection.
-    assert_eq!(server.connections.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(server.connections.load(davix_sync::Ordering::Relaxed), 1);
 }
 
 #[test]

@@ -22,7 +22,21 @@
 //! edges of their own. See `deadlock::held_census` (only compiled with
 //! the feature) for the census hook the netsim stall watchdog folds
 //! into its dump.
+//!
+//! # Happens-before edges (`race-detect` feature)
+//!
+//! With `davix-sync`'s `race-detect` feature unified on (this crate's
+//! `race-detect` feature forwards to it), every lock additionally carries a
+//! [`davix_sync::race::SyncObj`] vector clock: winning the lock is an
+//! *acquire* edge (the thread joins the lock's clock), and releasing it —
+//! including the transient releases inside [`Condvar`] waits and
+//! [`MutexGuard::unlocked`] — is a *release* edge (the lock joins the
+//! thread's clock). [`RwLock`] records full edges for readers and writers
+//! alike, which over-approximates ordering (never reports a false race,
+//! may miss reader-reader-adjacent ones). Feature off, `SyncObj` is a
+//! zero-sized no-op and this paragraph compiles away.
 
+use davix_sync::race::SyncObj;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
@@ -61,6 +75,7 @@ use deadlock_stub::{on_acquire, on_release, LockSite};
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
     site: LockSite,
+    race: SyncObj,
     inner: sync::Mutex<T>,
 }
 
@@ -72,6 +87,7 @@ pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<sync::MutexGuard<'a, T>>,
     lock: &'a sync::Mutex<T>,
     site: &'a LockSite,
+    race: &'a SyncObj,
 }
 
 impl<'a, T: ?Sized> MutexGuard<'a, T> {
@@ -79,11 +95,13 @@ impl<'a, T: ?Sized> MutexGuard<'a, T> {
     /// mutex is reacquired before returning.
     #[track_caller]
     pub fn unlocked<U>(s: &mut Self, f: impl FnOnce() -> U) -> U {
+        s.race.release();
         on_release(s.site);
         drop(s.inner.take().expect("guard invariant"));
         let r = f();
         on_acquire(s.site, true);
         s.inner = Some(s.lock.lock().unwrap_or_else(PoisonError::into_inner));
+        s.race.acquire();
         r
     }
 }
@@ -92,7 +110,9 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
         // `Condvar` internals leave `inner` as `None` only transiently and
         // re-register through the hooks themselves, so an armed guard is
-        // always holding exactly once here.
+        // always holding exactly once here. The release edge is published
+        // while the lock is still held, so the next acquirer observes it.
+        self.race.release();
         on_release(self.site);
     }
 }
@@ -100,7 +120,7 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { site: LockSite::new(), inner: sync::Mutex::new(value) }
+        Mutex { site: LockSite::new(), race: SyncObj::new(), inner: sync::Mutex::new(value) }
     }
 
     /// Consumes the mutex, returning the underlying data.
@@ -118,11 +138,11 @@ impl<T: ?Sized> Mutex<T> {
     #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         on_acquire(&self.site, true);
-        MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
-            lock: &self.inner,
-            site: &self.site,
-        }
+        let inner = Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner));
+        // The acquire edge joins only after the lock is actually won: it
+        // must observe the previous holder's release, not race with it.
+        self.race.acquire();
+        MutexGuard { inner, lock: &self.inner, site: &self.site, race: &self.race }
     }
 
     /// Attempts to acquire the mutex without blocking.
@@ -134,7 +154,8 @@ impl<T: ?Sized> Mutex<T> {
             Err(sync::TryLockError::WouldBlock) => return None,
         };
         on_acquire(&self.site, false);
-        Some(MutexGuard { inner: Some(g), lock: &self.inner, site: &self.site })
+        self.race.acquire();
+        Some(MutexGuard { inner: Some(g), lock: &self.inner, site: &self.site, race: &self.race })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -167,6 +188,7 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
     site: LockSite,
+    race: SyncObj,
     inner: sync::RwLock<T>,
 }
 
@@ -174,22 +196,26 @@ pub struct RwLock<T: ?Sized> {
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: sync::RwLockReadGuard<'a, T>,
     site: &'a LockSite,
+    race: &'a SyncObj,
 }
 
 /// RAII guard for [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: sync::RwLockWriteGuard<'a, T>,
     site: &'a LockSite,
+    race: &'a SyncObj,
 }
 
 impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
+        self.race.release();
         on_release(self.site);
     }
 }
 
 impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        self.race.release();
         on_release(self.site);
     }
 }
@@ -197,7 +223,7 @@ impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { site: LockSite::new(), inner: sync::RwLock::new(value) }
+        RwLock { site: LockSite::new(), race: SyncObj::new(), inner: sync::RwLock::new(value) }
     }
 
     /// Consumes the lock, returning the underlying data.
@@ -214,20 +240,18 @@ impl<T: ?Sized> RwLock<T> {
     #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         on_acquire(&self.site, true);
-        RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
-            site: &self.site,
-        }
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        self.race.acquire();
+        RwLockReadGuard { inner, site: &self.site, race: &self.race }
     }
 
     /// Acquires exclusive write access, blocking until available.
     #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         on_acquire(&self.site, true);
-        RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
-            site: &self.site,
-        }
+        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        self.race.acquire();
+        RwLockWriteGuard { inner, site: &self.site, race: &self.race }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -294,11 +318,14 @@ impl Condvar {
     #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         // The wait releases the mutex for its duration: mirror that in the
-        // held-lock census, and re-check ordering on the reacquisition.
+        // held-lock census and the happens-before clocks, and re-check
+        // ordering on the reacquisition.
+        guard.race.release();
         on_release(guard.site);
         let inner = guard.inner.take().expect("guard invariant");
         let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
         on_acquire(guard.site, true);
+        guard.race.acquire();
         guard.inner = Some(inner);
     }
 
@@ -309,11 +336,13 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        guard.race.release();
         on_release(guard.site);
         let inner = guard.inner.take().expect("guard invariant");
         let (inner, result) =
             self.inner.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
         on_acquire(guard.site, true);
+        guard.race.acquire();
         guard.inner = Some(inner);
         WaitTimeoutResult { timed_out: result.timed_out() }
     }
